@@ -1,0 +1,174 @@
+/// \file bench_allocators.cc
+/// Reproduces the paper's Section IV-B memory-allocation findings:
+///  * mixing persistent small allocations with transient large ones
+///    fragments the general-purpose heap ("the heap ... grew continually,
+///    acting as though a significant memory leak still existed");
+///  * routing large transients to mmap and small transients to a
+///    lock-free pool keeps the footprint flat and improves multi-threaded
+///    small-allocation throughput.
+///
+/// Parts: google-benchmark throughput comparisons, then the
+/// fragmentation experiment with heap probes.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <iomanip>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "mem/allocators.h"
+#include "mem/heap_probe.h"
+#include "mem/lockfree_pool.h"
+
+namespace {
+
+using namespace rmcrt::mem;
+
+void BM_MallocSmall(benchmark::State& state) {
+  for (auto _ : state) {
+    void* p = std::malloc(64);
+    benchmark::DoNotOptimize(p);
+    std::free(p);
+  }
+}
+BENCHMARK(BM_MallocSmall)->Threads(1)->Threads(4);
+
+void BM_LockFreePoolSmall(benchmark::State& state) {
+  static LockFreePool pool(64, 4096);
+  for (auto _ : state) {
+    void* p = pool.allocate();
+    benchmark::DoNotOptimize(p);
+    pool.deallocate(p);
+  }
+}
+BENCHMARK(BM_LockFreePoolSmall)->Threads(1)->Threads(4);
+
+void BM_PoolRouterMixed(benchmark::State& state) {
+  auto& r = PoolRouter::instance();
+  int i = 0;
+  for (auto _ : state) {
+    const std::size_t sz = 16u << (i++ % 8);
+    void* p = r.allocate(sz);
+    benchmark::DoNotOptimize(p);
+    r.deallocate(p, sz);
+  }
+}
+BENCHMARK(BM_PoolRouterMixed)->Threads(1)->Threads(4);
+
+void BM_MallocLargeTransient(benchmark::State& state) {
+  const std::size_t sz = 4 << 20;
+  for (auto _ : state) {
+    void* p = std::malloc(sz);
+    std::memset(p, 1, 4096);  // touch first page
+    benchmark::DoNotOptimize(p);
+    std::free(p);
+  }
+}
+BENCHMARK(BM_MallocLargeTransient);
+
+void BM_MmapLargeTransient(benchmark::State& state) {
+  const std::size_t sz = 4 << 20;
+  for (auto _ : state) {
+    void* p = MmapArena::map(sz);
+    std::memset(p, 1, 4096);
+    benchmark::DoNotOptimize(p);
+    MmapArena::unmap(p, sz);
+  }
+}
+BENCHMARK(BM_MmapLargeTransient);
+
+/// The Section IV-B fragmentation scenario: persistent small allocations
+/// interleaved with transient large buffers (MPI messages /
+/// GridVariables). Heap mode feeds everything to malloc; hybrid mode
+/// sends large transients to mmap and small persistents to the pool.
+void fragmentationExperiment() {
+  constexpr int kRounds = 400;
+  constexpr int kSmallPerRound = 400;
+  constexpr std::size_t kSmall = 96;
+  // Transient buffers must sit BELOW glibc's mmap threshold (128 KiB) or
+  // malloc itself routes them to mmap and hides the effect; sizes vary
+  // per round so freed holes rarely fit the next round's requests —
+  // exactly the paper's "persistent small allocations mixed with
+  // transient large allocations".
+  constexpr std::size_t kLargeBase = 24 << 10;
+
+  auto run = [&](bool hybrid) {
+    std::vector<void*> persistent;
+    const HeapSnapshot before = probeHeap();
+    const auto mmapBefore = MmapArena::stats().bytesMapped;
+    for (int round = 0; round < kRounds; ++round) {
+      const std::size_t large = kLargeBase * (1 + round % 5);
+      // Transient buffers come and go within the round...
+      void* bufs[8];
+      for (auto& b : bufs) {
+        b = hybrid ? MmapArena::map(large) : std::malloc(large);
+        std::memset(b, 1, large);
+      }
+      // ...while persistent small objects allocated meanwhile pin the
+      // top of the heap above the holes the transients leave behind.
+      for (int i = 0; i < kSmallPerRound; ++i) {
+        persistent.push_back(hybrid
+                                 ? PoolRouter::instance().allocate(kSmall)
+                                 : std::malloc(kSmall));
+      }
+      for (auto& b : bufs) {
+        if (hybrid)
+          MmapArena::unmap(b, large);
+        else
+          std::free(b);
+      }
+    }
+    const HeapSnapshot after = probeHeap();
+    const auto mmapAfter = MmapArena::stats().bytesMapped;
+    const double liveSmallMB =
+        kRounds * kSmallPerRound * kSmall / 1048576.0;
+    const double heapGrowthMB =
+        (after.heapBytesTotal > before.heapBytesTotal
+             ? after.heapBytesTotal - before.heapBytesTotal
+             : 0) /
+        1048576.0;
+    const double heapHeldFreeMB =
+        (after.heapBytesFree > before.heapBytesFree
+             ? after.heapBytesFree - before.heapBytesFree
+             : 0) /
+        1048576.0;
+    const double mmapGrowthMB =
+        (mmapAfter > mmapBefore ? mmapAfter - mmapBefore : 0) / 1048576.0;
+    std::cout << "  " << (hybrid ? "mmap+pool (paper)" : "heap only        ")
+              << ": live payload " << std::fixed << std::setprecision(1)
+              << liveSmallMB << " MB | heap growth " << heapGrowthMB
+              << " MB (of which held-free/fragmented " << heapHeldFreeMB
+              << " MB) | mmap live growth " << mmapGrowthMB << " MB"
+              << (after.valid ? "" : " [mallinfo2 unavailable]") << "\n";
+    for (void* p : persistent) {
+      if (hybrid)
+        PoolRouter::instance().deallocate(p, kSmall);
+      else
+        std::free(p);
+    }
+  };
+
+  std::cout << "\n=== Section IV-B fragmentation experiment ===\n"
+            << "(persistent small allocations interleaved with transient "
+               "24-120 KiB buffers; heap growth beyond the live payload "
+               "is the fragmentation/overhead the paper fought — the "
+               "hybrid scheme keeps the heap flat by construction)\n\n";
+  run(false);
+  run(true);
+  std::cout << "\nPaper reference: custom allocators reduced fragmentation "
+               "enough to run at the edge of nodal memory and improved "
+               "local-communication throughput 2-4X.\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  fragmentationExperiment();
+  return 0;
+}

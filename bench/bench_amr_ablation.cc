@@ -1,0 +1,141 @@
+/// \file bench_amr_ablation.cc
+/// DESIGN.md D5: the multi-level AMR scheme versus the original
+/// single-level RMCRT — the central design decision of the paper
+/// (Section III: the single fine mesh replicated everywhere costs
+/// O(N_total^2) communication and became "intractable ... beyond 256^3").
+///
+/// Parts:
+///  1. measured: the REAL distributed pipeline at laptop scale, counting
+///     actual bytes received per rank for both algorithms;
+///  2. modeled: per-rank replication volume for the paper's problem sizes
+///     (the 256^3 wall the paper describes), plus the weak-scaling O(N^2)
+///     growth law that justified showing strong scaling only.
+
+#include <benchmark/benchmark.h>
+
+#include <iomanip>
+#include <iostream>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/problems.h"
+#include "core/rmcrt_component.h"
+#include "grid/load_balancer.h"
+#include "runtime/scheduler.h"
+#include "sim/perf_model.h"
+
+namespace {
+
+using namespace rmcrt;
+
+/// Bytes received per rank by the real pipeline.
+std::uint64_t measurePipelineBytes(bool twoLevel, int ranks, int fineCells) {
+  core::RmcrtSetup setup;
+  setup.problem = core::uniformMedium(8.0, 1.0);  // short rays: cheap
+  setup.trace.nDivQRays = 2;
+  setup.roiHalo = 1;
+  std::shared_ptr<grid::Grid> grid;
+  if (twoLevel)
+    grid = grid::Grid::makeTwoLevel(Vector(0.0), Vector(1.0),
+                                    IntVector(fineCells), IntVector(4),
+                                    IntVector(fineCells / 4),
+                                    IntVector(fineCells / 8));
+  else
+    grid = grid::Grid::makeSingleLevel(Vector(0.0), Vector(1.0),
+                                       IntVector(fineCells),
+                                       IntVector(fineCells / 4));
+  auto lb = std::make_shared<grid::LoadBalancer>(*grid, ranks);
+  comm::Communicator world(ranks);
+  std::vector<std::unique_ptr<runtime::Scheduler>> scheds;
+  for (int r = 0; r < ranks; ++r)
+    scheds.push_back(
+        std::make_unique<runtime::Scheduler>(grid, lb, world, r));
+  std::vector<std::thread> threads;
+  for (int r = 0; r < ranks; ++r) {
+    threads.emplace_back([&, r] {
+      if (twoLevel)
+        core::RmcrtComponent::registerTwoLevelPipeline(*scheds[r], setup);
+      else
+        core::RmcrtComponent::registerSingleLevelPipeline(*scheds[r], setup);
+      scheds[r]->executeTimestep();
+    });
+  }
+  for (auto& t : threads) t.join();
+  std::uint64_t total = 0;
+  for (auto& s : scheds) total += s->stats().bytesReceived;
+  return total / static_cast<std::uint64_t>(ranks);
+}
+
+void BM_SingleLevelPipeline(benchmark::State& state) {
+  for (auto _ : state)
+    benchmark::DoNotOptimize(measurePipelineBytes(false, 4, 32));
+}
+BENCHMARK(BM_SingleLevelPipeline)->Unit(benchmark::kMillisecond);
+
+void BM_TwoLevelPipeline(benchmark::State& state) {
+  for (auto _ : state)
+    benchmark::DoNotOptimize(measurePipelineBytes(true, 4, 32));
+}
+BENCHMARK(BM_TwoLevelPipeline)->Unit(benchmark::kMillisecond);
+
+void printAblation() {
+  using namespace rmcrt::sim;
+  std::cout << "\n=== D5 ablation: single-level vs 2-level RMCRT ===\n\n";
+
+  std::cout << "[measured: real pipeline, 32^3 fine, 4 ranks, bytes "
+               "received per rank]\n";
+  const auto single = measurePipelineBytes(false, 4, 32);
+  const auto two = measurePipelineBytes(true, 4, 32);
+  std::cout << "  single-level: " << std::setw(10) << single / 1024
+            << " KiB/rank\n  two-level   : " << std::setw(10) << two / 1024
+            << " KiB/rank   (" << std::fixed << std::setprecision(1)
+            << static_cast<double>(single) / static_cast<double>(two)
+            << "x less)\n";
+
+  std::cout << "\n[modeled: per-rank replication volume at paper scale "
+               "(1024 ranks)]\n";
+  std::cout << std::setw(12) << "fine mesh" << std::setw(22)
+            << "single-level MB/rank" << std::setw(20)
+            << "2-level MB/rank\n";
+  for (int n : {128, 256, 512}) {
+    ProblemConfig p;
+    p.fineCellsPerSide = n;
+    const double share = 1.0 - 1.0 / 1024.0;
+    const double singleMB = static_cast<double>(p.fineCells()) *
+                            ProblemConfig::bytesPerPropertyCell * share /
+                            1048576.0;
+    const double twoMB = p.replicationBytesPerRank(1024) / 1048576.0;
+    std::cout << std::setw(9) << n << "^3" << std::setw(20)
+              << std::setprecision(1) << singleMB << std::setw(20) << twoMB
+              << (singleMB > 2600 ? "   <- exceeds 1/10 node RAM (paper: "
+                                    "intractable beyond 256^3)"
+                                  : "")
+              << "\n";
+  }
+
+  std::cout << "\n[modeled: weak scaling — why the paper shows strong "
+               "scaling only]\n";
+  std::cout << std::setw(10) << "ranks" << std::setw(26)
+            << "single-level agg. TB" << std::setw(22)
+            << "2-level agg. TB\n";
+  for (const auto& w :
+       weakScalingCommVolume(mediumProblem(), {64, 256, 1024, 4096})) {
+    std::cout << std::setw(10) << w.ranks << std::setw(24)
+              << std::setprecision(2) << w.aggregateSingleLevelBytes / 1e12
+              << std::setw(22) << w.aggregateTwoLevelBytes / 1e12 << "\n";
+  }
+  std::cout << "(aggregate volume grows as O(P^2) for both — the 2-level "
+               "scheme cuts the constant by RR^3 = 64; the growth law is "
+               "why weak scaling is omitted, paper Section V)\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  printAblation();
+  return 0;
+}

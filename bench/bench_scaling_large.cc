@@ -1,0 +1,77 @@
+/// \file bench_scaling_large.cc
+/// Regenerates paper Figure 3: GPU strong scaling of the LARGE 2-level
+/// RMCRT benchmark (512^3 fine / 128^3 coarse, 136.31M cells, RR:4,
+/// 100 rays/cell) for patch sizes 16^3 / 32^3 / 64^3, to 16,384 GPUs,
+/// including the Section V parallel-efficiency headline numbers (Eq. 3):
+/// 96% from 4096->8192 GPUs and 89% from 4096->16,384.
+
+#include <benchmark/benchmark.h>
+
+#include <iomanip>
+#include <iostream>
+
+#include "core/problems.h"
+#include "core/rmcrt_component.h"
+#include "sim/calibration.h"
+#include "sim/scaling_study.h"
+
+namespace {
+
+using namespace rmcrt;
+
+/// The real multi-level kernel at one-patch scale — the quantity the
+/// model is calibrated from.
+void BM_MultiLevelTracePatch(benchmark::State& state) {
+  const int patchSize = static_cast<int>(state.range(0));
+  auto grid = grid::Grid::makeTwoLevel(
+      Vector(0.0), Vector(1.0), IntVector(std::max(16, 2 * patchSize)),
+      IntVector(4), IntVector(patchSize),
+      IntVector(std::max(1, std::max(16, 2 * patchSize) / 4)));
+  core::RmcrtSetup setup;
+  setup.problem = core::burnsChriston();
+  setup.trace.nDivQRays = 2;
+  setup.roiHalo = 4;
+  for (auto _ : state) {
+    auto divQ = core::RmcrtComponent::solveSerialTwoLevel(*grid, setup);
+    benchmark::DoNotOptimize(divQ.data());
+  }
+  state.SetItemsProcessed(state.iterations() * grid->fineLevel().numCells() *
+                          setup.trace.nDivQRays);
+}
+BENCHMARK(BM_MultiLevelTracePatch)->Arg(16)->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+void printFigure3() {
+  using namespace rmcrt::sim;
+  std::cout << "\n=== Paper Figure 3 reproduction ===\n\n";
+  const MachineModel m = titan();
+  std::cout << "[Titan-default machine model]\n";
+  largeStudy().print(std::cout, m);
+
+  Calibration c;
+  c.hostSegmentsPerSecond = measureKernelSegmentsPerSecond(16, 4);
+  const MachineModel cal = calibrate(titan(), c);
+  std::cout << "\n[calibrated: host kernel = "
+            << c.hostSegmentsPerSecond / 1e6 << " Mseg/s, K20X scale 12x]\n";
+  largeStudy().print(std::cout, cal);
+
+  std::cout << "\nParallel efficiency per Eq. 3 (16^3 patches):\n";
+  for (const MachineModel* mm : {&m, &cal}) {
+    std::cout << "  " << (mm == &m ? "default " : "calibrated")
+              << ": eff(4096->8192) = " << std::fixed << std::setprecision(1)
+              << largeProblemEfficiency(*mm, 16, 4096, 8192) * 100
+              << "%,  eff(4096->16384) = "
+              << largeProblemEfficiency(*mm, 16, 4096, 16384) * 100 << "%\n";
+  }
+  std::cout << "  paper   : eff(4096->8192) = 96%, eff(4096->16384) = 89%\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  printFigure3();
+  return 0;
+}

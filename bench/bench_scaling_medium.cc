@@ -1,0 +1,85 @@
+/// \file bench_scaling_medium.cc
+/// Regenerates paper Figure 2: GPU strong scaling of the MEDIUM 2-level
+/// RMCRT benchmark (256^3 fine CFD mesh, 64^3 coarse radiation mesh,
+/// RR:4, 100 rays/cell) for patch sizes 16^3 / 32^3 / 64^3.
+///
+/// Parts:
+///  1. google-benchmark of the REAL distributed pipeline at laptop scale
+///     (exercises scheduler + comm + tracer end to end);
+///  2. the Figure 2 table from the machine model calibrated against this
+///     host's measured kernel throughput.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/problems.h"
+#include "core/rmcrt_component.h"
+#include "grid/load_balancer.h"
+#include "runtime/scheduler.h"
+#include "sim/calibration.h"
+#include "sim/scaling_study.h"
+
+namespace {
+
+using namespace rmcrt;
+
+/// Real end-to-end pipeline at reduced scale: 32^3 fine / 8^3 coarse.
+void BM_DistributedPipeline(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  core::RmcrtSetup setup;
+  setup.problem = core::burnsChriston();
+  setup.trace.nDivQRays = 4;
+  setup.roiHalo = 2;
+  auto grid =
+      grid::Grid::makeTwoLevel(Vector(0.0), Vector(1.0), IntVector(32),
+                               IntVector(4), IntVector(8), IntVector(4));
+  for (auto _ : state) {
+    auto lb = std::make_shared<grid::LoadBalancer>(*grid, ranks);
+    comm::Communicator world(ranks);
+    std::vector<std::unique_ptr<runtime::Scheduler>> scheds;
+    for (int r = 0; r < ranks; ++r)
+      scheds.push_back(
+          std::make_unique<runtime::Scheduler>(grid, lb, world, r));
+    std::vector<std::thread> threads;
+    for (int r = 0; r < ranks; ++r) {
+      threads.emplace_back([&, r] {
+        core::RmcrtComponent::registerTwoLevelPipeline(*scheds[r], setup);
+        scheds[r]->executeTimestep();
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  state.SetItemsProcessed(state.iterations() * 32 * 32 * 32);
+}
+BENCHMARK(BM_DistributedPipeline)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+void printFigure2() {
+  using namespace rmcrt::sim;
+  std::cout << "\n=== Paper Figure 2 reproduction ===\n\n";
+  std::cout << "[Titan-default machine model]\n";
+  mediumStudy().print(std::cout, titan());
+
+  Calibration c;
+  c.hostSegmentsPerSecond = measureKernelSegmentsPerSecond(16, 4);
+  std::cout << "\n[calibrated: host kernel = " << c.hostSegmentsPerSecond / 1e6
+            << " Mseg/s, K20X scale 12x]\n";
+  mediumStudy().print(std::cout, calibrate(titan(), c));
+  std::cout << "\nExpected shape (paper): larger patches are faster per "
+               "GPU; each curve scales until patches/GPU reaches 1; the "
+               "16^3 curve extends furthest.\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  printFigure2();
+  return 0;
+}

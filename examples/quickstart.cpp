@@ -1,0 +1,75 @@
+/// \file quickstart.cpp
+/// Minimal end-to-end use of the library: build a grid, define the Burns
+/// & Christon benchmark, run the RMCRT solver, and print the centerline
+/// divergence of the heat flux next to the S4 discrete-ordinates
+/// baseline.
+///
+///   ./examples/quickstart [cellsPerSide=24] [raysPerCell=64]
+
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+
+#include "core/dom_solver.h"
+#include "core/problems.h"
+#include "core/rmcrt_component.h"
+
+int main(int argc, char** argv) {
+  using namespace rmcrt;
+  using namespace rmcrt::core;
+
+  const int n = argc > 1 ? std::atoi(argv[1]) : 24;
+  const int rays = argc > 2 ? std::atoi(argv[2]) : 64;
+
+  std::cout << "RMCRT quickstart: Burns & Christon benchmark, " << n << "^3 "
+            << "cells, " << rays << " rays/cell\n\n";
+
+  // 1. A single-level grid over the unit cube.
+  auto grid = grid::Grid::makeSingleLevel(Vector(0.0), Vector(1.0),
+                                          IntVector(n), IntVector(n));
+
+  // 2. The benchmark problem and trace parameters.
+  RmcrtSetup setup;
+  setup.problem = burnsChriston();
+  setup.trace.nDivQRays = rays;
+  setup.trace.seed = 2016;
+
+  // 3. Solve divQ with reverse Monte Carlo ray tracing.
+  grid::CCVariable<double> divQ =
+      RmcrtComponent::solveSerialSingleLevel(*grid, setup);
+
+  // 4. The DOM baseline for comparison (paper Section II/III context).
+  grid::CCVariable<double> abskg(grid->fineLevel().cells(), 0.0);
+  grid::CCVariable<double> sig(grid->fineLevel().cells(), 0.0);
+  grid::CCVariable<grid::CellType> ct(grid->fineLevel().cells(),
+                                      grid::CellType::Flow);
+  initializeProperties(grid->fineLevel(), setup.problem, abskg, sig, ct);
+  DomSolver dom(LevelGeom::from(grid->fineLevel()),
+                RadiationFieldsView{
+                    FieldView<double>::fromHost(abskg),
+                    FieldView<double>::fromHost(sig),
+                    FieldView<grid::CellType>::fromHost(ct)},
+                WallProperties{0.0, 1.0}, 4);
+  grid::CCVariable<double> domQ(grid->fineLevel().cells(), 0.0);
+  dom.computeDivQ(grid->fineLevel().cells(),
+                  MutableFieldView<double>::fromHost(domQ));
+
+  // 5. Print the centerline (the benchmark's standard cut).
+  std::cout << std::setw(8) << "x" << std::setw(14) << "divQ RMCRT"
+            << std::setw(14) << "divQ S4 DOM" << "\n";
+  const int mid = n / 2;
+  for (int x = 0; x < n; ++x) {
+    const IntVector c(x, mid, mid);
+    const double xc = (x + 0.5) / n;
+    std::cout << std::setw(8) << std::fixed << std::setprecision(3) << xc
+              << std::setw(14) << std::setprecision(4) << divQ[c]
+              << std::setw(14) << domQ[c] << "\n";
+  }
+
+  std::cout << "\nExpected: divQ > 0 everywhere (cold walls drain the hot "
+               "medium), peaking at the domain center where the Burns & "
+               "Christon absorption coefficient (hence emission) peaks, "
+               "with RMCRT and DOM tracking each other within a few "
+               "percent plus Monte Carlo noise.\n";
+  return 0;
+}

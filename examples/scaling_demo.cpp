@@ -1,0 +1,55 @@
+/// \file scaling_demo.cpp
+/// Regenerates all three of the paper's evaluation artifacts in one run,
+/// using the machine model calibrated against THIS host's measured RMCRT
+/// kernel and request containers: Figure 2 (MEDIUM strong scaling),
+/// Figure 3 (LARGE strong scaling, with the Eq. 3 efficiency headlines)
+/// and Table I / Figure 1 (local communication before/after).
+///
+///   ./examples/scaling_demo [--no-calibration]
+
+#include <cstring>
+#include <iomanip>
+#include <iostream>
+
+#include "sim/calibration.h"
+#include "sim/csv_export.h"
+#include "sim/scaling_study.h"
+
+int main(int argc, char** argv) {
+  using namespace rmcrt::sim;
+
+  MachineModel m = titan();
+  const bool calibrateHost =
+      !(argc > 1 && std::strcmp(argv[1], "--no-calibration") == 0);
+  if (calibrateHost) {
+    std::cout << "calibrating from this host (real kernel + containers)..."
+              << std::flush;
+    const Calibration c = measureHost();
+    std::cout << " kernel " << std::fixed << std::setprecision(2)
+              << c.hostSegmentsPerSecond / 1e6 << " Mseg/s, wait-free "
+              << c.waitFreePerMessage * 1e6 << " us/msg, locked "
+              << c.lockedPerMessage * 1e6 << " us/msg\n\n";
+    m = calibrate(m, c);
+  }
+
+  mediumStudy().print(std::cout, m);
+  std::cout << "\n";
+  largeStudy().print(std::cout, m);
+  std::cout << "\nEq. 3 parallel efficiency, LARGE, 16^3 patches:\n"
+            << "  eff(4096 -> 8192)  = " << std::setprecision(1)
+            << largeProblemEfficiency(m, 16, 4096, 8192) * 100
+            << "%   (paper: 96%)\n"
+            << "  eff(4096 -> 16384) = "
+            << largeProblemEfficiency(m, 16, 4096, 16384) * 100
+            << "%   (paper: 89%)\n\n";
+  printCommStudy(std::cout, commImprovementStudy(m));
+
+  // Plot-ready CSVs alongside the text tables.
+  if (writeScalingCsv("fig2_medium.csv", mediumStudy(), m) &&
+      writeScalingCsv("fig3_large.csv", largeStudy(), m) &&
+      writeCommStudyCsv("table1_comm.csv", commImprovementStudy(m))) {
+    std::cout << "\nwrote fig2_medium.csv, fig3_large.csv, "
+                 "table1_comm.csv\n";
+  }
+  return 0;
+}

@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file comm_node.h
+/// A CommNode is one outstanding communication record: a nonblocking
+/// request plus the action that must run exactly once on completion
+/// (unpack into the DataWarehouse and release the staging buffer). This is
+/// the element type of both request containers — the legacy locked vector
+/// (comm/locked_queue.h) and the paper's wait-free pool
+/// (comm/waitfree_pool.h, Algorithm 1).
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <utility>
+
+#include "comm/communicator.h"
+
+namespace rmcrt::comm {
+
+/// Tracks buffers handed to completion callbacks so tests/benchmarks can
+/// detect the paper's leak: "threads allocating a buffer for the same MPI
+/// message, and only one thread actually processing the message and
+/// invoking the callback to deallocate its buffer."
+struct BufferLedger {
+  std::atomic<std::int64_t> allocated{0};
+  std::atomic<std::int64_t> released{0};
+
+  std::int64_t leaked() const {
+    return allocated.load(std::memory_order_relaxed) -
+           released.load(std::memory_order_relaxed);
+  }
+  void reset() {
+    allocated.store(0, std::memory_order_relaxed);
+    released.store(0, std::memory_order_relaxed);
+  }
+};
+
+/// One outstanding receive (or send) record.
+class CommNode {
+ public:
+  using Callback = std::function<void(const Request&)>;
+
+  CommNode() = default;
+  CommNode(Request req, Callback onComplete)
+      : m_request(std::move(req)), m_onComplete(std::move(onComplete)) {}
+
+  CommNode(CommNode&&) = default;
+  CommNode& operator=(CommNode&&) = default;
+  CommNode(const CommNode&) = delete;
+  CommNode& operator=(const CommNode&) = delete;
+
+  /// Nonblocking completion probe — the per-request MPI_Test() of
+  /// Algorithm 1 line 3.
+  bool test() const { return m_request.test(); }
+
+  /// Run the completion action (Algorithm 1 line 7). Must be called with
+  /// exclusive ownership of the node; the containers guarantee that.
+  void finishCommunication() {
+    if (m_onComplete) m_onComplete(m_request);
+  }
+
+  const Request& request() const { return m_request; }
+
+ private:
+  Request m_request;
+  Callback m_onComplete;
+};
+
+}  // namespace rmcrt::comm

@@ -1,0 +1,187 @@
+#include "comm/communicator.h"
+
+#include <cassert>
+#include <cstring>
+#include <thread>
+
+namespace rmcrt::comm {
+
+Communicator::Communicator(int size) : m_size(size) {
+  assert(size > 0);
+  m_boxes.reserve(static_cast<std::size_t>(size));
+  for (int i = 0; i < size; ++i)
+    m_boxes.push_back(std::make_unique<Mailbox>());
+}
+
+void Communicator::deliver(const Message& msg, RequestState& st) {
+  const std::size_t n = std::min(msg.bytes(), st.recvCapacity);
+  if (n > 0) std::memcpy(st.recvBuf, msg.payload->data(), n);
+  st.actualSource = msg.src;
+  st.actualTag = msg.tag;
+  st.actualBytes = n;
+  st.complete.store(true, std::memory_order_release);
+}
+
+Request Communicator::isend(int src, int dst, std::int64_t tag, const void* data,
+                            std::size_t bytes) {
+  assert(dst >= 0 && dst < m_size);
+  Message msg;
+  msg.src = src;
+  msg.dst = dst;
+  msg.tag = tag;
+  msg.payload = makePayload(data, bytes);
+
+  m_messagesSent.fetch_add(1, std::memory_order_relaxed);
+  m_bytesSent.fetch_add(bytes, std::memory_order_relaxed);
+
+  auto st = std::make_shared<RequestState>();
+  st->complete.store(true, std::memory_order_release);  // buffered send
+
+  Mailbox& box = *m_boxes[static_cast<std::size_t>(dst)];
+  std::shared_ptr<RequestState> target;
+  {
+    std::lock_guard<std::mutex> lk(box.mutex);
+    for (auto it = box.posted.begin(); it != box.posted.end(); ++it) {
+      if (matches(*it->state, msg)) {
+        target = it->state;
+        box.posted.erase(it);
+        break;
+      }
+    }
+    if (!target) {
+      box.unexpected.push_back(std::move(msg));
+      m_unexpected.fetch_add(1, std::memory_order_relaxed);
+      return Request(std::move(st));
+    }
+  }
+  // Deliver outside the mailbox lock: the state is exclusively ours now
+  // (it was removed from the posted queue while the lock was held).
+  deliver(msg, *target);
+  return Request(std::move(st));
+}
+
+Request Communicator::irecv(int rank, int src, std::int64_t tag, void* buf,
+                            std::size_t capacity) {
+  assert(rank >= 0 && rank < m_size);
+  auto st = std::make_shared<RequestState>();
+  st->recvBuf = buf;
+  st->recvCapacity = capacity;
+  st->wantSrc = src;
+  st->wantTag = tag;
+
+  m_recvsPosted.fetch_add(1, std::memory_order_relaxed);
+
+  Mailbox& box = *m_boxes[static_cast<std::size_t>(rank)];
+  Message matched;
+  bool found = false;
+  {
+    std::lock_guard<std::mutex> lk(box.mutex);
+    for (auto it = box.unexpected.begin(); it != box.unexpected.end(); ++it) {
+      if ((src == kAnySource || src == it->src) &&
+          (tag == kAnyTag || tag == it->tag)) {
+        matched = std::move(*it);
+        box.unexpected.erase(it);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      box.posted.push_back(PostedRecv{st});
+      return Request(std::move(st));
+    }
+  }
+  deliver(matched, *st);
+  return Request(std::move(st));
+}
+
+void Communicator::recv(int rank, int src, std::int64_t tag, void* buf,
+                        std::size_t capacity) {
+  Request r = irecv(rank, src, tag, buf, capacity);
+  while (!r.test()) std::this_thread::yield();
+}
+
+void Communicator::barrier(int rank) {
+  (void)rank;
+  std::unique_lock<std::mutex> lk(m_collMutex);
+  const std::uint64_t epoch = m_barrierEpoch;
+  if (++m_barrierCount == m_size) {
+    m_barrierCount = 0;
+    ++m_barrierEpoch;
+    m_collCv.notify_all();
+  } else {
+    m_collCv.wait(lk, [&] { return m_barrierEpoch != epoch; });
+  }
+}
+
+double Communicator::allReduceSum(int rank, double value) {
+  (void)rank;
+  std::unique_lock<std::mutex> lk(m_collMutex);
+  const std::uint64_t epoch = m_reduceEpoch;
+  if (m_reduceCount == 0) m_reduceAcc = 0.0;
+  m_reduceAcc += value;
+  if (++m_reduceCount == m_size) {
+    m_reduceResult = m_reduceAcc;
+    m_reduceCount = 0;
+    ++m_reduceEpoch;
+    m_collCv.notify_all();
+    return m_reduceResult;
+  }
+  m_collCv.wait(lk, [&] { return m_reduceEpoch != epoch; });
+  return m_reduceResult;
+}
+
+double Communicator::allReduceMax(int rank, double value) {
+  (void)rank;
+  std::unique_lock<std::mutex> lk(m_collMutex);
+  const std::uint64_t epoch = m_reduceEpoch;
+  if (m_reduceCount == 0)
+    m_reduceAcc = value;
+  else
+    m_reduceAcc = std::max(m_reduceAcc, value);
+  if (++m_reduceCount == m_size) {
+    m_reduceResult = m_reduceAcc;
+    m_reduceCount = 0;
+    ++m_reduceEpoch;
+    m_collCv.notify_all();
+    return m_reduceResult;
+  }
+  m_collCv.wait(lk, [&] { return m_reduceEpoch != epoch; });
+  return m_reduceResult;
+}
+
+void Communicator::allGather(int rank, const void* mine, std::size_t bytes,
+                             void* out) {
+  std::unique_lock<std::mutex> lk(m_collMutex);
+  const std::uint64_t epoch = m_gatherEpoch;
+  std::vector<std::byte>& buf = m_gatherBuf[epoch & 1];
+  if (m_gatherCount == 0)
+    buf.assign(static_cast<std::size_t>(m_size) * bytes, std::byte{0});
+  std::memcpy(buf.data() + static_cast<std::size_t>(rank) * bytes, mine,
+              bytes);
+  if (++m_gatherCount == m_size) {
+    m_gatherCount = 0;
+    ++m_gatherEpoch;
+    m_collCv.notify_all();
+  } else {
+    m_collCv.wait(lk, [&] { return m_gatherEpoch != epoch; });
+  }
+  std::memcpy(out, buf.data(), static_cast<std::size_t>(m_size) * bytes);
+}
+
+CommStats Communicator::stats() const {
+  CommStats s;
+  s.messagesSent = m_messagesSent.load(std::memory_order_relaxed);
+  s.bytesSent = m_bytesSent.load(std::memory_order_relaxed);
+  s.recvsPosted = m_recvsPosted.load(std::memory_order_relaxed);
+  s.unexpectedMessages = m_unexpected.load(std::memory_order_relaxed);
+  return s;
+}
+
+void Communicator::resetStats() {
+  m_messagesSent.store(0, std::memory_order_relaxed);
+  m_bytesSent.store(0, std::memory_order_relaxed);
+  m_recvsPosted.store(0, std::memory_order_relaxed);
+  m_unexpected.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace rmcrt::comm

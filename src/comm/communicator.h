@@ -1,0 +1,168 @@
+#pragma once
+
+/// \file communicator.h
+/// An in-process message-passing layer with MPI semantics: nonblocking
+/// point-to-point sends/receives between ranks hosted in one process, a
+/// request/test completion model, and MPI_THREAD_MULTIPLE-style thread
+/// safety (any thread may post or test operations for any rank).
+///
+/// This substitutes for real MPI per DESIGN.md §2: the paper's
+/// infrastructure contribution concerns how *threads* manage asynchronous
+/// request handles, and this layer exposes the identical handle/test
+/// surface — including the property that a request completes
+/// asynchronously with respect to the threads polling it (the sender's
+/// thread completes a matched receive), which is what made the legacy
+/// locked-vector design racy.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "comm/message.h"
+
+namespace rmcrt::comm {
+
+/// Completion state shared between the poster and pollers of an operation.
+struct RequestState {
+  std::atomic<bool> complete{false};
+  // Filled in for receives on completion:
+  int actualSource = -1;
+  std::int64_t actualTag = -1;
+  std::size_t actualBytes = 0;
+  // Receive destination (unmatched posted recv):
+  void* recvBuf = nullptr;
+  std::size_t recvCapacity = 0;
+  int wantSrc = kAnySource;
+  std::int64_t wantTag = kAnyTag;
+};
+
+/// A nonblocking-operation handle, analogous to MPI_Request. Copyable;
+/// all copies observe the same completion.
+class Request {
+ public:
+  Request() = default;
+  explicit Request(std::shared_ptr<RequestState> st) : m_state(std::move(st)) {}
+
+  bool valid() const { return m_state != nullptr; }
+
+  /// Nonblocking completion probe (MPI_Test). True once the operation has
+  /// finished; receives are then fully delivered into their buffer.
+  bool test() const {
+    return m_state && m_state->complete.load(std::memory_order_acquire);
+  }
+
+  /// Source rank of the matched message (receives, after completion).
+  int source() const { return m_state ? m_state->actualSource : -1; }
+  std::int64_t tag() const { return m_state ? m_state->actualTag : -1; }
+  std::size_t bytes() const { return m_state ? m_state->actualBytes : 0; }
+
+  RequestState* state() { return m_state.get(); }
+
+ private:
+  std::shared_ptr<RequestState> m_state;
+};
+
+/// Snapshot of world-level traffic counters.
+struct CommStats {
+  std::uint64_t messagesSent = 0;
+  std::uint64_t bytesSent = 0;
+  std::uint64_t recvsPosted = 0;
+  std::uint64_t unexpectedMessages = 0;
+};
+
+/// A world of \p size ranks living in one process.
+///
+/// Thread-safety: every method may be called from any thread for any rank
+/// concurrently (the simulated MPI_THREAD_MULTIPLE). Matching takes the
+/// destination rank's mailbox mutex only; completion is published via an
+/// atomic, so polling (Request::test) is lock-free.
+class Communicator {
+ public:
+  explicit Communicator(int size);
+
+  int size() const { return m_size; }
+
+  /// Nonblocking send: the payload is copied immediately (buffered-send
+  /// semantics), so the returned request is complete at once — like an
+  /// MPI_Isend whose data fit the eager buffer, the common case for
+  /// Uintah's dependency messages.
+  Request isend(int src, int dst, std::int64_t tag, const void* data,
+                std::size_t bytes);
+
+  /// Nonblocking receive into [buf, buf+capacity). Matches the oldest
+  /// in-flight message from \p src (or kAnySource) with \p tag (or
+  /// kAnyTag). Completion is observed via Request::test().
+  Request irecv(int rank, int src, std::int64_t tag, void* buf, std::size_t capacity);
+
+  /// Blocking helpers built on the nonblocking pair.
+  void send(int src, int dst, std::int64_t tag, const void* data, std::size_t bytes) {
+    isend(src, dst, tag, data, bytes);
+  }
+  void recv(int rank, int src, std::int64_t tag, void* buf, std::size_t capacity);
+
+  /// Dissemination barrier across all ranks; call once per rank.
+  void barrier(int rank);
+
+  /// Allreduce(sum) of a double per rank; returns the global sum.
+  double allReduceSum(int rank, double value);
+
+  /// Allreduce(max).
+  double allReduceMax(int rank, double value);
+
+  /// Gather equally-sized blobs from every rank to every rank.
+  /// \p mine has \p bytes bytes; \p out receives size()*bytes bytes laid
+  /// out by rank.
+  void allGather(int rank, const void* mine, std::size_t bytes, void* out);
+
+  CommStats stats() const;
+  void resetStats();
+
+ private:
+  struct PostedRecv {
+    std::shared_ptr<RequestState> state;
+  };
+
+  struct Mailbox {
+    std::mutex mutex;
+    std::deque<Message> unexpected;
+    std::deque<PostedRecv> posted;
+  };
+
+  /// Deliver \p msg into \p pr and publish completion.
+  static void deliver(const Message& msg, RequestState& st);
+
+  static bool matches(const RequestState& st, const Message& msg) {
+    return (st.wantSrc == kAnySource || st.wantSrc == msg.src) &&
+           (st.wantTag == kAnyTag || st.wantTag == msg.tag);
+  }
+
+  int m_size;
+  std::vector<std::unique_ptr<Mailbox>> m_boxes;
+
+  // Collectives state (sense-reversing barrier + reduction slots).
+  std::mutex m_collMutex;
+  std::condition_variable m_collCv;
+  int m_barrierCount = 0;
+  std::uint64_t m_barrierEpoch = 0;
+  double m_reduceAcc = 0.0;
+  int m_reduceCount = 0;
+  std::uint64_t m_reduceEpoch = 0;
+  double m_reduceResult = 0.0;
+  // Double-buffered by epoch parity: a rank can be at most one collective
+  // ahead of the slowest waiter, so two buffers prevent reuse races.
+  std::vector<std::byte> m_gatherBuf[2];
+  int m_gatherCount = 0;
+  std::uint64_t m_gatherEpoch = 0;
+
+  std::atomic<std::uint64_t> m_messagesSent{0};
+  std::atomic<std::uint64_t> m_bytesSent{0};
+  std::atomic<std::uint64_t> m_recvsPosted{0};
+  std::atomic<std::uint64_t> m_unexpected{0};
+};
+
+}  // namespace rmcrt::comm

@@ -1,0 +1,205 @@
+#pragma once
+
+/// \file waitfree_pool.h
+/// The paper's Algorithm 1: a non-blocking, thread-scalable,
+/// contention-free pool of communication records that replaced the
+/// mutex-protected vector (Section IV-A). Properties reproduced from the
+/// paper's description:
+///
+///  * Storage is a pool of individually-claimable slots; no operation
+///    blocks any other thread (a failed claim just moves to the next
+///    slot), and slot claims are single CAS operations, so every step
+///    some thread makes progress.
+///  * The iterator is "a unique, move-only object which toggles an atomic
+///    flag to protect access to the referenced value", guaranteeing "no
+///    two threads can have iterators which dereference to the same
+///    object" — copy construction/assignment are deleted, move transfers
+///    the claim, destruction releases it.
+///  * find_any(pred) visits candidate slots, claims one at a time, and
+///    applies the predicate (per-request MPI_Test()) under the claim —
+///    replacing MPI_Testsome over a shared collection.
+///
+/// Slots live in fixed-size segments chained append-only, so references
+/// stay stable for the pool's lifetime and growth never moves elements.
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace rmcrt::comm {
+
+/// Wait-free slot pool. \tparam T element type (move-constructible).
+/// \tparam SlotsPerSegment slots per growth unit.
+template <typename T, std::size_t SlotsPerSegment = 256>
+class WaitFreePool {
+  enum : std::uint32_t { kEmpty = 0, kWriting = 1, kFilled = 2, kClaimed = 3 };
+
+  struct Slot {
+    std::atomic<std::uint32_t> state{kEmpty};
+    alignas(T) unsigned char storage[sizeof(T)];
+
+    T* object() { return std::launder(reinterpret_cast<T*>(storage)); }
+  };
+
+  struct Segment {
+    Slot slots[SlotsPerSegment];
+    std::atomic<Segment*> next{nullptr};
+  };
+
+ public:
+  WaitFreePool() : m_head(new Segment) {}
+
+  ~WaitFreePool() {
+    Segment* seg = m_head;
+    while (seg) {
+      for (std::size_t i = 0; i < SlotsPerSegment; ++i) {
+        const std::uint32_t st = seg->slots[i].state.load();
+        if (st == kFilled || st == kClaimed) seg->slots[i].object()->~T();
+      }
+      Segment* next = seg->next.load();
+      delete seg;
+      seg = next;
+    }
+  }
+
+  WaitFreePool(const WaitFreePool&) = delete;
+  WaitFreePool& operator=(const WaitFreePool&) = delete;
+
+  /// The unique protected iterator of Algorithm 1. Move-only: holds the
+  /// slot's claim; while alive, no other thread can dereference the same
+  /// element. Destruction (without erase) returns the slot to Filled.
+  class iterator {
+   public:
+    iterator() = default;
+
+    iterator(iterator&& o) noexcept : m_slot(o.m_slot) { o.m_slot = nullptr; }
+    iterator& operator=(iterator&& o) noexcept {
+      if (this != &o) {
+        release();
+        m_slot = o.m_slot;
+        o.m_slot = nullptr;
+      }
+      return *this;
+    }
+    iterator(const iterator&) = delete;
+    iterator& operator=(const iterator&) = delete;
+
+    ~iterator() { release(); }
+
+    /// True when the iterator holds a claimed element (Algorithm 1 line 5).
+    explicit operator bool() const { return m_slot != nullptr; }
+
+    T& operator*() const {
+      assert(m_slot);
+      return *m_slot->object();
+    }
+    T* operator->() const {
+      assert(m_slot);
+      return m_slot->object();
+    }
+
+   private:
+    friend class WaitFreePool;
+    explicit iterator(Slot* s) : m_slot(s) {}
+
+    void release() {
+      if (m_slot) {
+        m_slot->state.store(kFilled, std::memory_order_release);
+        m_slot = nullptr;
+      }
+    }
+
+    /// Used by erase(): the pool destroys the object and empties the slot;
+    /// the iterator must forget its claim without releasing to Filled.
+    Slot* take() {
+      Slot* s = m_slot;
+      m_slot = nullptr;
+      return s;
+    }
+
+    Slot* m_slot = nullptr;
+  };
+
+  /// Insert an element; never blocks other threads (claims an Empty slot
+  /// by CAS, appending a fresh segment when the chain is full).
+  template <typename... Args>
+  void emplace(Args&&... args) {
+    for (Segment* seg = m_head;; seg = nextOrGrow(seg)) {
+      for (std::size_t i = 0; i < SlotsPerSegment; ++i) {
+        Slot& slot = seg->slots[i];
+        std::uint32_t expect = kEmpty;
+        if (slot.state.load(std::memory_order_relaxed) == kEmpty &&
+            slot.state.compare_exchange_strong(expect, kWriting,
+                                               std::memory_order_acq_rel)) {
+          ::new (slot.storage) T(std::forward<Args>(args)...);
+          slot.state.store(kFilled, std::memory_order_release);
+          m_size.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+      }
+    }
+  }
+
+  /// Find any element satisfying \p pred, claiming candidates one at a
+  /// time; the predicate runs with exclusive access. Returns an engaged
+  /// iterator holding the claim, or a disengaged one (Algorithm 1
+  /// lines 2-5).
+  template <typename Pred>
+  iterator find_any(Pred&& pred) {
+    for (Segment* seg = m_head; seg;
+         seg = seg->next.load(std::memory_order_acquire)) {
+      for (std::size_t i = 0; i < SlotsPerSegment; ++i) {
+        Slot& slot = seg->slots[i];
+        std::uint32_t expect = kFilled;
+        if (slot.state.load(std::memory_order_relaxed) == kFilled &&
+            slot.state.compare_exchange_strong(expect, kClaimed,
+                                               std::memory_order_acq_rel)) {
+          if (pred(static_cast<const T&>(*slot.object()))) {
+            return iterator(&slot);
+          }
+          slot.state.store(kFilled, std::memory_order_release);
+        }
+      }
+    }
+    return iterator();
+  }
+
+  /// Remove the element a claimed iterator refers to (Algorithm 1 line 8).
+  void erase(iterator& it) {
+    Slot* s = it.take();
+    assert(s && "erase of disengaged iterator");
+    s->object()->~T();
+    s->state.store(kEmpty, std::memory_order_release);
+    m_size.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  /// Approximate element count (racy by nature).
+  std::size_t size() const {
+    const auto n = m_size.load(std::memory_order_relaxed);
+    return n > 0 ? static_cast<std::size_t>(n) : 0;
+  }
+  bool empty() const { return size() == 0; }
+
+ private:
+  Segment* nextOrGrow(Segment* seg) {
+    Segment* next = seg->next.load(std::memory_order_acquire);
+    if (next) return next;
+    auto* fresh = new Segment;
+    Segment* expected = nullptr;
+    if (seg->next.compare_exchange_strong(expected, fresh,
+                                          std::memory_order_acq_rel)) {
+      return fresh;
+    }
+    delete fresh;  // another thread grew first; use theirs
+    return expected;
+  }
+
+  Segment* m_head;
+  std::atomic<std::int64_t> m_size{0};
+};
+
+}  // namespace rmcrt::comm

@@ -1,0 +1,123 @@
+#include "core/dom_solver.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace rmcrt::core {
+
+std::vector<Ordinate> levelSymmetricQuadrature(int n) {
+  std::vector<Ordinate> quad;
+  if (n <= 2) {
+    // S2: one ordinate per octant along (±1,±1,±1)/sqrt(3), w = pi/2.
+    const double mu = 1.0 / std::sqrt(3.0);
+    const double w = 4.0 * M_PI / 8.0;
+    for (int sx = -1; sx <= 1; sx += 2)
+      for (int sy = -1; sy <= 1; sy += 2)
+        for (int sz = -1; sz <= 1; sz += 2)
+          quad.push_back(Ordinate{Vector(sx * mu, sy * mu, sz * mu), w});
+    return quad;
+  }
+  // S4 level-symmetric: direction cosines {mu1, mu2} with
+  // 2*mu1^2 + mu2^2 = 1, mu1 = 0.2958759; three permutations per octant,
+  // equal weights summing to 4*pi over 24 ordinates.
+  const double mu1 = 0.2958759;
+  const double mu2 = std::sqrt(1.0 - 2.0 * mu1 * mu1);
+  const double w = 4.0 * M_PI / 24.0;
+  const double combos[3][3] = {
+      {mu1, mu1, mu2}, {mu1, mu2, mu1}, {mu2, mu1, mu1}};
+  for (int sx = -1; sx <= 1; sx += 2) {
+    for (int sy = -1; sy <= 1; sy += 2) {
+      for (int sz = -1; sz <= 1; sz += 2) {
+        for (const auto& c : combos) {
+          quad.push_back(
+              Ordinate{Vector(sx * c[0], sy * c[1], sz * c[2]), w});
+        }
+      }
+    }
+  }
+  return quad;
+}
+
+DomSolver::DomSolver(const LevelGeom& geom, const RadiationFieldsView& fields,
+                     const WallProperties& walls, int order)
+    : m_geom(geom),
+      m_fields(fields),
+      m_walls(walls),
+      m_quad(levelSymmetricQuadrature(order)) {}
+
+void DomSolver::sweepOrdinate(const Ordinate& ord,
+                              grid::CCVariable<double>& intensity) const {
+  const Vector& d = ord.dir;
+  const IntVector lo = m_geom.cells.low();
+  const IntVector hi = m_geom.cells.high();
+  const Vector invDx(std::abs(d.x()) / m_geom.dx.x(),
+                     std::abs(d.y()) / m_geom.dx.y(),
+                     std::abs(d.z()) / m_geom.dx.z());
+
+  // Sweep from the upwind corner: ascending along axes with positive
+  // direction cosine, descending otherwise.
+  const int x0 = d.x() >= 0 ? lo.x() : hi.x() - 1;
+  const int x1 = d.x() >= 0 ? hi.x() : lo.x() - 1;
+  const int dxs = d.x() >= 0 ? 1 : -1;
+  const int y0 = d.y() >= 0 ? lo.y() : hi.y() - 1;
+  const int y1 = d.y() >= 0 ? hi.y() : lo.y() - 1;
+  const int dys = d.y() >= 0 ? 1 : -1;
+  const int z0 = d.z() >= 0 ? lo.z() : hi.z() - 1;
+  const int z1 = d.z() >= 0 ? hi.z() : lo.z() - 1;
+  const int dzs = d.z() >= 0 ? 1 : -1;
+
+  const double wallI = m_walls.emissivity * m_walls.sigmaT4OverPi;
+
+  for (int z = z0; z != z1; z += dzs) {
+    for (int y = y0; y != y1; y += dys) {
+      for (int x = x0; x != x1; x += dxs) {
+        const IntVector c(x, y, z);
+        // Upwind intensities (wall emission at domain inflow faces, or an
+        // in-domain wall cell's emission).
+        auto upwindI = [&](int axis, int stepBack) -> double {
+          IntVector u = c;
+          u[axis] -= stepBack;
+          if (!m_geom.cells.contains(u)) return wallI;
+          if (m_fields.cellType.valid() &&
+              m_fields.cellType[u] == grid::CellType::Wall)
+            return m_walls.emissivity * m_fields.sigmaT4OverPi[u];
+          return intensity[u];
+        };
+        const double iux = upwindI(0, dxs);
+        const double iuy = upwindI(1, dys);
+        const double iuz = upwindI(2, dzs);
+
+        const double kappa = m_fields.abskg[c];
+        // Step-scheme upwind finite volume:
+        // (|dx|+|dy|+|dz|+kappa) I = kappa*S + sum(|d_i| I_upwind_i)
+        const double denom = invDx.x() + invDx.y() + invDx.z() + kappa;
+        const double numer = kappa * m_fields.sigmaT4OverPi[c] +
+                             invDx.x() * iux + invDx.y() * iuy +
+                             invDx.z() * iuz;
+        intensity[c] = numer / denom;
+      }
+    }
+  }
+}
+
+void DomSolver::computeIncidentRadiation(grid::CCVariable<double>& G) const {
+  G.fill(0.0);
+  grid::CCVariable<double> intensity(m_geom.cells, 0.0);
+  for (const Ordinate& ord : m_quad) {
+    sweepOrdinate(ord, intensity);
+    for (const IntVector& c : m_geom.cells) G[c] += ord.weight * intensity[c];
+  }
+}
+
+void DomSolver::computeDivQ(const CellRange& cells,
+                            MutableFieldView<double> divQ) const {
+  grid::CCVariable<double> G(m_geom.cells, 0.0);
+  computeIncidentRadiation(G);
+  for (const IntVector& c : cells) {
+    const double kappa = m_fields.abskg[c];
+    divQ[c] = 4.0 * M_PI * kappa *
+              (m_fields.sigmaT4OverPi[c] - G[c] / (4.0 * M_PI));
+  }
+}
+
+}  // namespace rmcrt::core

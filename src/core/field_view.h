@@ -1,0 +1,93 @@
+#pragma once
+
+/// \file field_view.h
+/// A non-owning, trivially-copyable view of a cell-centered field — the
+/// common data layout the ray-marching kernel reads whether it runs on the
+/// host (CPU tracer) or inside the simulated GPU (DeviceVar storage). One
+/// kernel implementation serves both paths, mirroring how Uintah's CUDA
+/// kernel mirrors the CPU ray tracer.
+
+#include <cassert>
+#include <cstdint>
+
+#include "gpu/gpu_data_warehouse.h"
+#include "grid/variable.h"
+#include "util/range.h"
+
+namespace rmcrt::core {
+
+template <typename T>
+class FieldView {
+ public:
+  FieldView() = default;
+  FieldView(const T* data, const CellRange& window)
+      : m_data(data), m_window(window), m_size(window.size()) {}
+
+  static FieldView fromHost(const grid::CCVariable<T>& v) {
+    return FieldView(v.data(), v.window());
+  }
+  static FieldView fromDevice(const gpu::DeviceVar& dv) {
+    assert(dv.elemSize == sizeof(T));
+    return FieldView(static_cast<const T*>(dv.devPtr), dv.window);
+  }
+
+  const CellRange& window() const { return m_window; }
+  bool valid() const { return m_data != nullptr; }
+
+  const T& operator[](const IntVector& c) const {
+    assert(m_window.contains(c));
+    const IntVector rel = c - m_window.low();
+    return m_data[rel.x() +
+                  static_cast<std::int64_t>(m_size.x()) *
+                      (rel.y() +
+                       static_cast<std::int64_t>(m_size.y()) * rel.z())];
+  }
+
+ private:
+  const T* m_data = nullptr;
+  CellRange m_window;
+  IntVector m_size;
+};
+
+/// Mutable counterpart for kernel outputs (divQ).
+template <typename T>
+class MutableFieldView {
+ public:
+  MutableFieldView() = default;
+  MutableFieldView(T* data, const CellRange& window)
+      : m_data(data), m_window(window), m_size(window.size()) {}
+
+  static MutableFieldView fromHost(grid::CCVariable<T>& v) {
+    return MutableFieldView(v.data(), v.window());
+  }
+  static MutableFieldView fromDevice(gpu::DeviceVar& dv) {
+    assert(dv.elemSize == sizeof(T));
+    return MutableFieldView(static_cast<T*>(dv.devPtr), dv.window);
+  }
+
+  const CellRange& window() const { return m_window; }
+
+  T& operator[](const IntVector& c) const {
+    assert(m_window.contains(c));
+    const IntVector rel = c - m_window.low();
+    return m_data[rel.x() +
+                  static_cast<std::int64_t>(m_size.x()) *
+                      (rel.y() +
+                       static_cast<std::int64_t>(m_size.y()) * rel.z())];
+  }
+
+ private:
+  T* m_data = nullptr;
+  CellRange m_window;
+  IntVector m_size;
+};
+
+/// The bundle of radiative-property views the tracer needs on one level:
+/// absorption coefficient, sigmaT4/pi (emissive source), and cell type.
+struct RadiationFieldsView {
+  FieldView<double> abskg;
+  FieldView<double> sigmaT4OverPi;
+  FieldView<grid::CellType> cellType;
+};
+
+}  // namespace rmcrt::core

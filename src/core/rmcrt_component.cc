@@ -1,0 +1,364 @@
+#include "core/rmcrt_component.h"
+
+#include "grid/operators.h"
+
+namespace rmcrt::core {
+
+using grid::CCVariable;
+using grid::CellType;
+using runtime::Computes;
+using runtime::Requires;
+using runtime::Task;
+using runtime::TaskContext;
+using runtime::VarType;
+
+namespace {
+
+/// Shared, copyable pipeline state captured by task lambdas.
+struct PipelineState {
+  RadiationProblem problem;
+  TraceConfig trace;
+  int roiHalo;
+};
+
+Task makeInitTask(std::shared_ptr<PipelineState> st, int fineLevel) {
+  Task t("RMCRT::initProperties", fineLevel,
+         [st](const TaskContext& ctx) {
+           const grid::Level& level =
+               ctx.grid->level(ctx.patch->levelIndex());
+           auto& abskg = ctx.newDW->getModifiable<double>(
+               RmcrtLabels::abskg, ctx.patch->id());
+           auto& sig = ctx.newDW->getModifiable<double>(
+               RmcrtLabels::sigmaT4, ctx.patch->id());
+           auto& ct = ctx.newDW->getModifiable<CellType>(
+               RmcrtLabels::cellType, ctx.patch->id());
+           initializeProperties(level, st->problem, abskg, sig, ct);
+         });
+  t.addComputes(Computes{RmcrtLabels::abskg, VarType::Double, 0});
+  t.addComputes(Computes{RmcrtLabels::sigmaT4, VarType::Double, 0});
+  t.addComputes(Computes{RmcrtLabels::cellType, VarType::CellTypeVar, 0});
+  return t;
+}
+
+Task makeCoarsenTask(int fineLevel) {
+  Task t("RMCRT::coarsenProperties", /*level=*/0,
+         [fineLevel](const TaskContext& ctx) {
+           const IntVector rr =
+               ctx.grid->level(fineLevel).refinementRatio();
+           const auto& fAbs = ctx.getFineRegion<double>(
+               RmcrtLabels::abskg, fineLevel);
+           const auto& fSig = ctx.getFineRegion<double>(
+               RmcrtLabels::sigmaT4, fineLevel);
+           const auto& fCt = ctx.getFineRegion<CellType>(
+               RmcrtLabels::cellType, fineLevel);
+           auto& cAbs = ctx.newDW->getModifiable<double>(
+               RmcrtLabels::abskg, ctx.patch->id());
+           auto& cSig = ctx.newDW->getModifiable<double>(
+               RmcrtLabels::sigmaT4, ctx.patch->id());
+           auto& cCt = ctx.newDW->getModifiable<CellType>(
+               RmcrtLabels::cellType, ctx.patch->id());
+           grid::coarsenAverage(fAbs, rr, cAbs, ctx.patch->cells());
+           grid::coarsenAverage(fSig, rr, cSig, ctx.patch->cells());
+           grid::coarsenCellType(fCt, rr, cCt, ctx.patch->cells());
+         });
+  t.addRequires(Requires{RmcrtLabels::abskg, VarType::Double, fineLevel});
+  t.addRequires(Requires{RmcrtLabels::sigmaT4, VarType::Double, fineLevel});
+  t.addRequires(
+      Requires{RmcrtLabels::cellType, VarType::CellTypeVar, fineLevel});
+  t.addComputes(Computes{RmcrtLabels::abskg, VarType::Double, 0});
+  t.addComputes(Computes{RmcrtLabels::sigmaT4, VarType::Double, 0});
+  t.addComputes(Computes{RmcrtLabels::cellType, VarType::CellTypeVar, 0});
+  return t;
+}
+
+/// Assemble the fine-level (ROI) and coarse-level (whole domain) trace
+/// inputs from the staged DataWarehouse regions.
+std::vector<TraceLevel> buildTraceLevels(const TaskContext& ctx,
+                                         int fineLevel, int roiHalo,
+                                         bool twoLevel) {
+  std::vector<TraceLevel> levels;
+  const grid::Level& fine = ctx.grid->level(fineLevel);
+
+  const auto& fAbs = ctx.getGhosted<double>(RmcrtLabels::abskg, roiHalo);
+  const auto& fSig = ctx.getGhosted<double>(RmcrtLabels::sigmaT4, roiHalo);
+  const auto& fCt = ctx.getGhosted<CellType>(RmcrtLabels::cellType, roiHalo);
+  TraceLevel fineTL;
+  fineTL.geom = LevelGeom::from(fine);
+  fineTL.fields = RadiationFieldsView{
+      FieldView<double>::fromHost(fAbs), FieldView<double>::fromHost(fSig),
+      FieldView<CellType>::fromHost(fCt)};
+  fineTL.allowed = fAbs.window();
+  levels.push_back(fineTL);
+
+  if (twoLevel) {
+    const grid::Level& coarse = ctx.grid->level(0);
+    const auto& cAbs = ctx.getWholeLevel<double>(RmcrtLabels::abskg, 0);
+    const auto& cSig = ctx.getWholeLevel<double>(RmcrtLabels::sigmaT4, 0);
+    const auto& cCt = ctx.getWholeLevel<CellType>(RmcrtLabels::cellType, 0);
+    TraceLevel coarseTL;
+    coarseTL.geom = LevelGeom::from(coarse);
+    coarseTL.fields = RadiationFieldsView{
+        FieldView<double>::fromHost(cAbs), FieldView<double>::fromHost(cSig),
+        FieldView<CellType>::fromHost(cCt)};
+    coarseTL.allowed = coarse.cells();
+    levels.push_back(coarseTL);
+  }
+  return levels;
+}
+
+Task makeCpuTraceTask(std::shared_ptr<PipelineState> st, int fineLevel,
+                      bool twoLevel) {
+  Task t("RMCRT::rayTrace", fineLevel, [st, fineLevel,
+                                        twoLevel](const TaskContext& ctx) {
+    auto levels = buildTraceLevels(ctx, fineLevel, st->roiHalo, twoLevel);
+    const WallProperties walls{st->problem.wallSigmaT4OverPi,
+                               st->problem.wallEmissivity};
+    Tracer tracer(std::move(levels), walls, st->trace);
+    auto& divQ =
+        ctx.newDW->getModifiable<double>(RmcrtLabels::divQ, ctx.patch->id());
+    tracer.computeDivQ(ctx.patch->cells(),
+                       MutableFieldView<double>::fromHost(divQ));
+  });
+  t.addRequires(Requires{RmcrtLabels::abskg, VarType::Double, fineLevel,
+                         st->roiHalo, false});
+  t.addRequires(Requires{RmcrtLabels::sigmaT4, VarType::Double, fineLevel,
+                         st->roiHalo, false});
+  t.addRequires(Requires{RmcrtLabels::cellType, VarType::CellTypeVar,
+                         fineLevel, st->roiHalo, false});
+  if (twoLevel) {
+    t.addRequires(
+        Requires{RmcrtLabels::abskg, VarType::Double, 0, 0, true});
+    t.addRequires(
+        Requires{RmcrtLabels::sigmaT4, VarType::Double, 0, 0, true});
+    t.addRequires(
+        Requires{RmcrtLabels::cellType, VarType::CellTypeVar, 0, 0, true});
+  }
+  t.addComputes(Computes{RmcrtLabels::divQ, VarType::Double, 0});
+  return t;
+}
+
+/// Single-level trace: the whole fine level is replicated on every rank
+/// ("infinite ghost cells" on the only level).
+Task makeSingleLevelTraceTask(std::shared_ptr<PipelineState> st,
+                              int fineLevel) {
+  Task t("RMCRT::rayTraceSingleLevel", fineLevel,
+         [st, fineLevel](const TaskContext& ctx) {
+           const grid::Level& fine = ctx.grid->level(fineLevel);
+           const auto& abs =
+               ctx.getWholeLevel<double>(RmcrtLabels::abskg, fineLevel);
+           const auto& sig =
+               ctx.getWholeLevel<double>(RmcrtLabels::sigmaT4, fineLevel);
+           const auto& ct = ctx.getWholeLevel<CellType>(
+               RmcrtLabels::cellType, fineLevel);
+           TraceLevel tl;
+           tl.geom = LevelGeom::from(fine);
+           tl.fields = RadiationFieldsView{
+               FieldView<double>::fromHost(abs),
+               FieldView<double>::fromHost(sig),
+               FieldView<CellType>::fromHost(ct)};
+           tl.allowed = fine.cells();
+           const WallProperties walls{st->problem.wallSigmaT4OverPi,
+                                      st->problem.wallEmissivity};
+           Tracer tracer({tl}, walls, st->trace);
+           auto& divQ = ctx.newDW->getModifiable<double>(
+               RmcrtLabels::divQ, ctx.patch->id());
+           tracer.computeDivQ(ctx.patch->cells(),
+                              MutableFieldView<double>::fromHost(divQ));
+         });
+  t.addRequires(
+      Requires{RmcrtLabels::abskg, VarType::Double, fineLevel, 0, true});
+  t.addRequires(
+      Requires{RmcrtLabels::sigmaT4, VarType::Double, fineLevel, 0, true});
+  t.addRequires(Requires{RmcrtLabels::cellType, VarType::CellTypeVar,
+                         fineLevel, 0, true});
+  t.addComputes(Computes{RmcrtLabels::divQ, VarType::Double, 0});
+  return t;
+}
+
+Task makeGpuTraceTask(std::shared_ptr<PipelineState> st, int fineLevel,
+                      gpu::GpuDataWarehouse* gdw) {
+  Task t("RMCRT::rayTraceGPU", fineLevel, [st, fineLevel,
+                                           gdw](const TaskContext& ctx) {
+    const int pid = ctx.patch->id();
+    auto stream = gdw->device().createStream();
+
+    // H2D: this patch's ROI data (private) ...
+    const auto& fAbs = ctx.getGhosted<double>(RmcrtLabels::abskg, st->roiHalo);
+    const auto& fSig =
+        ctx.getGhosted<double>(RmcrtLabels::sigmaT4, st->roiHalo);
+    const auto& fCt =
+        ctx.getGhosted<CellType>(RmcrtLabels::cellType, st->roiHalo);
+    gpu::DeviceVar& dAbsF =
+        gdw->putPatchVar(RmcrtLabels::abskg, pid, fAbs, stream.get());
+    gpu::DeviceVar& dSigF =
+        gdw->putPatchVar(RmcrtLabels::sigmaT4, pid, fSig, stream.get());
+    gpu::DeviceVar& dCtF =
+        gdw->putPatchVar(RmcrtLabels::cellType, pid, fCt, stream.get());
+
+    // ... and the coarse radiation mesh through the level database: ONE
+    // device copy shared by every patch task (paper Section III-C).
+    const auto& cAbs = ctx.getWholeLevel<double>(RmcrtLabels::abskg, 0);
+    const auto& cSig = ctx.getWholeLevel<double>(RmcrtLabels::sigmaT4, 0);
+    const auto& cCt = ctx.getWholeLevel<CellType>(RmcrtLabels::cellType, 0);
+    gpu::DeviceVar& dAbsC = gdw->getOrUploadLevelVar(RmcrtLabels::abskg, 0,
+                                                     cAbs, pid, stream.get());
+    gpu::DeviceVar& dSigC = gdw->getOrUploadLevelVar(
+        RmcrtLabels::sigmaT4, 0, cSig, pid, stream.get());
+    gpu::DeviceVar& dCtC = gdw->getOrUploadLevelVar(RmcrtLabels::cellType, 0,
+                                                    cCt, pid, stream.get());
+
+    gpu::DeviceVar& dDivQ = gdw->allocatePatchVar(
+        RmcrtLabels::divQ, pid, ctx.patch->cells(), sizeof(double));
+
+    // Kernel: the same marching code, over device-resident views.
+    const LevelGeom fineGeom = LevelGeom::from(ctx.grid->level(fineLevel));
+    const LevelGeom coarseGeom = LevelGeom::from(ctx.grid->level(0));
+    const CellRange patchCells = ctx.patch->cells();
+    const WallProperties walls{st->problem.wallSigmaT4OverPi,
+                               st->problem.wallEmissivity};
+    const TraceConfig cfg = st->trace;
+    stream->enqueueKernel([=, &dAbsF, &dSigF, &dCtF, &dAbsC, &dSigC, &dCtC,
+                           &dDivQ] {
+      TraceLevel fineTL{
+          fineGeom,
+          RadiationFieldsView{FieldView<double>::fromDevice(dAbsF),
+                              FieldView<double>::fromDevice(dSigF),
+                              FieldView<CellType>::fromDevice(dCtF)},
+          dAbsF.window};
+      TraceLevel coarseTL{
+          coarseGeom,
+          RadiationFieldsView{FieldView<double>::fromDevice(dAbsC),
+                              FieldView<double>::fromDevice(dSigC),
+                              FieldView<CellType>::fromDevice(dCtC)},
+          coarseGeom.cells};
+      Tracer tracer({fineTL, coarseTL}, walls, cfg);
+      gpu::DeviceVar out = dDivQ;
+      tracer.computeDivQ(patchCells,
+                         MutableFieldView<double>::fromDevice(out));
+    });
+
+    // D2H: the result.
+    auto& divQ =
+        ctx.newDW->getModifiable<double>(RmcrtLabels::divQ, pid);
+    gdw->fetchPatchVar(RmcrtLabels::divQ, pid, divQ, stream.get());
+    stream->synchronize();
+
+    // Free the per-patch device variables; the level database stays
+    // resident for the next patch task.
+    gdw->removePatchVar(RmcrtLabels::abskg, pid);
+    gdw->removePatchVar(RmcrtLabels::sigmaT4, pid);
+    gdw->removePatchVar(RmcrtLabels::cellType, pid);
+    gdw->removePatchVar(RmcrtLabels::divQ, pid);
+  });
+  t.addRequires(Requires{RmcrtLabels::abskg, VarType::Double, fineLevel,
+                         st->roiHalo, false});
+  t.addRequires(Requires{RmcrtLabels::sigmaT4, VarType::Double, fineLevel,
+                         st->roiHalo, false});
+  t.addRequires(Requires{RmcrtLabels::cellType, VarType::CellTypeVar,
+                         fineLevel, st->roiHalo, false});
+  t.addRequires(Requires{RmcrtLabels::abskg, VarType::Double, 0, 0, true});
+  t.addRequires(Requires{RmcrtLabels::sigmaT4, VarType::Double, 0, 0, true});
+  t.addRequires(
+      Requires{RmcrtLabels::cellType, VarType::CellTypeVar, 0, 0, true});
+  t.addComputes(Computes{RmcrtLabels::divQ, VarType::Double, 0});
+  return t;
+}
+
+}  // namespace
+
+void RmcrtComponent::registerTwoLevelPipeline(runtime::Scheduler& sched,
+                                              const RmcrtSetup& setup) {
+  auto st = std::make_shared<PipelineState>(
+      PipelineState{setup.problem, setup.trace, setup.roiHalo});
+  const int fineLevel = sched.grid().numLevels() - 1;
+  sched.addTask(makeInitTask(st, fineLevel));
+  sched.addTask(makeCoarsenTask(fineLevel));
+  sched.addTask(makeCpuTraceTask(st, fineLevel, /*twoLevel=*/true));
+}
+
+void RmcrtComponent::registerSingleLevelPipeline(runtime::Scheduler& sched,
+                                                 const RmcrtSetup& setup) {
+  auto st = std::make_shared<PipelineState>(
+      PipelineState{setup.problem, setup.trace, setup.roiHalo});
+  const int fineLevel = sched.grid().numLevels() - 1;
+  sched.addTask(makeInitTask(st, fineLevel));
+  sched.addTask(makeSingleLevelTraceTask(st, fineLevel));
+}
+
+void RmcrtComponent::registerTwoLevelGpuPipeline(
+    runtime::Scheduler& sched, const RmcrtSetup& setup,
+    gpu::GpuDataWarehouse& gdw) {
+  auto st = std::make_shared<PipelineState>(
+      PipelineState{setup.problem, setup.trace, setup.roiHalo});
+  const int fineLevel = sched.grid().numLevels() - 1;
+  sched.addTask(makeInitTask(st, fineLevel));
+  sched.addTask(makeCoarsenTask(fineLevel));
+  sched.addTask(makeGpuTraceTask(st, fineLevel, &gdw));
+}
+
+grid::CCVariable<double> RmcrtComponent::solveSerialSingleLevel(
+    const grid::Grid& grid, const RmcrtSetup& setup) {
+  const grid::Level& fine = grid.fineLevel();
+  grid::CCVariable<double> abskg(fine.cells(), 0.0);
+  grid::CCVariable<double> sig(fine.cells(), 0.0);
+  grid::CCVariable<CellType> ct(fine.cells(), CellType::Flow);
+  initializeProperties(fine, setup.problem, abskg, sig, ct);
+
+  TraceLevel tl{LevelGeom::from(fine),
+                RadiationFieldsView{FieldView<double>::fromHost(abskg),
+                                    FieldView<double>::fromHost(sig),
+                                    FieldView<CellType>::fromHost(ct)},
+                fine.cells()};
+  const WallProperties walls{setup.problem.wallSigmaT4OverPi,
+                             setup.problem.wallEmissivity};
+  Tracer tracer({tl}, walls, setup.trace);
+  grid::CCVariable<double> divQ(fine.cells(), 0.0);
+  tracer.computeDivQ(fine.cells(),
+                     MutableFieldView<double>::fromHost(divQ));
+  return divQ;
+}
+
+grid::CCVariable<double> RmcrtComponent::solveSerialTwoLevel(
+    const grid::Grid& grid, const RmcrtSetup& setup) {
+  const grid::Level& fine = grid.fineLevel();
+  const grid::Level& coarse = grid.coarseLevel();
+  const IntVector rr = fine.refinementRatio();
+
+  grid::CCVariable<double> fAbs(fine.cells(), 0.0), fSig(fine.cells(), 0.0);
+  grid::CCVariable<CellType> fCt(fine.cells(), CellType::Flow);
+  initializeProperties(fine, setup.problem, fAbs, fSig, fCt);
+
+  grid::CCVariable<double> cAbs(coarse.cells(), 0.0),
+      cSig(coarse.cells(), 0.0);
+  grid::CCVariable<CellType> cCt(coarse.cells(), CellType::Flow);
+  grid::coarsenAverage(fAbs, rr, cAbs, coarse.cells());
+  grid::coarsenAverage(fSig, rr, cSig, coarse.cells());
+  grid::coarsenCellType(fCt, rr, cCt, coarse.cells());
+
+  const WallProperties walls{setup.problem.wallSigmaT4OverPi,
+                             setup.problem.wallEmissivity};
+  grid::CCVariable<double> divQ(fine.cells(), 0.0);
+
+  // Trace per fine patch with its ROI, as the distributed pipeline would.
+  for (const grid::Patch& p : fine.patches()) {
+    const CellRange roi =
+        p.ghostWindow(setup.roiHalo).intersect(fine.cells());
+    TraceLevel fineTL{LevelGeom::from(fine),
+                      RadiationFieldsView{
+                          FieldView<double>::fromHost(fAbs),
+                          FieldView<double>::fromHost(fSig),
+                          FieldView<CellType>::fromHost(fCt)},
+                      roi};
+    TraceLevel coarseTL{LevelGeom::from(coarse),
+                        RadiationFieldsView{
+                            FieldView<double>::fromHost(cAbs),
+                            FieldView<double>::fromHost(cSig),
+                            FieldView<CellType>::fromHost(cCt)},
+                        coarse.cells()};
+    Tracer tracer({fineTL, coarseTL}, walls, setup.trace);
+    tracer.computeDivQ(p.cells(), MutableFieldView<double>::fromHost(divQ));
+  }
+  return divQ;
+}
+
+}  // namespace rmcrt::core

@@ -1,0 +1,79 @@
+#pragma once
+
+/// \file rmcrt_component.h
+/// The RMCRT simulation component: registers the Uintah-style task
+/// pipeline on a per-rank Scheduler. Mirrors the paper's production
+/// structure (Sections III-B/C):
+///
+///   initProperties (fine level)   — sample kappa/sigmaT4/cellType from
+///                                   the problem definition (stands in for
+///                                   the ARCHES CFD state)
+///   coarsenProperties (coarse)    — project fine properties to the
+///                                   radiation mesh (requires remote fine
+///                                   regions)
+///   rayTrace (fine)               — requires fine properties with a halo
+///                                   (the ROI) plus coarse properties with
+///                                   the whole-level "infinite ghost
+///                                   cells" requirement; computes divQ
+///
+/// Both a CPU trace task and a simulated-GPU trace task are provided; the
+/// GPU variant stages data through the GpuDataWarehouse (shared level
+/// database) and runs the kernel on device streams — the paper's
+/// Section III-C data path.
+
+#include <memory>
+
+#include "core/problems.h"
+#include "core/ray_tracer.h"
+#include "gpu/gpu_data_warehouse.h"
+#include "runtime/scheduler.h"
+
+namespace rmcrt::core {
+
+/// Variable labels used by the pipeline.
+struct RmcrtLabels {
+  static constexpr const char* abskg = "abskg";
+  static constexpr const char* sigmaT4 = "sigmaT4OverPi";
+  static constexpr const char* cellType = "cellType";
+  static constexpr const char* divQ = "divQ";
+};
+
+/// Pipeline configuration.
+struct RmcrtSetup {
+  RadiationProblem problem;
+  TraceConfig trace;
+  /// Fine-mesh halo (cells) around each patch forming the ray-tracing
+  /// region of interest; beyond it rays march the coarse level.
+  int roiHalo = 4;
+};
+
+/// Task-registration entry points. Call the same function on every rank's
+/// scheduler, then executeTimestep() concurrently.
+class RmcrtComponent {
+ public:
+  /// The paper's 2-level algorithm (coarse = level 0, fine = level 1).
+  static void registerTwoLevelPipeline(runtime::Scheduler& sched,
+                                       const RmcrtSetup& setup);
+
+  /// The original single-level algorithm: the fine level is replicated on
+  /// every rank (O(N_total^2) communication growth) — the baseline the
+  /// AMR scheme improves on (paper Section III-C).
+  static void registerSingleLevelPipeline(runtime::Scheduler& sched,
+                                          const RmcrtSetup& setup);
+
+  /// 2-level pipeline whose trace task runs on the simulated GPU: fine
+  /// patch data H2D per task, coarse properties through the shared level
+  /// database, divQ D2H. \p gdw must outlive the scheduler run.
+  static void registerTwoLevelGpuPipeline(runtime::Scheduler& sched,
+                                          const RmcrtSetup& setup,
+                                          gpu::GpuDataWarehouse& gdw);
+
+  /// Serial convenience: solve divQ on the fine level of \p grid directly
+  /// (no scheduler, single rank) — used by accuracy tests and examples.
+  static grid::CCVariable<double> solveSerialSingleLevel(
+      const grid::Grid& grid, const RmcrtSetup& setup);
+  static grid::CCVariable<double> solveSerialTwoLevel(
+      const grid::Grid& grid, const RmcrtSetup& setup);
+};
+
+}  // namespace rmcrt::core

@@ -1,0 +1,65 @@
+#include "core/spectral.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace rmcrt::core {
+
+SpectralTracer::SpectralTracer(const std::vector<TraceLevel>& levels,
+                               const WallProperties& walls,
+                               const TraceConfig& cfg, BandModel bands)
+    : m_grayLevels(levels), m_bands(std::move(bands)) {
+  assert(!m_bands.empty());
+  m_bandData.reserve(m_bands.size());
+  for (std::size_t b = 0; b < m_bands.size(); ++b) {
+    BandData data;
+    data.band = m_bands[b];
+    // Scaled kappa per level; sources and cell types are shared. Since
+    // the traced intensity is linear in the emissive source, each band
+    // is traced against the UNSCALED source and the band weight is
+    // applied at accumulation time (see computeDivQ).
+    std::vector<TraceLevel> bandLevels = m_grayLevels;
+    data.scaledKappa.reserve(levels.size());
+    for (std::size_t l = 0; l < levels.size(); ++l) {
+      const FieldView<double>& gray = levels[l].fields.abskg;
+      grid::CCVariable<double> scaled(gray.window(), 0.0);
+      for (const IntVector& c : gray.window())
+        scaled[c] = gray[c] * data.band.kappaScale;
+      data.scaledKappa.push_back(std::move(scaled));
+      bandLevels[l].fields.abskg =
+          FieldView<double>::fromHost(data.scaledKappa.back());
+    }
+    // Per-band RNG decorrelation: offset the seed so bands don't share
+    // sample paths (a correlated estimator would hide band differences).
+    TraceConfig bandCfg = cfg;
+    bandCfg.seed = cfg.seed + 0x5370656Bull * b;  // band 0 keeps cfg.seed
+    data.tracer = std::make_unique<Tracer>(std::move(bandLevels), walls,
+                                           bandCfg);
+    m_bandData.push_back(std::move(data));
+  }
+}
+
+void SpectralTracer::computeDivQ(const CellRange& cells,
+                                 MutableFieldView<double> divQ) const {
+  const RadiationFieldsView& gray = m_grayLevels.front().fields;
+  for (const IntVector& c : cells) {
+    double sum = 0.0;
+    for (const BandData& bd : m_bandData) {
+      const double meanI = bd.tracer->meanIncomingIntensity(c);
+      sum += bd.band.weight * bd.band.kappaScale * 4.0 * M_PI *
+             gray.abskg[c] * (gray.sigmaT4OverPi[c] - meanI);
+    }
+    divQ[c] = sum;
+  }
+}
+
+std::vector<double> SpectralTracer::bandIntensities(
+    const IntVector& cell) const {
+  std::vector<double> out;
+  out.reserve(m_bandData.size());
+  for (const BandData& bd : m_bandData)
+    out.push_back(bd.tracer->meanIncomingIntensity(cell));
+  return out;
+}
+
+}  // namespace rmcrt::core

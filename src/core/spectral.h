@@ -1,0 +1,98 @@
+#pragma once
+
+/// \file spectral.h
+/// Spectral (non-gray) RMCRT — the paper's stated future work
+/// (Section III-A: "Though a method for modeling spectral effects has
+/// been considered, currently we are using a mean absorption coefficient
+/// approximation ... Adding spectral frequencies to RMCRT would entail
+/// adding a loop over wave-lengths, eta, and is part of future work").
+///
+/// Implemented here as a weighted-sum-of-gray-gases (WSGG) style band
+/// model, the standard engineering treatment for combustion gases (and
+/// the form Sun & Smith's full-spectrum k-distribution reduces to for a
+/// small number of quadrature points): the spectrum is partitioned into
+/// bands; band b carries a weight a_b (fraction of the Planck emissive
+/// power, sum to 1) and an absorption-coefficient scale s_b applied to
+/// the gray-mean field. Then
+///
+///   divQ(c) = sum_b  4*pi*kappa_b(c) * ( a_b*sigmaT4/pi(c) - meanI_b )
+///
+/// where each band is traced independently — the "loop over wavelengths"
+/// around the existing gray kernel. A single band with a=1, s=1
+/// reproduces the gray solver exactly (tested).
+
+#include <vector>
+
+#include "core/ray_tracer.h"
+#include "grid/variable.h"
+
+namespace rmcrt::core {
+
+/// One spectral band of a weighted-sum-of-gray-gases model.
+struct SpectralBand {
+  double weight = 1.0;       ///< fraction of blackbody emissive power, a_b
+  double kappaScale = 1.0;   ///< s_b multiplying the gray-mean kappa field
+};
+
+/// A band set; weights must sum to ~1.
+using BandModel = std::vector<SpectralBand>;
+
+/// A 3-band toy combustion-gas model: one nearly transparent window, one
+/// moderate band, one strongly absorbing band (CO2/H2O-like), chosen so
+/// the Planck-weighted mean equals the gray kappa
+/// (sum a_b * s_b = 1).
+inline BandModel threeband() {
+  return {SpectralBand{0.45, 0.12},
+          SpectralBand{0.35, 0.80},
+          SpectralBand{0.20, 3.33}};
+}
+
+/// A single gray band (degenerates to the gray solver).
+inline BandModel grayBand() { return {SpectralBand{1.0, 1.0}}; }
+
+/// Planck-weighted mean absorption scale of a band model — equals the
+/// effective gray kappa multiplier.
+inline double planckMeanScale(const BandModel& bands) {
+  double s = 0.0;
+  for (const auto& b : bands) s += b.weight * b.kappaScale;
+  return s;
+}
+
+/// Spectral RMCRT driver: wraps per-band Tracer instances over scaled
+/// copies of the gray property fields and accumulates band divQ.
+class SpectralTracer {
+ public:
+  /// \param levels gray trace levels (fields are the gray-mean kappa and
+  ///               the TOTAL sigmaT4/pi); per-band scaled copies of kappa
+  ///               are built internally.
+  /// \param walls  gray wall properties; each band sees weight-scaled
+  ///               wall emission.
+  SpectralTracer(const std::vector<TraceLevel>& levels,
+                 const WallProperties& walls, const TraceConfig& cfg,
+                 BandModel bands);
+
+  std::size_t numBands() const { return m_bands.size(); }
+
+  /// divQ accumulated over all bands for every cell of \p cells
+  /// (fine-level cells).
+  void computeDivQ(const CellRange& cells,
+                   MutableFieldView<double> divQ) const;
+
+  /// Band-resolved mean incoming intensity for one cell (diagnostics).
+  std::vector<double> bandIntensities(const IntVector& cell) const;
+
+ private:
+  struct BandData {
+    SpectralBand band;
+    // Owned scaled kappa fields per level (sigmaT4 and cellType are
+    // shared with the gray views).
+    std::vector<grid::CCVariable<double>> scaledKappa;
+    std::unique_ptr<Tracer> tracer;
+  };
+
+  std::vector<TraceLevel> m_grayLevels;
+  BandModel m_bands;
+  std::vector<BandData> m_bandData;
+};
+
+}  // namespace rmcrt::core

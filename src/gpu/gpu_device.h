@@ -1,0 +1,151 @@
+#pragma once
+
+/// \file gpu_device.h
+/// A simulated GPU device (DESIGN.md §2): bounded "device global memory",
+/// in-order streams executed by a worker pool (kernels from different
+/// streams may interleave, as on the K20X's concurrent-kernel hardware),
+/// and two copy engines whose transferred bytes are metered so the
+/// benchmarks can model PCIe cost. Device memory is host memory mapped
+/// through the mmap arena; the *accounting* (capacity, failure on
+/// exhaustion, peak usage) reproduces the 6 GB constraint that motivated
+/// the paper's level-database design.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+
+#include "mem/mmap_arena.h"
+#include "util/thread_pool.h"
+
+namespace rmcrt::gpu {
+
+/// Thrown when a device allocation would exceed global-memory capacity —
+/// the failure mode that per-patch coarse copies hit on the K20X.
+class DeviceOutOfMemory : public std::runtime_error {
+ public:
+  explicit DeviceOutOfMemory(std::size_t requested, std::size_t free)
+      : std::runtime_error("device out of memory: requested " +
+                           std::to_string(requested) + " bytes, " +
+                           std::to_string(free) + " free") {}
+};
+
+/// Transfer/occupancy counters for one device.
+struct DeviceStats {
+  std::uint64_t h2dBytes = 0;
+  std::uint64_t d2hBytes = 0;
+  std::uint64_t h2dTransfers = 0;
+  std::uint64_t d2hTransfers = 0;
+  std::uint64_t kernelsLaunched = 0;
+  std::uint64_t bytesInUse = 0;
+  std::uint64_t peakBytesInUse = 0;
+  std::uint64_t allocFailures = 0;
+};
+
+class GpuStream;
+
+/// The simulated device.
+///
+/// Nvidia K20X defaults: 6 GB global memory, 2 copy engines, 14 SMX units
+/// (worker slots for concurrent kernels).
+class GpuDevice {
+ public:
+  struct Config {
+    std::size_t globalMemoryBytes = 6ull << 30;
+    int copyEngines = 2;
+    int workerSlots = 2;  ///< threads executing stream operations
+  };
+
+  explicit GpuDevice(const Config& cfg);
+  GpuDevice() : GpuDevice(Config{}) {}
+  ~GpuDevice();
+
+  GpuDevice(const GpuDevice&) = delete;
+  GpuDevice& operator=(const GpuDevice&) = delete;
+
+  std::size_t capacity() const { return m_cfg.globalMemoryBytes; }
+  std::size_t bytesInUse() const {
+    return m_inUse.load(std::memory_order_relaxed);
+  }
+  std::size_t bytesFree() const { return capacity() - bytesInUse(); }
+
+  /// Allocate device global memory. Throws DeviceOutOfMemory when the
+  /// capacity would be exceeded.
+  void* allocate(std::size_t bytes);
+  void free(void* p, std::size_t bytes);
+
+  /// Synchronous host<->device copies (stream-less, like cudaMemcpy).
+  void copyToDevice(void* dst, const void* src, std::size_t bytes);
+  void copyToHost(void* dst, const void* src, std::size_t bytes);
+
+  /// Create an in-order stream. Streams may execute concurrently with one
+  /// another, sharing the device's worker slots.
+  std::unique_ptr<GpuStream> createStream();
+
+  /// Block until every stream operation submitted so far has finished.
+  void synchronize();
+
+  DeviceStats stats() const;
+  void resetStats();
+
+ private:
+  friend class GpuStream;
+
+  void noteKernel() { m_kernels.fetch_add(1, std::memory_order_relaxed); }
+
+  Config m_cfg;
+  ThreadPool m_workers;
+  std::atomic<std::uint64_t> m_inUse{0};
+  std::atomic<std::uint64_t> m_peak{0};
+  std::atomic<std::uint64_t> m_h2dBytes{0};
+  std::atomic<std::uint64_t> m_d2hBytes{0};
+  std::atomic<std::uint64_t> m_h2dCount{0};
+  std::atomic<std::uint64_t> m_d2hCount{0};
+  std::atomic<std::uint64_t> m_kernels{0};
+  std::atomic<std::uint64_t> m_allocFailures{0};
+};
+
+/// An in-order operation queue on a device (CUDA-stream-like). Operations
+/// submitted to one stream run in submission order; operations in
+/// different streams may interleave. enqueue* returns immediately;
+/// synchronize() blocks until this stream drains.
+class GpuStream {
+ public:
+  explicit GpuStream(GpuDevice& dev) : m_dev(dev) {}
+  ~GpuStream() { synchronize(); }
+
+  GpuStream(const GpuStream&) = delete;
+  GpuStream& operator=(const GpuStream&) = delete;
+
+  /// Asynchronous H2D copy (the source must stay valid until synchronize).
+  void enqueueCopyToDevice(void* dst, const void* src, std::size_t bytes);
+  /// Asynchronous D2H copy.
+  void enqueueCopyToHost(void* dst, const void* src, std::size_t bytes);
+  /// Asynchronous kernel: an arbitrary callable run on a device worker.
+  void enqueueKernel(std::function<void()> kernel);
+
+  /// Block the calling thread until all enqueued work completes.
+  void synchronize();
+
+ private:
+  void enqueue(std::function<void()> op);
+  /// Run the next queued op on a device worker, then hand the slot back
+  /// (so other streams interleave) and reschedule if more ops remain.
+  void pump();
+
+  GpuDevice& m_dev;
+  std::mutex m_mutex;
+  std::condition_variable m_cv;
+  std::uint64_t m_submitted = 0;
+  std::uint64_t m_completed = 0;
+  bool m_running = false;  ///< an op for this stream is on a worker
+  std::deque<std::function<void()>> m_queue;
+};
+
+}  // namespace rmcrt::gpu

@@ -1,0 +1,53 @@
+#include "gpu/gpu_task_executor.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace rmcrt::gpu {
+
+ExecutorStats runGpuTasks(GpuDevice& device,
+                          const std::vector<GpuPatchTask>& tasks,
+                          int maxResident) {
+  ExecutorStats stats;
+  if (maxResident < 1) maxResident = 1;
+
+  // Window of in-flight (resident) tasks, each with its own stream. A
+  // task becomes resident when its stage ops are enqueued and retires
+  // when its stream drains after `finish`.
+  struct InFlight {
+    std::unique_ptr<GpuStream> stream;
+  };
+  std::deque<InFlight> resident;
+  std::size_t next = 0;
+
+  auto launchOne = [&] {
+    const GpuPatchTask& t = tasks[next++];
+    InFlight f;
+    f.stream = device.createStream();
+    if (t.stage) t.stage(*f.stream);
+    if (t.kernel) f.stream->enqueueKernel(t.kernel);
+    if (t.finish) t.finish(*f.stream);
+    resident.push_back(std::move(f));
+    stats.maxConcurrentResident =
+        std::max(stats.maxConcurrentResident,
+                 static_cast<int>(resident.size()));
+  };
+
+  while (next < tasks.size() || !resident.empty()) {
+    // Fill the resident window.
+    while (next < tasks.size() &&
+           static_cast<int>(resident.size()) < maxResident) {
+      launchOne();
+    }
+    // Retire the oldest task (in-order retirement keeps the memory
+    // accounting simple; younger streams keep running meanwhile).
+    if (!resident.empty()) {
+      resident.front().stream->synchronize();
+      resident.pop_front();
+      ++stats.tasksRun;
+    }
+  }
+  return stats;
+}
+
+}  // namespace rmcrt::gpu

@@ -1,0 +1,85 @@
+#include "grid/grid.h"
+
+#include <cassert>
+
+namespace rmcrt::grid {
+
+std::shared_ptr<Grid> Grid::makeSingleLevel(const Vector& physLow,
+                                            const Vector& physHigh,
+                                            const IntVector& cells,
+                                            const IntVector& patchSize) {
+  auto g = std::shared_ptr<Grid>(new Grid(physLow, physHigh));
+  const Vector dx = (physHigh - physLow) / Vector(cells);
+  g->m_levels.push_back(std::make_unique<Level>(
+      0, CellRange(IntVector(0), cells), physLow, dx, patchSize,
+      IntVector(1), /*firstPatchId=*/0));
+  return g;
+}
+
+std::shared_ptr<Grid> Grid::makeTwoLevel(const Vector& physLow,
+                                         const Vector& physHigh,
+                                         const IntVector& fineCells,
+                                         const IntVector& refinementRatio,
+                                         const IntVector& finePatchSize,
+                                         const IntVector& coarsePatchSize) {
+  return makeMultiLevel(physLow, physHigh, fineCells, refinementRatio,
+                        {coarsePatchSize, finePatchSize});
+}
+
+std::shared_ptr<Grid> Grid::makeMultiLevel(
+    const Vector& physLow, const Vector& physHigh,
+    const IntVector& fineCells, const IntVector& refinementRatio,
+    const std::vector<IntVector>& patchSizes) {
+  assert(!patchSizes.empty());
+  const int nLevels = static_cast<int>(patchSizes.size());
+  auto g = std::shared_ptr<Grid>(new Grid(physLow, physHigh));
+
+  // Compute per-level extents from the finest downward.
+  std::vector<IntVector> extents(static_cast<std::size_t>(nLevels));
+  extents.back() = fineCells;
+  for (int l = nLevels - 2; l >= 0; --l) {
+    const IntVector& finer = extents[static_cast<std::size_t>(l + 1)];
+    assert(finer.x() % refinementRatio.x() == 0 &&
+           finer.y() % refinementRatio.y() == 0 &&
+           finer.z() % refinementRatio.z() == 0 &&
+           "extent must be divisible by the refinement ratio");
+    extents[static_cast<std::size_t>(l)] = finer / refinementRatio;
+  }
+
+  int nextPatchId = 0;
+  for (int l = 0; l < nLevels; ++l) {
+    const IntVector& ext = extents[static_cast<std::size_t>(l)];
+    const Vector dx = (physHigh - physLow) / Vector(ext);
+    const IntVector rr = (l == 0) ? IntVector(1) : refinementRatio;
+    g->m_levels.push_back(std::make_unique<Level>(
+        l, CellRange(IntVector(0), ext), physLow, dx,
+        patchSizes[static_cast<std::size_t>(l)], rr, nextPatchId));
+    nextPatchId += static_cast<int>(g->m_levels.back()->numPatches());
+  }
+  return g;
+}
+
+int Grid::numPatches() const {
+  int n = 0;
+  for (const auto& l : m_levels) n += static_cast<int>(l->numPatches());
+  return n;
+}
+
+const Patch* Grid::patchById(int id) const {
+  for (const auto& l : m_levels) {
+    if (l->numPatches() == 0) continue;
+    const int first = l->patch(0).id();
+    const int last = first + static_cast<int>(l->numPatches()) - 1;
+    if (id >= first && id <= last)
+      return &l->patch(static_cast<std::size_t>(id - first));
+  }
+  return nullptr;
+}
+
+const Level& Grid::levelOfPatch(int id) const {
+  const Patch* p = patchById(id);
+  assert(p && "unknown patch id");
+  return level(p->levelIndex());
+}
+
+}  // namespace rmcrt::grid

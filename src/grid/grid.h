@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file grid.h
+/// The AMR grid: an ordered set of levels (0 = coarsest) over one physical
+/// domain, with factory helpers for the configurations the paper uses —
+/// notably the 2-level RMCRT setup (fine CFD mesh + coarse radiation mesh
+/// both spanning the whole domain, refinement ratio typically 4).
+
+#include <memory>
+#include <vector>
+
+#include "grid/level.h"
+#include "util/int_vector.h"
+
+namespace rmcrt::grid {
+
+/// An AMR grid over a rectangular physical domain.
+class Grid {
+ public:
+  /// Build a single-level grid.
+  /// \param physLow/physHigh  physical domain corners
+  /// \param cells             cell extent
+  /// \param patchSize         patch edge in cells (must divide cells)
+  static std::shared_ptr<Grid> makeSingleLevel(const Vector& physLow,
+                                               const Vector& physHigh,
+                                               const IntVector& cells,
+                                               const IntVector& patchSize);
+
+  /// Build the paper's 2-level RMCRT configuration: level 1 (fine) has
+  /// \p fineCells over the whole domain; level 0 (coarse) covers the same
+  /// domain with fineCells / refinementRatio cells.
+  /// \param finePatchSize    fine-level patch edge (the 16/32/64 sweep)
+  /// \param coarsePatchSize  coarse-level patch edge
+  static std::shared_ptr<Grid> makeTwoLevel(const Vector& physLow,
+                                            const Vector& physHigh,
+                                            const IntVector& fineCells,
+                                            const IntVector& refinementRatio,
+                                            const IntVector& finePatchSize,
+                                            const IntVector& coarsePatchSize);
+
+  /// Build an N-level hierarchy, coarsening by \p refinementRatio per
+  /// level below the finest. Level i's patch size is \p patchSizes[i].
+  static std::shared_ptr<Grid> makeMultiLevel(
+      const Vector& physLow, const Vector& physHigh,
+      const IntVector& fineCells, const IntVector& refinementRatio,
+      const std::vector<IntVector>& patchSizes);
+
+  int numLevels() const { return static_cast<int>(m_levels.size()); }
+  const Level& level(int i) const { return *m_levels[static_cast<std::size_t>(i)]; }
+  /// The finest level (highest index).
+  const Level& fineLevel() const { return *m_levels.back(); }
+  /// Level 0.
+  const Level& coarseLevel() const { return *m_levels.front(); }
+
+  /// Total patches across levels.
+  int numPatches() const;
+  /// Look up any patch by its global id (nullptr when out of range).
+  const Patch* patchById(int id) const;
+  /// The level a patch id lives on.
+  const Level& levelOfPatch(int id) const;
+
+  const Vector& physLow() const { return m_physLow; }
+  const Vector& physHigh() const { return m_physHigh; }
+
+ private:
+  Grid(const Vector& physLow, const Vector& physHigh)
+      : m_physLow(physLow), m_physHigh(physHigh) {}
+
+  Vector m_physLow;
+  Vector m_physHigh;
+  std::vector<std::unique_ptr<Level>> m_levels;
+};
+
+}  // namespace rmcrt::grid

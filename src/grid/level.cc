@@ -1,0 +1,111 @@
+#include "grid/level.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rmcrt::grid {
+
+Level::Level(int index, const CellRange& cells, const Vector& physLow,
+             const Vector& dx, const IntVector& patchSize,
+             const IntVector& refinementRatio, int firstPatchId)
+    : m_index(index),
+      m_cells(cells),
+      m_physLow(physLow),
+      m_dx(dx),
+      m_patchSize(patchSize),
+      m_refinementRatio(refinementRatio) {
+  const IntVector extent = cells.size();
+  assert(extent.x() % patchSize.x() == 0 &&
+         extent.y() % patchSize.y() == 0 &&
+         extent.z() % patchSize.z() == 0 &&
+         "level extent must be a multiple of the patch size");
+  m_patchLayout = extent / patchSize;
+
+  m_patches.reserve(static_cast<std::size_t>(m_patchLayout.volume()));
+  int id = firstPatchId;
+  for (int pz = 0; pz < m_patchLayout.z(); ++pz) {
+    for (int py = 0; py < m_patchLayout.y(); ++py) {
+      for (int px = 0; px < m_patchLayout.x(); ++px) {
+        const IntVector lo =
+            cells.low() + IntVector(px, py, pz) * patchSize;
+        m_patches.emplace_back(id++, index,
+                               CellRange(lo, lo + patchSize));
+      }
+    }
+  }
+}
+
+IntVector Level::cellAtPosition(const Vector& p) const {
+  const Vector rel = (p - m_physLow) / m_dx;
+  IntVector c(static_cast<int>(std::floor(rel.x())),
+              static_cast<int>(std::floor(rel.y())),
+              static_cast<int>(std::floor(rel.z())));
+  c += m_cells.low();
+  // Clamp exact high-face hits into the last cell.
+  c = min(c, m_cells.high() - IntVector(1));
+  c = max(c, m_cells.low());
+  return c;
+}
+
+const Patch* Level::patchContaining(const IntVector& cell) const {
+  if (!m_cells.contains(cell)) return nullptr;
+  const IntVector rel = cell - m_cells.low();
+  const IntVector pc(rel.x() / m_patchSize.x(), rel.y() / m_patchSize.y(),
+                     rel.z() / m_patchSize.z());
+  const std::size_t idx = static_cast<std::size_t>(
+      pc.x() +
+      m_patchLayout.x() *
+          (static_cast<std::int64_t>(pc.y()) +
+           static_cast<std::int64_t>(m_patchLayout.y()) * pc.z()));
+  return &m_patches[idx];
+}
+
+std::vector<Level::Overlap> Level::patchesIntersecting(
+    const CellRange& range) const {
+  std::vector<Overlap> out;
+  const CellRange clipped = range.intersect(m_cells);
+  if (clipped.empty()) return out;
+  // Patch-coordinate bounding box of the clipped range.
+  const IntVector relLo = clipped.low() - m_cells.low();
+  const IntVector relHi = clipped.high() - m_cells.low() - IntVector(1);
+  const IntVector pLo(relLo.x() / m_patchSize.x(),
+                      relLo.y() / m_patchSize.y(),
+                      relLo.z() / m_patchSize.z());
+  const IntVector pHi(relHi.x() / m_patchSize.x(),
+                      relHi.y() / m_patchSize.y(),
+                      relHi.z() / m_patchSize.z());
+  for (int pz = pLo.z(); pz <= pHi.z(); ++pz) {
+    for (int py = pLo.y(); py <= pHi.y(); ++py) {
+      for (int px = pLo.x(); px <= pHi.x(); ++px) {
+        const std::size_t idx = static_cast<std::size_t>(
+            px + m_patchLayout.x() *
+                     (static_cast<std::int64_t>(py) +
+                      static_cast<std::int64_t>(m_patchLayout.y()) * pz));
+        const Patch& p = m_patches[idx];
+        const CellRange overlap = p.cells().intersect(clipped);
+        if (!overlap.empty()) out.push_back(Overlap{&p, overlap});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Level::Overlap> Level::neighbors(const Patch& p,
+                                             int numGhost) const {
+  std::vector<Overlap> out;
+  for (const Overlap& o : patchesIntersecting(p.ghostWindow(numGhost))) {
+    if (o.patch->id() != p.id()) out.push_back(o);
+  }
+  return out;
+}
+
+IntVector Level::mapCellToCoarser(const IntVector& c) const {
+  auto fdiv = [](int a, int b) {
+    return a >= 0 ? a / b : -((-a + b - 1) / b);
+  };
+  return {fdiv(c.x(), m_refinementRatio.x()),
+          fdiv(c.y(), m_refinementRatio.y()),
+          fdiv(c.z(), m_refinementRatio.z())};
+}
+
+}  // namespace rmcrt::grid

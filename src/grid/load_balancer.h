@@ -1,0 +1,134 @@
+#pragma once
+
+/// \file load_balancer.h
+/// Static patch-to-rank assignment. Uintah load-balances patches over MPI
+/// ranks with locality-preserving orderings; we provide contiguous-block,
+/// round-robin, and Morton space-filling-curve strategies. The SFC
+/// ordering keeps a rank's fine patches spatially clustered, which
+/// matters for the halo-volume accounting in the communication model.
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "grid/grid.h"
+
+namespace rmcrt::grid {
+
+enum class LbStrategy {
+  Block,       ///< contiguous runs of patch ids per rank
+  RoundRobin,  ///< patch i -> rank i % P
+  Morton,      ///< Morton-order patches, then contiguous blocks
+};
+
+/// Interleave the low 21 bits of x,y,z into a 63-bit Morton code.
+inline std::uint64_t mortonEncode(std::uint32_t x, std::uint32_t y,
+                                  std::uint32_t z) {
+  auto split = [](std::uint64_t v) {
+    v &= 0x1FFFFF;  // 21 bits
+    v = (v | v << 32) & 0x1F00000000FFFFull;
+    v = (v | v << 16) & 0x1F0000FF0000FFull;
+    v = (v | v << 8) & 0x100F00F00F00F00Full;
+    v = (v | v << 4) & 0x10C30C30C30C30C3ull;
+    v = (v | v << 2) & 0x1249249249249249ull;
+    return v;
+  };
+  return split(x) | (split(y) << 1) | (split(z) << 2);
+}
+
+/// Immutable patch->rank map for one grid.
+class LoadBalancer {
+ public:
+  /// Distribute every patch of \p grid over \p numRanks ranks. Each level
+  /// is balanced independently so every rank holds patches of every level
+  /// (required: every rank traces rays on its own fine patches and owns a
+  /// share of the coarse level).
+  LoadBalancer(const Grid& grid, int numRanks,
+               LbStrategy strategy = LbStrategy::Morton);
+
+  int numRanks() const { return m_numRanks; }
+
+  /// Owning rank of a patch id.
+  int rankOf(int patchId) const {
+    return m_rankOf[static_cast<std::size_t>(patchId)];
+  }
+
+  /// All patch ids owned by \p rank (ascending).
+  const std::vector<int>& patchesOf(int rank) const {
+    return m_patchesOf[static_cast<std::size_t>(rank)];
+  }
+
+  /// Patch ids owned by \p rank on a given level.
+  std::vector<int> patchesOf(int rank, const Grid& grid, int level) const {
+    std::vector<int> out;
+    for (int id : patchesOf(rank)) {
+      const Patch* p = grid.patchById(id);
+      if (p && p->levelIndex() == level) out.push_back(id);
+    }
+    return out;
+  }
+
+  /// Max/min owned fine-cell imbalance across ranks (1.0 = perfect).
+  double imbalance(const Grid& grid) const;
+
+ private:
+  int m_numRanks;
+  std::vector<int> m_rankOf;                // by patch id
+  std::vector<std::vector<int>> m_patchesOf;  // by rank
+};
+
+inline LoadBalancer::LoadBalancer(const Grid& grid, int numRanks,
+                                  LbStrategy strategy)
+    : m_numRanks(numRanks),
+      m_rankOf(static_cast<std::size_t>(grid.numPatches()), 0),
+      m_patchesOf(static_cast<std::size_t>(numRanks)) {
+  for (int l = 0; l < grid.numLevels(); ++l) {
+    const Level& level = grid.level(l);
+    std::vector<int> order;
+    order.reserve(level.numPatches());
+    for (const Patch& p : level.patches()) order.push_back(p.id());
+
+    if (strategy == LbStrategy::Morton) {
+      std::sort(order.begin(), order.end(), [&](int a, int b) {
+        const Patch* pa = grid.patchById(a);
+        const Patch* pb = grid.patchById(b);
+        const IntVector ca = pa->low() - level.cells().low();
+        const IntVector cb = pb->low() - level.cells().low();
+        const std::uint64_t ma =
+            mortonEncode(static_cast<std::uint32_t>(ca.x()),
+                         static_cast<std::uint32_t>(ca.y()),
+                         static_cast<std::uint32_t>(ca.z()));
+        const std::uint64_t mb =
+            mortonEncode(static_cast<std::uint32_t>(cb.x()),
+                         static_cast<std::uint32_t>(cb.y()),
+                         static_cast<std::uint32_t>(cb.z()));
+        return ma != mb ? ma < mb : a < b;
+      });
+    }
+
+    const std::size_t n = order.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      int rank;
+      if (strategy == LbStrategy::RoundRobin) {
+        rank = static_cast<int>(i) % numRanks;
+      } else {  // Block and Morton both take contiguous runs of the order
+        rank = static_cast<int>(i * static_cast<std::size_t>(numRanks) / n);
+      }
+      m_rankOf[static_cast<std::size_t>(order[i])] = rank;
+      m_patchesOf[static_cast<std::size_t>(rank)].push_back(order[i]);
+    }
+  }
+  for (auto& v : m_patchesOf) std::sort(v.begin(), v.end());
+}
+
+inline double LoadBalancer::imbalance(const Grid& grid) const {
+  const Level& fine = grid.fineLevel();
+  std::vector<std::int64_t> cells(static_cast<std::size_t>(m_numRanks), 0);
+  for (const Patch& p : fine.patches())
+    cells[static_cast<std::size_t>(rankOf(p.id()))] += p.numCells();
+  const auto [mn, mx] = std::minmax_element(cells.begin(), cells.end());
+  return *mn > 0 ? static_cast<double>(*mx) / static_cast<double>(*mn)
+                 : static_cast<double>(*mx);
+}
+
+}  // namespace rmcrt::grid

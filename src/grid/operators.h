@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file operators.h
+/// Inter-level transfer operators. RMCRT projects the fine CFD mesh's
+/// radiative properties down to every coarse radiation level (paper
+/// Section III-B: "data required by our multi-level RMCRT algorithm from
+/// the fine CFD mesh is projected to all coarse levels subject to a
+/// user-defined refinement ratio"). Restriction is volume-weighted
+/// averaging (exact for equal cell volumes); prolongation is piecewise
+/// constant (used in tests to verify round-trips).
+
+#include <cassert>
+
+#include "grid/level.h"
+#include "grid/variable.h"
+
+namespace rmcrt::grid {
+
+/// Average \p fine values into \p coarse over coarse region \p region
+/// (coarse-level indices). Every coarse cell receives the arithmetic mean
+/// of its rr^3 fine children.
+template <typename T>
+void coarsenAverage(const CCVariable<T>& fine, const IntVector& rr,
+                    CCVariable<T>& coarse, const CellRange& region) {
+  assert(coarse.window().contains(region));
+  const double inv =
+      1.0 / static_cast<double>(IntVector(rr).volume());
+  for (const IntVector& cc : region) {
+    const IntVector fLo = cc * rr;
+    T sum{};
+    for (const IntVector& fc :
+         CellRange(fLo, fLo + rr)) {
+      sum += fine[fc];
+    }
+    coarse[cc] = static_cast<T>(sum * inv);
+  }
+}
+
+/// Majority-free coarsening for cell types: a coarse cell is a Wall iff
+/// any child is a Wall (conservative for ray termination).
+inline void coarsenCellType(const CCVariable<CellType>& fine,
+                            const IntVector& rr,
+                            CCVariable<CellType>& coarse,
+                            const CellRange& region) {
+  for (const IntVector& cc : region) {
+    const IntVector fLo = cc * rr;
+    CellType t = CellType::Flow;
+    for (const IntVector& fc : CellRange(fLo, fLo + rr)) {
+      if (fine[fc] == CellType::Wall) {
+        t = CellType::Wall;
+        break;
+      }
+    }
+    coarse[cc] = t;
+  }
+}
+
+/// Piecewise-constant prolongation: each fine cell in \p fineRegion takes
+/// its coarse parent's value.
+template <typename T>
+void refineConstant(const CCVariable<T>& coarse, const IntVector& rr,
+                    CCVariable<T>& fine, const CellRange& fineRegion) {
+  auto fdiv = [](int a, int b) {
+    return a >= 0 ? a / b : -((-a + b - 1) / b);
+  };
+  for (const IntVector& fc : fineRegion) {
+    const IntVector cc(fdiv(fc.x(), rr.x()), fdiv(fc.y(), rr.y()),
+                       fdiv(fc.z(), rr.z()));
+    fine[fc] = coarse[cc];
+  }
+}
+
+}  // namespace rmcrt::grid

@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file patch.h
+/// A Patch is one rectangular block of cells on one AMR level — the unit
+/// of work distribution, task scheduling, and GPU kernel launch. Patches
+/// tile their level's cell extent exactly (no overlap, no gaps).
+
+#include <cstdint>
+#include <ostream>
+
+#include "util/int_vector.h"
+#include "util/range.h"
+
+namespace rmcrt::grid {
+
+// The index/geometry vocabulary types live in the top-level namespace;
+// re-export them so dependents can write grid::CellRange etc.
+using rmcrt::CellRange;
+using rmcrt::IntVector;
+using rmcrt::Vector;
+
+/// A patch on a structured AMR level.
+class Patch {
+ public:
+  Patch() = default;
+  Patch(int id, int levelIndex, const CellRange& cells)
+      : m_id(id), m_levelIndex(levelIndex), m_cells(cells) {}
+
+  /// Globally unique patch id within the Grid.
+  int id() const { return m_id; }
+  /// Index of the level this patch lives on (0 = coarsest).
+  int levelIndex() const { return m_levelIndex; }
+
+  /// Interior cells (no ghosts), half-open.
+  const CellRange& cells() const { return m_cells; }
+  IntVector low() const { return m_cells.low(); }
+  IntVector high() const { return m_cells.high(); }
+  std::int64_t numCells() const { return m_cells.volume(); }
+
+  /// Interior grown by \p numGhost cells on every face — the allocation
+  /// window of a variable with that ghost requirement.
+  CellRange ghostWindow(int numGhost) const { return m_cells.grown(numGhost); }
+
+  bool contains(const IntVector& cell) const { return m_cells.contains(cell); }
+
+  bool operator==(const Patch& o) const {
+    return m_id == o.m_id && m_levelIndex == o.m_levelIndex &&
+           m_cells == o.m_cells;
+  }
+
+ private:
+  int m_id = -1;
+  int m_levelIndex = -1;
+  CellRange m_cells;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Patch& p) {
+  return os << "patch#" << p.id() << "(L" << p.levelIndex() << " "
+            << p.cells() << ")";
+}
+
+}  // namespace rmcrt::grid

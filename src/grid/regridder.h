@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file regridder.h
+/// Patch-size reconfiguration (DESIGN.md D4): rebuild a grid with a
+/// different fine-patch edge — the knob the paper sweeps (16^3 / 32^3 /
+/// 64^3, "determining optimal fine mesh patch sizes to yield GPU
+/// performance while maintaining over-decomposition") — and migrate
+/// level-shaped data onto the new decomposition. Cell data is
+/// decomposition-independent, so migration is windowed copying.
+
+#include <memory>
+
+#include "grid/grid.h"
+#include "grid/variable.h"
+
+namespace rmcrt::grid {
+
+/// Build a grid identical to \p old but with fine patch edge
+/// \p newFinePatchSize (must divide the fine extent). Coarser levels
+/// keep their patch sizes.
+inline std::shared_ptr<Grid> regridWithPatchSize(const Grid& old,
+                                                 int newFinePatchSize) {
+  std::vector<IntVector> patchSizes;
+  for (int l = 0; l < old.numLevels(); ++l)
+    patchSizes.push_back(old.level(l).patchSize());
+  patchSizes.back() = IntVector(newFinePatchSize);
+  const IntVector rr = old.numLevels() > 1
+                           ? old.fineLevel().refinementRatio()
+                           : IntVector(2);
+  return Grid::makeMultiLevel(old.physLow(), old.physHigh(),
+                              old.fineLevel().cells().size(), rr,
+                              patchSizes);
+}
+
+/// Scatter a level-wide variable into per-patch variables of \p level
+/// (the regrid "migration": new patches pull their windows out of the
+/// old level image). Returns one variable per patch, ordered like
+/// level.patches().
+template <typename T>
+std::vector<CCVariable<T>> scatterToPatches(const CCVariable<T>& levelVar,
+                                            const Level& level,
+                                            int numGhost = 0) {
+  std::vector<CCVariable<T>> out;
+  out.reserve(level.numPatches());
+  for (const Patch& p : level.patches()) {
+    CCVariable<T> v(p, numGhost);
+    const CellRange copyRegion =
+        v.window().intersect(levelVar.window());
+    v.copyRegion(levelVar, copyRegion);
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+/// Gather per-patch variables into one level-wide image (inverse of
+/// scatterToPatches; patch interiors only).
+template <typename T>
+CCVariable<T> gatherFromPatches(const std::vector<CCVariable<T>>& patchVars,
+                                const Level& level) {
+  CCVariable<T> out(level.cells(), T{});
+  for (std::size_t i = 0; i < level.numPatches(); ++i)
+    out.copyRegion(patchVars[i], level.patch(i).cells());
+  return out;
+}
+
+}  // namespace rmcrt::grid

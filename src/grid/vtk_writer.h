@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file vtk_writer.h
+/// Legacy-VTK (structured points) output of cell-centered fields, so
+/// divQ / temperature / kappa fields from examples can be inspected in
+/// ParaView/VisIt — the standard workflow around Uintah's UDA outputs,
+/// reduced to its simplest interoperable form.
+
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "grid/level.h"
+#include "grid/variable.h"
+
+namespace rmcrt::grid {
+
+/// Write one level's cell-centered double fields as a legacy VTK
+/// STRUCTURED_POINTS dataset (one scalar array per entry in \p fields;
+/// every variable must span the full level extent). Returns false on I/O
+/// failure.
+inline bool writeVtkLevel(
+    const std::string& path, const Level& level,
+    const std::map<std::string, const CCVariable<double>*>& fields) {
+  std::ofstream os(path);
+  if (!os) return false;
+  const IntVector n = level.cells().size();
+  os << "# vtk DataFile Version 3.0\n"
+     << "rmcrt level " << level.index() << "\n"
+     << "ASCII\n"
+     << "DATASET STRUCTURED_POINTS\n"
+     << "DIMENSIONS " << n.x() << " " << n.y() << " " << n.z() << "\n"
+     << "ORIGIN " << level.physLow().x() + 0.5 * level.dx().x() << " "
+     << level.physLow().y() + 0.5 * level.dx().y() << " "
+     << level.physLow().z() + 0.5 * level.dx().z() << "\n"
+     << "SPACING " << level.dx().x() << " " << level.dx().y() << " "
+     << level.dx().z() << "\n"
+     << "POINT_DATA " << level.numCells() << "\n";
+  for (const auto& [name, var] : fields) {
+    if (!var || !var->window().contains(level.cells())) return false;
+    os << "SCALARS " << name << " double 1\nLOOKUP_TABLE default\n";
+    // VTK structured points iterate x fastest — same as CellRange.
+    for (const IntVector& c : level.cells()) os << (*var)[c] << "\n";
+  }
+  return static_cast<bool>(os);
+}
+
+}  // namespace rmcrt::grid

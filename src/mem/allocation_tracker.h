@@ -1,0 +1,132 @@
+#pragma once
+
+/// \file allocation_tracker.h
+/// Tagged allocation tracking — the paper's future-work item realized
+/// (Section VII: "we will extend the use of our custom memory allocators
+/// and trackers to implement ways of tracking memory allocations between
+/// scaling runs to identify allocation patterns that do not scale").
+///
+/// Subsystems record their allocations under a tag ("MPI buffers",
+/// "GridVariables", "coarse level", ...); a snapshot captures per-tag
+/// live/peak bytes; and compareScalingRuns() contrasts snapshots taken at
+/// two processor counts, flagging tags whose per-rank footprint fails to
+/// shrink with scale — the signature of a replicated (non-scaling)
+/// allocation pattern like the coarse-level copy.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace rmcrt::mem {
+
+/// Per-tag counters.
+struct TagStats {
+  std::int64_t liveBytes = 0;
+  std::int64_t peakBytes = 0;
+  std::int64_t totalAllocs = 0;
+};
+
+/// Thread-safe tag-keyed allocation registry.
+class AllocationTracker {
+ public:
+  static AllocationTracker& instance() {
+    static AllocationTracker g;
+    return g;
+  }
+
+  void recordAlloc(const std::string& tag, std::int64_t bytes) {
+    std::lock_guard<std::mutex> lk(m_mutex);
+    TagStats& s = m_tags[tag];
+    s.liveBytes += bytes;
+    s.peakBytes = std::max(s.peakBytes, s.liveBytes);
+    ++s.totalAllocs;
+  }
+
+  void recordFree(const std::string& tag, std::int64_t bytes) {
+    std::lock_guard<std::mutex> lk(m_mutex);
+    m_tags[tag].liveBytes -= bytes;
+  }
+
+  TagStats stats(const std::string& tag) const {
+    std::lock_guard<std::mutex> lk(m_mutex);
+    auto it = m_tags.find(tag);
+    return it != m_tags.end() ? it->second : TagStats{};
+  }
+
+  std::map<std::string, TagStats> snapshot() const {
+    std::lock_guard<std::mutex> lk(m_mutex);
+    return m_tags;
+  }
+
+  void reset() {
+    std::lock_guard<std::mutex> lk(m_mutex);
+    m_tags.clear();
+  }
+
+ private:
+  AllocationTracker() = default;
+  mutable std::mutex m_mutex;
+  std::map<std::string, TagStats> m_tags;
+};
+
+/// RAII scope that records an allocation for its lifetime.
+class TrackedAllocation {
+ public:
+  TrackedAllocation(std::string tag, std::int64_t bytes)
+      : m_tag(std::move(tag)), m_bytes(bytes) {
+    AllocationTracker::instance().recordAlloc(m_tag, m_bytes);
+  }
+  ~TrackedAllocation() {
+    AllocationTracker::instance().recordFree(m_tag, m_bytes);
+  }
+  TrackedAllocation(const TrackedAllocation&) = delete;
+  TrackedAllocation& operator=(const TrackedAllocation&) = delete;
+
+ private:
+  std::string m_tag;
+  std::int64_t m_bytes;
+};
+
+/// One tag's verdict from a scaling comparison.
+struct ScalingVerdict {
+  std::string tag;
+  std::int64_t peakAtSmall = 0;  ///< per-rank peak at the smaller run
+  std::int64_t peakAtLarge = 0;  ///< per-rank peak at the larger run
+  double scalingExponent = 0.0;  ///< d log(peak) / d log(ranks)
+  bool scales = false;           ///< true when footprint shrinks with P
+};
+
+/// Compare per-rank snapshots from two scaling runs (rank counts pSmall
+/// < pLarge). A tag "scales" when its per-rank peak decreases with rank
+/// count (exponent <= -0.5, i.e., near-proportional decomposition);
+/// constant or growing footprints (replication patterns) are flagged.
+inline std::vector<ScalingVerdict> compareScalingRuns(
+    const std::map<std::string, TagStats>& atSmall, int pSmall,
+    const std::map<std::string, TagStats>& atLarge, int pLarge) {
+  std::vector<ScalingVerdict> out;
+  const double logRatio =
+      std::log(static_cast<double>(pLarge) / static_cast<double>(pSmall));
+  for (const auto& [tag, small] : atSmall) {
+    auto it = atLarge.find(tag);
+    if (it == atLarge.end()) continue;
+    ScalingVerdict v;
+    v.tag = tag;
+    v.peakAtSmall = small.peakBytes;
+    v.peakAtLarge = it->second.peakBytes;
+    if (small.peakBytes > 0 && it->second.peakBytes > 0) {
+      v.scalingExponent =
+          std::log(static_cast<double>(it->second.peakBytes) /
+                   static_cast<double>(small.peakBytes)) /
+          logRatio;
+    }
+    v.scales = v.scalingExponent <= -0.5;
+    out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace rmcrt::mem

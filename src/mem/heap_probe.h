@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file heap_probe.h
+/// Heap fragmentation probing for the allocator benchmarks. Wraps glibc
+/// mallinfo2 (when available) to report how much address space the heap
+/// has consumed versus how much is actually in use — the gap is the
+/// fragmentation the paper's Section IV-B fought ("the heap ... grew
+/// continually, acting as though a significant memory leak still
+/// existed").
+
+#include <cstdint>
+
+#if defined(__GLIBC__)
+#include <malloc.h>
+#define RMCRT_HAVE_MALLINFO2 1
+#else
+#define RMCRT_HAVE_MALLINFO2 0
+#endif
+
+namespace rmcrt::mem {
+
+/// One snapshot of heap state.
+struct HeapSnapshot {
+  std::uint64_t heapBytesTotal = 0;  ///< arena extent (sbrk + mmapped by malloc)
+  std::uint64_t heapBytesInUse = 0;  ///< bytes in live malloc allocations
+  std::uint64_t heapBytesFree = 0;   ///< free bytes still held by the heap
+  bool valid = false;
+
+  /// Fraction of heap address space not backing live data: free/total.
+  double fragmentationRatio() const {
+    return heapBytesTotal > 0
+               ? static_cast<double>(heapBytesFree) /
+                     static_cast<double>(heapBytesTotal)
+               : 0.0;
+  }
+};
+
+inline HeapSnapshot probeHeap() {
+  HeapSnapshot s;
+#if RMCRT_HAVE_MALLINFO2
+  struct mallinfo2 mi = mallinfo2();
+  s.heapBytesTotal = static_cast<std::uint64_t>(mi.arena) +
+                     static_cast<std::uint64_t>(mi.hblkhd);
+  s.heapBytesInUse = static_cast<std::uint64_t>(mi.uordblks) +
+                     static_cast<std::uint64_t>(mi.hblkhd);
+  s.heapBytesFree = static_cast<std::uint64_t>(mi.fordblks);
+  s.valid = true;
+#endif
+  return s;
+}
+
+}  // namespace rmcrt::mem

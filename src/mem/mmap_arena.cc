@@ -1,0 +1,75 @@
+#include "mem/mmap_arena.h"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cassert>
+
+namespace rmcrt::mem {
+
+namespace {
+
+std::atomic<std::uint64_t> g_bytesMapped{0};
+std::atomic<std::uint64_t> g_peakBytesMapped{0};
+std::atomic<std::uint64_t> g_totalMapCalls{0};
+std::atomic<std::uint64_t> g_totalUnmapCalls{0};
+
+void bumpPeak(std::uint64_t current) {
+  std::uint64_t prev = g_peakBytesMapped.load(std::memory_order_relaxed);
+  while (prev < current &&
+         !g_peakBytesMapped.compare_exchange_weak(prev, current,
+                                                  std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+std::size_t MmapArena::pageSize() {
+  static const std::size_t pg = static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
+  return pg;
+}
+
+std::size_t MmapArena::roundToPages(std::size_t bytes) {
+  const std::size_t pg = pageSize();
+  return (bytes + pg - 1) / pg * pg;
+}
+
+void* MmapArena::map(std::size_t bytes) {
+  const std::size_t len = roundToPages(bytes == 0 ? 1 : bytes);
+  void* p = ::mmap(nullptr, len, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (p == MAP_FAILED) return nullptr;
+  const std::uint64_t cur =
+      g_bytesMapped.fetch_add(len, std::memory_order_relaxed) + len;
+  bumpPeak(cur);
+  g_totalMapCalls.fetch_add(1, std::memory_order_relaxed);
+  return p;
+}
+
+void MmapArena::unmap(void* p, std::size_t bytes) {
+  if (!p) return;
+  const std::size_t len = roundToPages(bytes == 0 ? 1 : bytes);
+  [[maybe_unused]] const int rc = ::munmap(p, len);
+  assert(rc == 0);
+  g_bytesMapped.fetch_sub(len, std::memory_order_relaxed);
+  g_totalUnmapCalls.fetch_add(1, std::memory_order_relaxed);
+}
+
+ArenaStats MmapArena::stats() {
+  ArenaStats s;
+  s.bytesMapped = g_bytesMapped.load(std::memory_order_relaxed);
+  s.peakBytesMapped = g_peakBytesMapped.load(std::memory_order_relaxed);
+  s.totalMapCalls = g_totalMapCalls.load(std::memory_order_relaxed);
+  s.totalUnmapCalls = g_totalUnmapCalls.load(std::memory_order_relaxed);
+  return s;
+}
+
+void MmapArena::resetStats() {
+  g_peakBytesMapped.store(g_bytesMapped.load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+  g_totalMapCalls.store(0, std::memory_order_relaxed);
+  g_totalUnmapCalls.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace rmcrt::mem

@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file mmap_arena.h
+/// Large-allocation support that bypasses the general-purpose heap
+/// entirely, per the paper's Section IV-B: "For large allocations, we
+/// completely avoided the heap by implementing a specialized allocator
+/// that uses mmap to allocate anonymous virtual memory." Mixing transient
+/// multi-megabyte MPI/GridVariable buffers with persistent small objects
+/// fragments the heap until the process dies at the edge of nodal memory;
+/// mapping large blocks keeps the heap compact because munmap returns the
+/// pages to the OS unconditionally.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rmcrt::mem {
+
+/// Aggregate counters for a mapping source; all methods thread-safe.
+struct ArenaStats {
+  std::uint64_t bytesMapped = 0;     ///< currently live mapped bytes
+  std::uint64_t peakBytesMapped = 0; ///< high-water mark
+  std::uint64_t totalMapCalls = 0;
+  std::uint64_t totalUnmapCalls = 0;
+};
+
+/// Anonymous-memory mapper with statistics. All functions are free of
+/// shared mutable state other than the atomic counters, hence fully
+/// thread-safe.
+class MmapArena {
+ public:
+  /// Map at least \p bytes of zeroed anonymous memory (rounded up to the
+  /// page size). Returns nullptr on exhaustion.
+  static void* map(std::size_t bytes);
+
+  /// Unmap a region previously returned by map() with the same size.
+  static void unmap(void* p, std::size_t bytes);
+
+  /// Round \p bytes up to a whole number of pages.
+  static std::size_t roundToPages(std::size_t bytes);
+
+  static std::size_t pageSize();
+
+  /// Snapshot of the global counters.
+  static ArenaStats stats();
+
+  /// Zero the counters (between benchmark phases).
+  static void resetStats();
+};
+
+}  // namespace rmcrt::mem

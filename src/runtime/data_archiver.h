@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file data_archiver.h
+/// Checkpoint/restart for DataWarehouse contents — the role Uintah's
+/// DataArchiver/UDA plays for production boiler runs (multi-week
+/// simulations on Titan survive node failures by restarting from the
+/// archived state). Format: one directory per checkpoint holding a text
+/// index (variable name, patch id, element kind, window) plus one raw
+/// binary blob per variable.
+
+#include <string>
+#include <vector>
+
+#include "runtime/data_warehouse.h"
+#include "runtime/task.h"
+
+namespace rmcrt::runtime {
+
+/// What gets archived for one variable.
+struct ArchiveEntry {
+  std::string label;
+  int patchId = -1;  ///< -1 for level variables
+  int levelIndex = -1;
+  VarType type = VarType::Double;
+};
+
+/// Saves/loads a selected set of variables.
+class DataArchiver {
+ public:
+  /// Write the listed patch variables of \p dw for the given patches to
+  /// \p directory (created if absent). Returns false on I/O failure or
+  /// missing variables.
+  static bool checkpoint(const std::string& directory,
+                         const DataWarehouse& dw,
+                         const std::vector<std::string>& doubleLabels,
+                         const std::vector<int>& patchIds);
+
+  /// Restore every archived variable into \p dw (windows and values
+  /// exactly as saved). Returns false if the directory or any blob is
+  /// missing/corrupt.
+  static bool restore(const std::string& directory, DataWarehouse& dw);
+
+  /// List the entries recorded in a checkpoint's index.
+  static std::vector<ArchiveEntry> index(const std::string& directory);
+};
+
+}  // namespace rmcrt::runtime

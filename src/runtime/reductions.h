@@ -1,0 +1,112 @@
+#pragma once
+
+/// \file reductions.h
+/// Reduction variables — Uintah's mechanism for global scalars (the
+/// timestep size delT, total radiative power, min/max diagnostics):
+/// every patch task contributes a value; the per-rank partials combine
+/// across ranks with an allreduce at the end of the timestep. ARCHES
+/// uses exactly this to pick the stable delT after each RK stage.
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <limits>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "comm/communicator.h"
+
+namespace rmcrt::runtime {
+
+enum class ReductionOp { Min, Max, Sum };
+
+/// Per-rank accumulator for named global reductions. Thread-safe: patch
+/// tasks running on any thread contribute concurrently.
+class ReductionSet {
+ public:
+  /// Declare a reduction (idempotent; the op must not change).
+  void declare(const std::string& name, ReductionOp op) {
+    std::lock_guard<std::mutex> lk(m_mutex);
+    auto [it, inserted] = m_vars.emplace(name, Entry{op, identity(op)});
+    assert(it->second.op == op && "reduction re-declared with another op");
+    (void)inserted;
+  }
+
+  /// Contribute a local value.
+  void contribute(const std::string& name, double value) {
+    std::lock_guard<std::mutex> lk(m_mutex);
+    auto it = m_vars.find(name);
+    assert(it != m_vars.end() && "contribute to undeclared reduction");
+    it->second.partial = combine(it->second.op, it->second.partial, value);
+  }
+
+  /// This rank's partial so far.
+  double partial(const std::string& name) const {
+    std::lock_guard<std::mutex> lk(m_mutex);
+    auto it = m_vars.find(name);
+    assert(it != m_vars.end());
+    return it->second.partial;
+  }
+
+  /// Combine with all other ranks (collective: every rank must call,
+  /// in the same order for every declared name). Returns the global
+  /// value and resets the local partial to the identity.
+  double reduceAcross(const std::string& name, comm::Communicator& world,
+                      int rank) {
+    ReductionOp op;
+    double mine;
+    {
+      std::lock_guard<std::mutex> lk(m_mutex);
+      auto it = m_vars.find(name);
+      assert(it != m_vars.end());
+      op = it->second.op;
+      mine = it->second.partial;
+      it->second.partial = identity(op);
+    }
+    switch (op) {
+      case ReductionOp::Sum:
+        return world.allReduceSum(rank, mine);
+      case ReductionOp::Max:
+        return world.allReduceMax(rank, mine);
+      case ReductionOp::Min:
+        // min(x) = -max(-x) over the ranks.
+        return -world.allReduceMax(rank, -mine);
+    }
+    return mine;  // unreachable
+  }
+
+  static double identity(ReductionOp op) {
+    switch (op) {
+      case ReductionOp::Min:
+        return std::numeric_limits<double>::infinity();
+      case ReductionOp::Max:
+        return -std::numeric_limits<double>::infinity();
+      case ReductionOp::Sum:
+        return 0.0;
+    }
+    return 0.0;
+  }
+
+  static double combine(ReductionOp op, double a, double b) {
+    switch (op) {
+      case ReductionOp::Min:
+        return std::min(a, b);
+      case ReductionOp::Max:
+        return std::max(a, b);
+      case ReductionOp::Sum:
+        return a + b;
+    }
+    return b;
+  }
+
+ private:
+  struct Entry {
+    ReductionOp op;
+    double partial;
+  };
+  mutable std::mutex m_mutex;
+  std::unordered_map<std::string, Entry> m_vars;
+};
+
+}  // namespace rmcrt::runtime

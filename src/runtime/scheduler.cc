@@ -1,0 +1,342 @@
+#include "runtime/scheduler.h"
+
+#include <cassert>
+#include <thread>
+#include <unordered_set>
+
+namespace rmcrt::runtime {
+
+namespace {
+
+/// Invoke f.operator()<T>() for the payload type of a variable.
+template <typename F>
+void withType(VarType t, F&& f) {
+  if (t == VarType::Double)
+    f.template operator()<double>();
+  else
+    f.template operator()<grid::CellType>();
+}
+
+/// Deterministic ordered list of (source patch, staged window, overlap)
+/// transfers that satisfy requirement \p req for all of \p receiverRank's
+/// patches of \p task. Both sender and receiver ranks compute this list
+/// identically, so the index of an entry is a collision-free message tag
+/// component.
+struct TransferEntry {
+  int srcPatchId;
+  grid::CellRange window;   ///< staged region (receiver side key)
+  grid::CellRange overlap;  ///< srcPatch interior ∩ window (the payload)
+};
+
+std::vector<TransferEntry> transferList(
+    const grid::Grid& grid, const grid::LoadBalancer& lb,
+    const Scheduler& sched, const Task& task, const Requires& req,
+    int receiverRank) {
+  std::vector<TransferEntry> out;
+  std::unordered_set<std::string> seen;
+  const grid::Level& srcLevel = grid.level(req.level);
+  for (int rp : lb.patchesOf(receiverRank, grid, task.level())) {
+    const grid::Patch* p = grid.patchById(rp);
+    const grid::CellRange window = sched.requiredRegion(task, *p, req);
+    for (const auto& o : srcLevel.patchesIntersecting(window)) {
+      std::string key = std::to_string(o.patch->id()) + "|" +
+                        window.low().toString() + window.high().toString();
+      if (seen.insert(std::move(key)).second)
+        out.push_back(TransferEntry{o.patch->id(), window, o.region});
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+/// Per-patch execution record for the current phase.
+struct Scheduler::PendingTask {
+  const grid::Patch* patch = nullptr;
+  std::atomic<int> outstanding{0};  ///< staged regions still incomplete
+  bool ran = false;
+};
+
+Scheduler::Scheduler(std::shared_ptr<const grid::Grid> grid,
+                     std::shared_ptr<const grid::LoadBalancer> lb,
+                     comm::Communicator& world, int rank,
+                     RequestContainer container)
+    : m_grid(std::move(grid)),
+      m_lb(std::move(lb)),
+      m_world(world),
+      m_rank(rank),
+      m_oldDW(std::make_unique<DataWarehouse>()),
+      m_newDW(std::make_unique<DataWarehouse>()),
+      m_containerKind(container),
+      m_lockedQueue(container == RequestContainer::LockedRacy
+                        ? comm::LockedRequestQueue::Mode::Racy
+                        : comm::LockedRequestQueue::Mode::Serialized) {}
+
+Scheduler::~Scheduler() = default;
+
+void Scheduler::containerAdd(comm::CommNode node) {
+  if (m_containerKind == RequestContainer::WaitFreePool)
+    m_pool.add(std::move(node));
+  else
+    m_lockedQueue.add(std::move(node));
+}
+
+int Scheduler::containerProcessReady() {
+  return m_containerKind == RequestContainer::WaitFreePool
+             ? m_pool.processReady()
+             : m_lockedQueue.processReady();
+}
+
+std::size_t Scheduler::containerPending() const {
+  return m_containerKind == RequestContainer::WaitFreePool
+             ? m_pool.pending()
+             : m_lockedQueue.pending();
+}
+
+grid::CellRange Scheduler::requiredRegion(const Task& task,
+                                          const grid::Patch& patch,
+                                          const Requires& req) const {
+  const grid::Level& reqLevel = m_grid->level(req.level);
+  if (req.wholeLevel) return reqLevel.cells();
+  grid::CellRange region;
+  if (req.level == task.level()) {
+    region = patch.ghostWindow(req.numGhost);
+  } else if (req.level > task.level()) {
+    // Finer level: the fine cells covered by this patch.
+    grid::CellRange r = patch.cells();
+    for (int l = task.level() + 1; l <= req.level; ++l)
+      r = r.refined(m_grid->level(l).refinementRatio());
+    region = r.grown(req.numGhost);
+  } else {
+    // Coarser level: the coarse cells covering this patch.
+    grid::CellRange r = patch.cells();
+    for (int l = task.level(); l > req.level; --l)
+      r = r.coarsened(m_grid->level(l).refinementRatio());
+    region = r.grown(req.numGhost);
+  }
+  return region.intersect(reqLevel.cells());
+}
+
+void Scheduler::preallocateComputes(const Task& task,
+                                    const std::vector<int>& localPatches) {
+  for (int pid : localPatches) {
+    const grid::Patch* p = m_grid->patchById(pid);
+    for (const Computes& c : task.computesList()) {
+      withType(c.type, [&]<typename T>() {
+        if (!m_newDW->exists(c.label, pid))
+          m_newDW->put(c.label, pid, grid::CCVariable<T>(*p, c.numGhost));
+      });
+    }
+  }
+}
+
+std::int64_t Scheduler::messageTag(std::size_t phaseIdx, std::size_t reqIdx,
+                                   int /*srcPatch*/, int seqIdx) const {
+  // (phase, requirement, transfer-sequence) uniquely identifies a message
+  // between a given rank pair; sequence indices come from the shared
+  // deterministic transfer list.
+  return (static_cast<std::int64_t>(phaseIdx) * 64 +
+          static_cast<std::int64_t>(reqIdx)) *
+             4000000 +
+         seqIdx;
+}
+
+void Scheduler::stageRequirement(
+    std::size_t phaseIdx, std::size_t reqIdx, const Task& task,
+    const Requires& req, const std::vector<int>& localPatches,
+    std::vector<std::shared_ptr<PendingTask>>& pending) {
+  DataWarehouse& dw = dwFor(req);
+  const grid::Level& srcLevel = m_grid->level(req.level);
+
+  // 1. Collect the distinct staged windows and which pending tasks wait on
+  //    each.
+  struct Stage {
+    grid::CellRange window;
+    std::vector<PendingTask*> waiters;
+    std::shared_ptr<std::atomic<int>> remainingMsgs =
+        std::make_shared<std::atomic<int>>(0);
+  };
+  std::vector<Stage> stages;
+  auto findStage = [&stages](const grid::CellRange& w) -> Stage* {
+    for (auto& s : stages)
+      if (s.window == w) return &s;
+    return nullptr;
+  };
+  for (std::size_t i = 0; i < localPatches.size(); ++i) {
+    const grid::Patch* p = m_grid->patchById(localPatches[i]);
+    const grid::CellRange window = requiredRegion(task, *p, req);
+    Stage* s = findStage(window);
+    if (!s) {
+      stages.push_back(
+          Stage{window, {}, std::make_shared<std::atomic<int>>(0)});
+      s = &stages.back();
+    }
+    s->waiters.push_back(pending[i].get());
+  }
+
+  // 2. Allocate each staged region, fill the locally-owned pieces, and
+  //    post receives for the remote pieces. The transfer list gives the
+  //    same sequence numbering the senders use.
+  const auto transfers =
+      transferList(*m_grid, *m_lb, *this, task, req, m_rank);
+  for (Stage& s : stages) {
+    withType(req.type, [&]<typename T>() {
+      if (!dw.existsRegion(req.label, req.level, s.window))
+        dw.putRegion(req.label, req.level,
+                     grid::CCVariable<T>(s.window, T{}));
+    });
+  }
+  for (std::size_t seq = 0; seq < transfers.size(); ++seq) {
+    const TransferEntry& e = transfers[seq];
+    Stage* s = findStage(e.window);
+    assert(s && "transfer window not staged");
+    const int owner = m_lb->rankOf(e.srcPatchId);
+    withType(req.type, [&]<typename T>() {
+      auto& staged =
+          dw.getRegionModifiable<T>(req.label, req.level, e.window);
+      if (owner == m_rank) {
+        const auto& src = dw.get<T>(req.label, e.srcPatchId);
+        staged.copyRegion(src, e.overlap);
+      } else {
+        s->remainingMsgs->fetch_add(1, std::memory_order_relaxed);
+        const std::size_t bytes =
+            static_cast<std::size_t>(e.overlap.volume()) * sizeof(T);
+        auto buf = std::make_shared<comm::Buffer>(bytes);
+        comm::Request r =
+            m_world.irecv(m_rank, owner,
+                          messageTag(phaseIdx, reqIdx, e.srcPatchId,
+                                     static_cast<int>(seq)),
+                          buf->data(), bytes);
+        auto* stagedPtr = &staged;
+        auto remaining = s->remainingMsgs;
+        auto waiters = s->waiters;  // copy: Stage dies before callbacks run
+        grid::CellRange overlap = e.overlap;
+        containerAdd(comm::CommNode(
+            std::move(r),
+            [this, stagedPtr, buf, overlap, remaining,
+             waiters](const comm::Request& req2) {
+              m_stats.messagesReceived++;
+              m_stats.bytesReceived += req2.bytes();
+              stagedPtr->storage().unpackRegion(
+                  overlap, reinterpret_cast<const T*>(buf->data()));
+              if (remaining->fetch_sub(1, std::memory_order_acq_rel) == 1) {
+                for (PendingTask* w : waiters)
+                  w->outstanding.fetch_sub(1, std::memory_order_acq_rel);
+              }
+            }));
+      }
+    });
+  }
+  // 3. Arm the waiter counts for stages with remote pieces. (Done after
+  //    posting: our single polling loop only processes completions from
+  //    this thread, so no decrement can race ahead of the increments.)
+  for (Stage& s : stages) {
+    if (s.remainingMsgs->load(std::memory_order_relaxed) > 0) {
+      for (PendingTask* w : s.waiters)
+        w->outstanding.fetch_add(1, std::memory_order_acq_rel);
+    }
+  }
+}
+
+void Scheduler::postSendsFor(std::size_t phaseIdx, std::size_t reqIdx,
+                             const Task& task, const Requires& req) {
+  DataWarehouse& dw = dwFor(req);
+  for (int r = 0; r < m_world.size(); ++r) {
+    if (r == m_rank) continue;
+    const auto transfers =
+        transferList(*m_grid, *m_lb, *this, task, req, r);
+    for (std::size_t seq = 0; seq < transfers.size(); ++seq) {
+      const TransferEntry& e = transfers[seq];
+      if (m_lb->rankOf(e.srcPatchId) != m_rank) continue;
+      withType(req.type, [&]<typename T>() {
+        const auto& src = dw.get<T>(req.label, e.srcPatchId);
+        const std::size_t n = static_cast<std::size_t>(e.overlap.volume());
+        comm::Buffer buf(n * sizeof(T));
+        src.storage().packRegion(e.overlap,
+                                 reinterpret_cast<T*>(buf.data()));
+        m_world.isend(m_rank, r,
+                      messageTag(phaseIdx, reqIdx, e.srcPatchId,
+                                 static_cast<int>(seq)),
+                      buf.data(), buf.size());
+        m_stats.messagesSent++;
+        m_stats.bytesSent += buf.size();
+      });
+    }
+  }
+}
+
+void Scheduler::runPhase(std::size_t phaseIdx) {
+  const Task& task = m_tasks[phaseIdx];
+  const std::vector<int> localPatches =
+      m_lb->patchesOf(m_rank, *m_grid, task.level());
+
+  preallocateComputes(task, localPatches);
+
+  std::vector<std::shared_ptr<PendingTask>> pending;
+  pending.reserve(localPatches.size());
+  for (int pid : localPatches) {
+    auto pt = std::make_shared<PendingTask>();
+    pt->patch = m_grid->patchById(pid);
+    pending.push_back(std::move(pt));
+  }
+
+  // Post receives (staging) and sends — the paper's "local communication"
+  // (time spent posting MPI messages).
+  {
+    ScopedTimer timer(m_localCommAcc);
+    for (std::size_t ri = 0; ri < task.requiresList().size(); ++ri)
+      stageRequirement(phaseIdx, ri, task, task.requiresList()[ri],
+                       localPatches, pending);
+    for (std::size_t ri = 0; ri < task.requiresList().size(); ++ri)
+      postSendsFor(phaseIdx, ri, task, task.requiresList()[ri]);
+  }
+
+  // Execute patches as their inputs arrive, overlapping with completion
+  // processing of the remaining messages.
+  std::size_t ranCount = 0;
+  while (ranCount < pending.size()) {
+    int processed;
+    {
+      ScopedTimer timer(m_localCommAcc);
+      processed = containerProcessReady();
+    }
+    bool progress = processed > 0;
+    for (auto& pt : pending) {
+      if (!pt->ran &&
+          pt->outstanding.load(std::memory_order_acquire) == 0) {
+        TaskContext ctx{m_rank, m_grid.get(), pt->patch, m_oldDW.get(),
+                        m_newDW.get()};
+        {
+          ScopedTimer timer(m_taskExecAcc);
+          task.action()(ctx);
+        }
+        pt->ran = true;
+        ++ranCount;
+        ++m_stats.tasksExecuted;
+        progress = true;
+      }
+    }
+    if (!progress) {
+      ScopedTimer timer(m_waitAcc);
+      std::this_thread::yield();
+    }
+  }
+
+  // Phase boundary: everyone's sends for this phase have been consumed
+  // before the next phase reuses tags.
+  m_world.barrier(m_rank);
+}
+
+void Scheduler::executeTimestep() {
+  for (std::size_t i = 0; i < m_tasks.size(); ++i) runPhase(i);
+  m_stats.localCommSeconds = m_localCommAcc.seconds();
+  m_stats.taskExecSeconds = m_taskExecAcc.seconds();
+  m_stats.waitSeconds = m_waitAcc.seconds();
+}
+
+void Scheduler::advanceDataWarehouses() {
+  std::swap(m_oldDW, m_newDW);
+  m_newDW->clear();
+}
+
+}  // namespace rmcrt::runtime

@@ -1,0 +1,23 @@
+#include "runtime/simulation_controller.h"
+
+namespace rmcrt::runtime {
+
+Task makeCarryForwardTask(const std::vector<std::string>& doubleLabels,
+                          int level) {
+  Task t("carryForward", level, [doubleLabels](const TaskContext& ctx) {
+    for (const std::string& label : doubleLabels) {
+      const auto& old =
+          ctx.getGhosted<double>(label, /*numGhost=*/0, /*fromOld=*/true);
+      auto& out = ctx.newDW->getModifiable<double>(label, ctx.patch->id());
+      for (const auto& c : ctx.patch->cells()) out[c] = old[c];
+    }
+  });
+  for (const std::string& label : doubleLabels) {
+    t.addRequires(Requires{label, VarType::Double, level, 0, false,
+                           /*fromOldDW=*/true});
+    t.addComputes(Computes{label, VarType::Double, 0});
+  }
+  return t;
+}
+
+}  // namespace rmcrt::runtime

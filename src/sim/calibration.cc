@@ -1,0 +1,142 @@
+#include "sim/calibration.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "comm/communicator.h"
+#include "comm/locked_queue.h"
+#include "comm/request_pool.h"
+#include "core/problems.h"
+#include "core/rmcrt_component.h"
+#include "grid/operators.h"
+#include "util/timers.h"
+
+namespace rmcrt::sim {
+
+double measureKernelSegmentsPerSecond(int patchSize, int raysPerCell) {
+  using namespace rmcrt::core;
+  // A 2-level problem sized so one patch's trace is representative:
+  // fine level = 2x the patch, coarse level at RR 4.
+  const int fine = std::max(16, 2 * patchSize);
+  auto grid = grid::Grid::makeTwoLevel(
+      Vector(0.0), Vector(1.0), IntVector(fine), IntVector(4),
+      IntVector(patchSize), IntVector(std::max(1, fine / 4)));
+
+  const grid::Level& fineLevel = grid->fineLevel();
+  const grid::Level& coarseLevel = grid->coarseLevel();
+  grid::CCVariable<double> fAbs(fineLevel.cells(), 0.0),
+      fSig(fineLevel.cells(), 0.0);
+  grid::CCVariable<grid::CellType> fCt(fineLevel.cells(),
+                                       grid::CellType::Flow);
+  initializeProperties(fineLevel, burnsChriston(), fAbs, fSig, fCt);
+  grid::CCVariable<double> cAbs(coarseLevel.cells(), 0.0),
+      cSig(coarseLevel.cells(), 0.0);
+  grid::CCVariable<grid::CellType> cCt(coarseLevel.cells(),
+                                       grid::CellType::Flow);
+  grid::coarsenAverage(fAbs, IntVector(4), cAbs, coarseLevel.cells());
+  grid::coarsenAverage(fSig, IntVector(4), cSig, coarseLevel.cells());
+  grid::coarsenCellType(fCt, IntVector(4), cCt, coarseLevel.cells());
+
+  const grid::Patch& patch = fineLevel.patch(0);
+  TraceLevel fineTL{LevelGeom::from(fineLevel),
+                    RadiationFieldsView{FieldView<double>::fromHost(fAbs),
+                                        FieldView<double>::fromHost(fSig),
+                                        FieldView<grid::CellType>::fromHost(
+                                            fCt)},
+                    patch.ghostWindow(4).intersect(fineLevel.cells())};
+  TraceLevel coarseTL{
+      LevelGeom::from(coarseLevel),
+      RadiationFieldsView{FieldView<double>::fromHost(cAbs),
+                          FieldView<double>::fromHost(cSig),
+                          FieldView<grid::CellType>::fromHost(cCt)},
+      coarseLevel.cells()};
+  TraceConfig cfg;
+  cfg.nDivQRays = raysPerCell;
+  Tracer tracer({fineTL, coarseTL}, WallProperties{0.0, 1.0}, cfg);
+
+  grid::CCVariable<double> divQ(patch.cells(), 0.0);
+  tracer.resetSegmentCount();
+  Timer timer;
+  tracer.computeDivQ(patch.cells(),
+                     MutableFieldView<double>::fromHost(divQ));
+  const double secs = timer.seconds();
+  return static_cast<double>(tracer.segmentCount()) / secs;
+}
+
+namespace {
+
+template <typename Container>
+double timeContainer(Container& container, int threads, int messages) {
+  // Steady-state shape: a bounded number of outstanding records at any
+  // time (the scheduler posts a phase's receives, drains, repeats) —
+  // otherwise the O(outstanding) scans of either container make the
+  // measurement quadratic in the total message count.
+  constexpr int kBatch = 256;
+  comm::Communicator world(2);
+  std::atomic<int> done{0};
+
+  Timer timer;
+  std::vector<std::thread> pollers;
+  for (int t = 0; t < threads; ++t) {
+    pollers.emplace_back([&] {
+      while (done.load(std::memory_order_relaxed) < messages)
+        container.processReady();
+    });
+  }
+  std::vector<std::unique_ptr<int[]>> bufs(kBatch);
+  for (int base = 0; base < messages; base += kBatch) {
+    const int n = std::min(kBatch, messages - base);
+    for (int i = 0; i < n; ++i) {
+      bufs[static_cast<std::size_t>(i)] = std::make_unique<int[]>(1);
+      comm::Request r = world.irecv(
+          1, 0, base + i, bufs[static_cast<std::size_t>(i)].get(),
+          sizeof(int));
+      container.add(
+          comm::CommNode(std::move(r), [&done](const comm::Request&) {
+            done.fetch_add(1, std::memory_order_relaxed);
+          }));
+    }
+    for (int i = 0; i < n; ++i) {
+      const int v = base + i;
+      world.isend(0, 1, v, &v, sizeof v);
+    }
+    while (done.load(std::memory_order_relaxed) < base + n)
+      std::this_thread::yield();
+  }
+  for (auto& t : pollers) t.join();
+  return timer.seconds() / static_cast<double>(messages);
+}
+
+}  // namespace
+
+void measureContainerCosts(double& waitFreePerMessage,
+                           double& lockedPerMessage, int threads,
+                           int messages) {
+  comm::WaitFreeRequestPool pool;
+  waitFreePerMessage = timeContainer(pool, threads, messages);
+  comm::LockedRequestQueue queue(comm::LockedRequestQueue::Mode::Serialized);
+  lockedPerMessage = timeContainer(queue, threads, messages);
+}
+
+Calibration measureHost() {
+  Calibration c;
+  c.hostSegmentsPerSecond = measureKernelSegmentsPerSecond();
+  measureContainerCosts(c.waitFreePerMessage, c.lockedPerMessage);
+  return c;
+}
+
+MachineModel calibrate(MachineModel m, const Calibration& c,
+                       double hostToGpuScale) {
+  if (c.hostSegmentsPerSecond > 0)
+    m.gpuSegmentsPerSecond = c.hostSegmentsPerSecond * hostToGpuScale;
+  if (c.waitFreePerMessage > 0)
+    m.perMessageOverheadWaitFree = c.waitFreePerMessage;
+  if (c.lockedPerMessage > 0)
+    m.perMessageOverheadLocked = c.lockedPerMessage;
+  return m;
+}
+
+}  // namespace rmcrt::sim

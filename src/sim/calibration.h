@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file calibration.h
+/// Calibrates the machine model from *measured* quantities of this very
+/// repository: the real RMCRT kernel's segment throughput (per patch
+/// size) and the real request containers' per-message cost. The
+/// host-to-K20X scale factor converts one host core's measured kernel
+/// throughput to the device's (documented substitution — absolute
+/// seconds are testbed-specific; the scaling *shape* is what the model
+/// must preserve).
+
+#include <cstdint>
+
+#include "sim/machine_model.h"
+#include "sim/perf_model.h"
+
+namespace rmcrt::sim {
+
+/// Results of running the real kernels/containers on this host.
+struct Calibration {
+  /// Measured ray-marching throughput [cell crossings / s] on one host
+  /// core (Burns & Christon fields, production-like parameters).
+  double hostSegmentsPerSecond = 0;
+  /// Measured per-message post+process cost of the wait-free pool [s].
+  double waitFreePerMessage = 0;
+  /// Same for the legacy locked vector (serialized mode).
+  double lockedPerMessage = 0;
+};
+
+/// Run the real RMCRT kernel on a small problem and measure segment
+/// throughput. \p patchSize controls the tested patch edge.
+double measureKernelSegmentsPerSecond(int patchSize = 16,
+                                      int raysPerCell = 4);
+
+/// Run both request containers through an identical simulated-MPI
+/// workload with \p threads pollers and return per-message costs.
+void measureContainerCosts(double& waitFreePerMessage,
+                           double& lockedPerMessage, int threads = 4,
+                           int messages = 20000);
+
+/// Measure everything.
+Calibration measureHost();
+
+/// Apply a calibration to a machine model: GPU throughput = host
+/// throughput * hostToGpuScale (K20X vs one Opteron core for this
+/// memory-latency-bound kernel), and container costs taken as measured.
+MachineModel calibrate(MachineModel m, const Calibration& c,
+                       double hostToGpuScale = 12.0);
+
+}  // namespace rmcrt::sim

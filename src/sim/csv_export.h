@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file csv_export.h
+/// CSV emission for the scaling studies, so the regenerated figures can
+/// be plotted directly (gnuplot/matplotlib) alongside the paper's.
+
+#include <fstream>
+#include <string>
+
+#include "sim/scaling_study.h"
+
+namespace rmcrt::sim {
+
+/// Write a strong-scaling study as CSV: one row per GPU count, one
+/// column per patch size ("gpus,p16,p32,p64"); missing points (fewer
+/// patches than GPUs) are empty cells. Returns false on I/O failure.
+inline bool writeScalingCsv(const std::string& path,
+                            const StrongScalingStudy& study,
+                            const MachineModel& m) {
+  std::ofstream os(path);
+  if (!os) return false;
+  const auto series = study.run(m);
+  os << "gpus";
+  for (const auto& s : series) os << ",p" << s.patchSize;
+  os << "\n";
+  for (int g : study.gpuCounts) {
+    os << g;
+    for (const auto& s : series) {
+      os << ",";
+      for (const auto& pt : s.points) {
+        if (pt.gpus == g) {
+          os << pt.breakdown.total;
+          break;
+        }
+      }
+    }
+    os << "\n";
+  }
+  return static_cast<bool>(os);
+}
+
+/// Write the Table I rows as CSV ("nodes,before,after,speedup").
+inline bool writeCommStudyCsv(const std::string& path,
+                              const std::vector<CommStudyRow>& rows) {
+  std::ofstream os(path);
+  if (!os) return false;
+  os << "nodes,before_s,after_s,speedup\n";
+  for (const auto& r : rows) {
+    os << r.nodes << "," << r.beforeSeconds << "," << r.afterSeconds << ","
+       << r.speedup << "\n";
+  }
+  return static_cast<bool>(os);
+}
+
+}  // namespace rmcrt::sim

@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file event_sim.h
+/// A small deterministic list-scheduling engine: resources with k
+/// identical servers onto which jobs are placed at the earliest time >=
+/// their ready time. This is the discrete-event core of the node
+/// timeline simulation — GPU kernel slots, PCIe copy engines and the NIC
+/// are each a ResourceTimeline, and the per-patch task pipeline is a
+/// chain of jobs with precedence (ready times).
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+namespace rmcrt::sim {
+
+/// k identical servers; schedule() places a job on the server that can
+/// start it earliest.
+class ResourceTimeline {
+ public:
+  explicit ResourceTimeline(int servers)
+      : m_free(static_cast<std::size_t>(servers > 0 ? servers : 1), 0.0) {}
+
+  /// Place a job that becomes ready at \p ready and runs for
+  /// \p duration; returns its completion time.
+  double schedule(double ready, double duration) {
+    auto it = std::min_element(m_free.begin(), m_free.end());
+    const double start = std::max(*it, ready);
+    *it = start + duration;
+    m_busy += duration;
+    return *it;
+  }
+
+  /// Earliest time any server is free.
+  double earliestFree() const {
+    return *std::min_element(m_free.begin(), m_free.end());
+  }
+  /// Time the last server finishes.
+  double makespan() const {
+    return *std::max_element(m_free.begin(), m_free.end());
+  }
+  /// Total busy time across servers (utilization numerator).
+  double busyTime() const { return m_busy; }
+
+  int servers() const { return static_cast<int>(m_free.size()); }
+
+  void reset() {
+    std::fill(m_free.begin(), m_free.end(), 0.0);
+    m_busy = 0.0;
+  }
+
+ private:
+  std::vector<double> m_free;
+  double m_busy = 0.0;
+};
+
+}  // namespace rmcrt::sim

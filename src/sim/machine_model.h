@@ -1,0 +1,82 @@
+#pragma once
+
+/// \file machine_model.h
+/// Machine parameters for the cluster performance simulator (DESIGN.md
+/// §2, §7). Defaults describe the DOE Titan XK7 as specified in the
+/// paper's footnote 1 and K20X datasheets: one 16-core AMD Opteron 6274 +
+/// one NVIDIA K20X (6 GB GDDR5) per node, Cray Gemini 3-D torus with
+/// 1.4 us latency and 20 GB/s peak injection per node.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rmcrt::sim {
+
+/// Per-node and network characteristics.
+struct MachineModel {
+  // --- GPU ---------------------------------------------------------------
+  /// Device global memory (K20X: 6 GB).
+  std::size_t gpuMemoryBytes = 6ull << 30;
+  /// Peak ray-segment throughput of one GPU at full occupancy
+  /// [cell-crossings/s]. Calibrated from the real kernel (see
+  /// calibration.h) and scaled by the host->K20X factor.
+  double gpuSegmentsPerSecond = 2.0e9;
+  /// Kernel-launch plus task-management overhead per patch task [s].
+  double taskOverheadSeconds = 60e-6;
+  /// Concurrent-kernel capability: number of patch kernels that can
+  /// overlap to hide each other's staging (K20X: Hyper-Q, effectively a
+  /// handful of useful slots).
+  int concurrentKernels = 4;
+
+  /// GPU occupancy as a function of patch cell count: small patches
+  /// cannot fill the SMXs (paper Section V observation 1: "larger
+  /// patches provide more work per GPU and yield a more significant
+  /// speedup"). Concurrent kernels overlap staging and tails but do not
+  /// recover per-kernel occupancy (each kernel's block count is fixed by
+  /// its patch), so the penalty applies per patch regardless of
+  /// over-decomposition. Saturating curve eff = n/(n+halfOccupancyCells):
+  /// 16^3 -> 0.17, 32^3 -> 0.62, 64^3 -> 0.93.
+  double halfOccupancyCells = 20.0e3;
+  double occupancy(double cellsPerPatch) const {
+    return cellsPerPatch / (cellsPerPatch + halfOccupancyCells);
+  }
+
+  // --- PCIe --------------------------------------------------------------
+  /// Effective host<->device bandwidth [B/s] (PCIe 2.0 x16 ~ 6 GB/s).
+  double pcieBandwidth = 6.0e9;
+  double pcieLatencySeconds = 10e-6;
+  int copyEngines = 2;
+
+  // --- CPU / runtime -----------------------------------------------------
+  /// Threads performing MPI sends/recvs (the paper runs 16/node).
+  int commThreads = 16;
+  /// CPU cost to post or process one communication record through the
+  /// request container [s]; depends on the container (Table I's
+  /// before/after). The locked vector additionally limits how many of
+  /// the commThreads make progress (see perf_model.cc).
+  double perMessageOverheadWaitFree = 8.0e-6;
+  double perMessageOverheadLocked = 12.0e-6;
+  /// Host-side per-byte packing/unpacking cost [s/B] (memcpy-bound).
+  double hostPackPerByte = 1.0 / 8.0e9;
+
+  // --- Network (Cray Gemini) ----------------------------------------------
+  double netLatencySeconds = 1.4e-6;
+  /// Effective per-node injection bandwidth [B/s]; the paper quotes
+  /// 20 GB/s peak, sustained all-to-all traffic achieves a fraction.
+  double netBandwidth = 5.0e9;
+  /// Effective bisection-limited aggregate factor for all-to-all phases:
+  /// at P nodes the per-node achievable bandwidth degrades as traffic
+  /// crosses the torus; modeled as bw_eff = netBandwidth /
+  /// (1 + P / torusContentionScale).
+  double torusContentionScale = 16384.0;
+
+  double effectiveNetBandwidth(int nodes) const {
+    return netBandwidth /
+           (1.0 + static_cast<double>(nodes) / torusContentionScale);
+  }
+};
+
+/// Titan as described in the paper.
+inline MachineModel titan() { return MachineModel{}; }
+
+}  // namespace rmcrt::sim

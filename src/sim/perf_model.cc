@@ -1,0 +1,179 @@
+#include "sim/perf_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/event_sim.h"
+
+namespace rmcrt::sim {
+
+namespace {
+
+double perMessageOverhead(const MachineModel& m, CommContainer c) {
+  return c == CommContainer::WaitFree ? m.perMessageOverheadWaitFree
+                                      : m.perMessageOverheadLocked;
+}
+
+/// Effective parallelism of the comm threads posting/processing records:
+/// the wait-free pool lets every thread make progress; the legacy locked
+/// vector's exclusive scan sections limit how many threads help (paper
+/// Section IV-A).
+double commThreadParallelism(const MachineModel& m, CommContainer c) {
+  return c == CommContainer::WaitFree
+             ? static_cast<double>(m.commThreads)
+             : 0.5 * static_cast<double>(m.commThreads);
+}
+
+}  // namespace
+
+double localCommTime(const MachineModel& m, const ProblemConfig& p,
+                     int nodes, CommContainer container) {
+  // The dominant cost is posting/testing/completing the dependency
+  // records (one per requiring-patch/providing-patch pair), plus the
+  // host-side pack/unpack of the actual payload bytes.
+  const double records = p.dependencyRecordsPerRank(nodes);
+  const double bytes = p.haloBytesPerRank(nodes) +
+                       p.replicationBytesPerRank(nodes) +
+                       p.coarsenBytesPerRank(nodes);
+  const double perMsg = perMessageOverhead(m, container);
+  const double parallelism = commThreadParallelism(m, container);
+  // Post + test/process each record, plus host-side pack/unpack.
+  const double opTime = 2.0 * records * perMsg + bytes * m.hostPackPerByte;
+  return opTime / parallelism;
+}
+
+TimestepBreakdown simulateTimestep(const MachineModel& m,
+                                   const ProblemConfig& p, int gpus,
+                                   CommContainer container,
+                                   bool perPatchCoarseCopies) {
+  TimestepBreakdown out;
+
+  const std::int64_t nPatch = p.patchesPerRank(gpus);
+
+  // --- 1. Host posts/processes MPI for the timestep (Fig. 1 metric). ---
+  out.localComm = localCommTime(m, p, gpus, container);
+
+  // --- 2. Network: halo + coarsen + replication arrive over the NIC. ---
+  const double bw = m.effectiveNetBandwidth(gpus);
+  const double haloArrive =
+      gpus > 1 ? m.netLatencySeconds + p.haloBytesPerRank(gpus) / bw : 0.0;
+  const double coarsenArrive =
+      gpus > 1 ? m.netLatencySeconds + p.coarsenBytesPerRank(gpus) / bw
+               : 0.0;
+  const double replArrive =
+      gpus > 1 ? m.netLatencySeconds * std::log2(static_cast<double>(gpus)) +
+                     p.replicationBytesPerRank(gpus) / bw
+               : 0.0;
+  // The NIC serializes the three flows; the coarsen phase is a barrier
+  // before replication of the coarse level can complete.
+  out.network = haloArrive + coarsenArrive + replArrive;
+  const double dataReady = out.localComm + out.network;
+
+  // --- 3. Device memory feasibility (Section III-C). ---
+  const int resident =
+      std::min<int>(m.concurrentKernels, static_cast<int>(nPatch));
+  if (p.deviceBytesNeeded(resident, perPatchCoarseCopies) >
+      static_cast<double>(m.gpuMemoryBytes)) {
+    out.deviceMemoryExceeded = true;
+  }
+
+  // --- 4. GPU pipeline: stage each patch over the copy engines, run the
+  //        kernel on the GPU, return divQ. The GPU is one server whose
+  //        effective throughput reflects how many concurrent kernels
+  //        (over-decomposition) are available to fill it: occAgg =
+  //        min(1, k * occ(patch)). This captures the paper's Section V
+  //        observations — big patches fill the device alone, small
+  //        patches need several co-resident kernels, and at extreme GPU
+  //        counts too few patches remain to keep even Hyper-Q busy. ---
+  ResourceTimeline copyEngines(m.copyEngines);
+  ResourceTimeline kernelSlots(1);
+
+  const double roiCells =
+      std::pow(static_cast<double>(p.patchSize) + 2.0 * p.roiHalo, 3.0);
+  const double h2dPerPatch =
+      roiCells * ProblemConfig::bytesPerPropertyCell / m.pcieBandwidth +
+      m.pcieLatencySeconds;
+  const double d2hPerPatch =
+      static_cast<double>(p.cellsPerPatch()) * 8.0 / m.pcieBandwidth +
+      m.pcieLatencySeconds;
+  const double coarseUpload =
+      static_cast<double>(p.coarseCells()) *
+          ProblemConfig::bytesPerPropertyCell / m.pcieBandwidth +
+      m.pcieLatencySeconds;
+
+  // Kernel time per patch: segments / (throughput * occupancy(patch)).
+  // The occupancy penalty is per patch size; over-decomposition overlaps
+  // staging (below) but cannot recover occupancy.
+  const double occ1 = m.occupancy(static_cast<double>(p.cellsPerPatch()));
+  const double segmentsPerPatch =
+      static_cast<double>(p.cellsPerPatch()) * p.raysPerCell *
+      (p.meanFineSegments() + p.meanCoarseSegments());
+  const double kernelPerPatch =
+      segmentsPerPatch / (m.gpuSegmentsPerSecond * occ1) +
+      m.taskOverheadSeconds;
+
+  // Shared coarse level uploads once (level DB) or per patch (ablation).
+  double firstKernelReady = dataReady;
+  if (!perPatchCoarseCopies) {
+    firstKernelReady = copyEngines.schedule(dataReady, coarseUpload);
+  }
+
+  double lastDone = dataReady;
+  for (std::int64_t i = 0; i < nPatch; ++i) {
+    double staged = copyEngines.schedule(dataReady, h2dPerPatch);
+    if (perPatchCoarseCopies)
+      staged = copyEngines.schedule(staged, coarseUpload);
+    const double ready = std::max(staged, firstKernelReady);
+    const double kdone = kernelSlots.schedule(ready, kernelPerPatch);
+    const double back = copyEngines.schedule(kdone, d2hPerPatch);
+    lastDone = std::max(lastDone, back);
+  }
+
+  out.gpuMakespan = lastDone - dataReady;
+  out.kernel = kernelSlots.busyTime();
+  out.pcie = copyEngines.busyTime();
+  out.overhead =
+      static_cast<double>(nPatch) * m.taskOverheadSeconds;
+  out.total = lastDone;
+  return out;
+}
+
+std::vector<ScalingPoint> strongScalingSeries(
+    const MachineModel& m, const ProblemConfig& p,
+    const std::vector<int>& gpuCounts, CommContainer container) {
+  std::vector<ScalingPoint> out;
+  out.reserve(gpuCounts.size());
+  for (int g : gpuCounts)
+    out.push_back(ScalingPoint{g, simulateTimestep(m, p, g, container)});
+  return out;
+}
+
+double parallelEfficiency(const ScalingPoint& a, const ScalingPoint& b) {
+  return (a.breakdown.total * a.gpus) / (b.breakdown.total * b.gpus);
+}
+
+std::vector<WeakScalingPoint> weakScalingCommVolume(
+    const ProblemConfig& base, const std::vector<int>& rankCounts) {
+  std::vector<WeakScalingPoint> out;
+  for (int P : rankCounts) {
+    // Weak scaling: fixed fine cells per rank; total cells grow with P.
+    const double fineCellsTotal =
+        static_cast<double>(base.fineCells()) * P;
+    const double coarseCellsTotal =
+        fineCellsTotal / std::pow(static_cast<double>(base.refinementRatio),
+                                  3.0);
+    const double share = P > 1 ? 1.0 - 1.0 / P : 0.0;
+    WeakScalingPoint w;
+    w.ranks = P;
+    // Every rank receives (almost) the whole replicated level: aggregate
+    // volume = P * level * bytesPerCell -> O(P^2) since level ~ P.
+    w.aggregateSingleLevelBytes =
+        P * fineCellsTotal * ProblemConfig::bytesPerPropertyCell * share;
+    w.aggregateTwoLevelBytes =
+        P * coarseCellsTotal * ProblemConfig::bytesPerPropertyCell * share;
+    out.push_back(w);
+  }
+  return out;
+}
+
+}  // namespace rmcrt::sim

@@ -1,0 +1,80 @@
+#pragma once
+
+/// \file perf_model.h
+/// Per-timestep execution-time prediction for the 2-level GPU RMCRT
+/// benchmark on a Titan-like machine: the node timeline (MPI posting,
+/// network arrival, PCIe staging on 2 copy engines, concurrent kernels)
+/// is simulated with the list-scheduling engine; sweeping GPU counts
+/// yields the strong-scaling curves of the paper's Figures 2 and 3.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/machine_model.h"
+#include "sim/workload.h"
+
+namespace rmcrt::sim {
+
+/// Which MPI request container the runtime uses (paper Table I).
+enum class CommContainer { WaitFree, LockedVector };
+
+/// One simulated timestep's time attribution (seconds).
+struct TimestepBreakdown {
+  double total = 0;
+  double localComm = 0;   ///< CPU time posting/processing MPI (Fig. 1 metric)
+  double network = 0;     ///< wire time for halos + replication
+  double pcie = 0;        ///< staging time (overlapped portion included)
+  double kernel = 0;      ///< GPU busy time
+  double overhead = 0;    ///< per-task scheduling/launch overhead
+  double gpuMakespan = 0; ///< pipeline finish after data ready
+  bool deviceMemoryExceeded = false;
+};
+
+/// Simulate one rank's timestep (all ranks are statistically identical
+/// for this symmetric benchmark; the slowest rank is modeled by ceiling
+/// the patch distribution).
+TimestepBreakdown simulateTimestep(const MachineModel& m,
+                                   const ProblemConfig& p, int gpus,
+                                   CommContainer container =
+                                       CommContainer::WaitFree,
+                                   bool perPatchCoarseCopies = false);
+
+/// A strong-scaling series: time per timestep over GPU counts.
+struct ScalingPoint {
+  int gpus;
+  TimestepBreakdown breakdown;
+};
+
+std::vector<ScalingPoint> strongScalingSeries(
+    const MachineModel& m, const ProblemConfig& p,
+    const std::vector<int>& gpuCounts,
+    CommContainer container = CommContainer::WaitFree);
+
+/// Parallel efficiency per the paper's Eq. 3 between two points of one
+/// series: E = (t_a * n_a) / (t_b * n_b) for n_b > n_a.
+double parallelEfficiency(const ScalingPoint& a, const ScalingPoint& b);
+
+/// The "local communication time" of Figure 1 / Table I for the CPU
+/// configuration (one MPI rank per node, 16 comm threads): messages per
+/// node at \p nodes scale costed through the chosen request container.
+double localCommTime(const MachineModel& m, const ProblemConfig& p,
+                     int nodes, CommContainer container);
+
+/// The paper's Section V justification for omitting weak scaling:
+/// "radiation or any globally coupled algorithm grows quadratically as
+/// O(N^2) ... with respect to the problem size." This helper quantifies
+/// it: aggregate replication volume across all ranks for a weak-scaled
+/// run (fixed cells per rank; domain grows with P), for the single-level
+/// algorithm (replicate the fine level: O(P^2) aggregate) versus the
+/// 2-level algorithm (replicate the coarse level: O(P^2)/RR^3 — same
+/// growth law, RR^3 smaller constant).
+struct WeakScalingPoint {
+  int ranks;
+  double aggregateSingleLevelBytes;
+  double aggregateTwoLevelBytes;
+};
+std::vector<WeakScalingPoint> weakScalingCommVolume(
+    const ProblemConfig& base, const std::vector<int>& rankCounts);
+
+}  // namespace rmcrt::sim

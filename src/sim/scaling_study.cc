@@ -1,0 +1,119 @@
+#include "sim/scaling_study.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+
+namespace rmcrt::sim {
+
+std::vector<StrongScalingStudy::Series> StrongScalingStudy::run(
+    const MachineModel& m) const {
+  std::vector<Series> out;
+  for (int ps : patchSizes) {
+    ProblemConfig p = baseProblem;
+    p.patchSize = ps;
+    // A series ends where the decomposition runs out of patches (at
+    // least one per GPU), exactly as the paper's figures stop each
+    // patch-size curve at its own maximum GPU count.
+    std::vector<int> feasible;
+    for (int g : gpuCounts)
+      if (g <= p.numFinePatches()) feasible.push_back(g);
+    out.push_back(Series{ps, strongScalingSeries(m, p, feasible)});
+  }
+  return out;
+}
+
+void StrongScalingStudy::print(std::ostream& os,
+                               const MachineModel& m) const {
+  const auto series = run(m);
+  os << title << "\n";
+  os << std::setw(8) << "GPUs";
+  for (const auto& s : series)
+    os << std::setw(14) << (std::to_string(s.patchSize) + "^3 [s]");
+  os << "\n";
+  for (int g : gpuCounts) {
+    os << std::setw(8) << g;
+    for (const auto& s : series) {
+      const auto it =
+          std::find_if(s.points.begin(), s.points.end(),
+                       [g](const ScalingPoint& sp) { return sp.gpus == g; });
+      if (it != s.points.end()) {
+        os << std::setw(14) << std::fixed << std::setprecision(3)
+           << it->breakdown.total;
+      } else {
+        os << std::setw(14) << "-";  // fewer patches than GPUs
+      }
+    }
+    os << "\n";
+  }
+  // Per-series parallel efficiency across that series' sweep (Eq. 3).
+  os << std::setw(8) << "eff";
+  for (const auto& s : series) {
+    const double eff = parallelEfficiency(s.points.front(), s.points.back());
+    os << std::setw(13) << std::fixed << std::setprecision(1) << (eff * 100)
+       << "%";
+  }
+  os << "\n";
+}
+
+StrongScalingStudy mediumStudy() {
+  StrongScalingStudy s;
+  s.title =
+      "Fig. 2 — GPU strong scaling, MEDIUM 2-level RMCRT (256^3 fine / "
+      "64^3 coarse, RR:4, 100 rays)";
+  s.baseProblem = mediumProblem();
+  s.patchSizes = {16, 32, 64};
+  s.gpuCounts = {16, 32, 64, 128, 256, 512, 1024, 2048, 4096};
+  return s;
+}
+
+StrongScalingStudy largeStudy() {
+  StrongScalingStudy s;
+  s.title =
+      "Fig. 3 — GPU strong scaling, LARGE 2-level RMCRT (512^3 fine / "
+      "128^3 coarse, RR:4, 100 rays)";
+  s.baseProblem = largeProblem();
+  s.patchSizes = {16, 32, 64};
+  s.gpuCounts = {128, 256, 512, 1024, 2048, 4096, 8192, 16384};
+  return s;
+}
+
+std::vector<CommStudyRow> commImprovementStudy(const MachineModel& m) {
+  // The paper's Fig. 1 configuration: LARGE problem, 2 levels, 136.31M
+  // cells, 262k patches => fine patch edge 8 (512^3 / 8^3 = 262,144).
+  ProblemConfig p = largeProblem(/*patchSize=*/8);
+  std::vector<CommStudyRow> rows;
+  for (int nodes : {512, 1024, 2048, 4096, 8192, 16384}) {
+    CommStudyRow r;
+    r.nodes = nodes;
+    r.beforeSeconds = localCommTime(m, p, nodes, CommContainer::LockedVector);
+    r.afterSeconds = localCommTime(m, p, nodes, CommContainer::WaitFree);
+    r.speedup = r.beforeSeconds / r.afterSeconds;
+    rows.push_back(r);
+  }
+  return rows;
+}
+
+void printCommStudy(std::ostream& os,
+                    const std::vector<CommStudyRow>& rows) {
+  os << "Table I / Fig. 1 — local communication time before/after "
+        "infrastructure improvements\n";
+  os << std::setw(8) << "#Nodes" << std::setw(14) << "before [s]"
+     << std::setw(14) << "after [s]" << std::setw(12) << "speedup\n";
+  for (const auto& r : rows) {
+    os << std::setw(8) << r.nodes << std::setw(14) << std::fixed
+       << std::setprecision(3) << r.beforeSeconds << std::setw(14)
+       << r.afterSeconds << std::setw(10) << std::setprecision(2)
+       << r.speedup << "X\n";
+  }
+}
+
+double largeProblemEfficiency(const MachineModel& m, int patchSize, int a,
+                              int b) {
+  ProblemConfig p = largeProblem(patchSize);
+  const ScalingPoint pa{a, simulateTimestep(m, p, a)};
+  const ScalingPoint pb{b, simulateTimestep(m, p, b)};
+  return parallelEfficiency(pa, pb);
+}
+
+}  // namespace rmcrt::sim

@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file scaling_study.h
+/// Harnesses that regenerate the paper's evaluation artifacts:
+///  * Figures 2 / 3 — strong scaling of the MEDIUM (256^3) and LARGE
+///    (512^3) 2-level GPU benchmarks for patch sizes 16^3 / 32^3 / 64^3;
+///  * Figure 1 / Table I — local communication time before and after the
+///    infrastructure improvements, 512 -> 16,384 nodes.
+/// Output is printed as aligned text tables, one row per series point.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/perf_model.h"
+
+namespace rmcrt::sim {
+
+/// One figure's worth of strong-scaling series (one per patch size).
+struct StrongScalingStudy {
+  std::string title;
+  ProblemConfig baseProblem;
+  std::vector<int> patchSizes;
+  std::vector<int> gpuCounts;
+
+  struct Series {
+    int patchSize;
+    std::vector<ScalingPoint> points;
+  };
+  std::vector<Series> run(const MachineModel& m) const;
+
+  /// Print the paper-style table: rows = GPU counts, one column per
+  /// patch size, seconds per timestep.
+  void print(std::ostream& os, const MachineModel& m) const;
+};
+
+/// Figure 2: MEDIUM (256^3 fine / 64^3 coarse), up to 4096 GPUs.
+StrongScalingStudy mediumStudy();
+/// Figure 3: LARGE (512^3 fine / 128^3 coarse), up to 16384 GPUs.
+StrongScalingStudy largeStudy();
+
+/// Table I / Figure 1: local communication time at 512..16384 nodes,
+/// before (locked vector) and after (wait-free pool), for the CPU
+/// configuration of the LARGE benchmark (262k patches => patch size 8).
+struct CommStudyRow {
+  int nodes;
+  double beforeSeconds;
+  double afterSeconds;
+  double speedup;
+};
+std::vector<CommStudyRow> commImprovementStudy(const MachineModel& m);
+void printCommStudy(std::ostream& os, const std::vector<CommStudyRow>& rows);
+
+/// The paper's headline efficiency numbers (Section V): parallel
+/// efficiency per Eq. 3 between GPU counts a and b on the LARGE problem.
+double largeProblemEfficiency(const MachineModel& m, int patchSize, int a,
+                              int b);
+
+}  // namespace rmcrt::sim

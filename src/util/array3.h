@@ -1,0 +1,218 @@
+#pragma once
+
+/// \file array3.h
+/// A dense 3-D array addressed by absolute cell indices over a CellRange
+/// window (low inclusive, high exclusive), with a pluggable allocator.
+/// This is the storage engine under grid::CCVariable; the window may
+/// include ghost cells, so indices can be negative.
+
+#include <cassert>
+#include <cstring>
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+#include "util/int_vector.h"
+#include "util/range.h"
+
+namespace rmcrt {
+
+/// Dense row-major (x fastest) 3-D array over a half-open index window.
+///
+/// \tparam T     element type (trivially copyable types get memcpy copies)
+/// \tparam Alloc std::allocator-compatible allocator for T
+template <typename T, typename Alloc = std::allocator<T>>
+class Array3 {
+ public:
+  using value_type = T;
+  using allocator_type = Alloc;
+
+  Array3() = default;
+  explicit Array3(const Alloc& alloc) : m_alloc(alloc) {}
+
+  /// Allocate a window and value-initialize every element.
+  explicit Array3(const CellRange& window, const T& init = T{},
+                  const Alloc& alloc = Alloc())
+      : m_alloc(alloc) {
+    resize(window, init);
+  }
+
+  Array3(const Array3& o) : m_alloc(o.m_alloc) {
+    resizeUninitialized(o.m_window);
+    copyFrom(o.m_data, o.m_window.volume());
+  }
+  Array3& operator=(const Array3& o) {
+    if (this != &o) {
+      release();
+      m_alloc = o.m_alloc;
+      resizeUninitialized(o.m_window);
+      copyFrom(o.m_data, o.m_window.volume());
+    }
+    return *this;
+  }
+
+  Array3(Array3&& o) noexcept
+      : m_alloc(std::move(o.m_alloc)),
+        m_window(o.m_window),
+        m_size(o.m_size),
+        m_data(o.m_data) {
+    o.m_data = nullptr;
+    o.m_window = CellRange();
+  }
+  Array3& operator=(Array3&& o) noexcept {
+    if (this != &o) {
+      release();
+      m_alloc = std::move(o.m_alloc);
+      m_window = o.m_window;
+      m_size = o.m_size;
+      m_data = o.m_data;
+      o.m_data = nullptr;
+      o.m_window = CellRange();
+    }
+    return *this;
+  }
+
+  ~Array3() { release(); }
+
+  /// (Re)allocate to a new window, value-initializing all elements.
+  void resize(const CellRange& window, const T& init = T{}) {
+    resizeUninitialized(window);
+    const std::int64_t n = m_window.volume();
+    for (std::int64_t i = 0; i < n; ++i)
+      std::allocator_traits<Alloc>::construct(m_alloc, m_data + i, init);
+  }
+
+  const CellRange& window() const { return m_window; }
+  std::int64_t size() const { return m_window.volume(); }
+  bool allocated() const { return m_data != nullptr; }
+
+  T* data() { return m_data; }
+  const T* data() const { return m_data; }
+
+  /// Linear offset of an absolute index within this window.
+  std::int64_t offset(const IntVector& idx) const {
+    assert(m_window.contains(idx));
+    const IntVector rel = idx - m_window.low();
+    return rel.x() +
+           m_size.x() * (static_cast<std::int64_t>(rel.y()) +
+                         static_cast<std::int64_t>(m_size.y()) * rel.z());
+  }
+
+  T& operator[](const IntVector& idx) { return m_data[offset(idx)]; }
+  const T& operator[](const IntVector& idx) const {
+    return m_data[offset(idx)];
+  }
+
+  T& at(int x, int y, int z) { return (*this)[IntVector(x, y, z)]; }
+  const T& at(int x, int y, int z) const { return (*this)[IntVector(x, y, z)]; }
+
+  /// Fill the whole window with \p v.
+  void fill(const T& v) {
+    const std::int64_t n = size();
+    for (std::int64_t i = 0; i < n; ++i) m_data[i] = v;
+  }
+
+  /// Copy the sub-box \p region from \p src (must be contained in both
+  /// windows). This is the ghost-exchange workhorse.
+  void copyRegion(const Array3& src, const CellRange& region) {
+    assert(m_window.contains(region));
+    assert(src.m_window.contains(region));
+    for (int z = region.low().z(); z < region.high().z(); ++z) {
+      for (int y = region.low().y(); y < region.high().y(); ++y) {
+        const IntVector rowLo(region.low().x(), y, z);
+        const std::int64_t count = region.high().x() - region.low().x();
+        if constexpr (std::is_trivially_copyable_v<T>) {
+          std::memcpy(&(*this)[rowLo], &src[rowLo],
+                      static_cast<std::size_t>(count) * sizeof(T));
+        } else {
+          for (std::int64_t i = 0; i < count; ++i)
+            m_data[offset(rowLo) + i] = src.m_data[src.offset(rowLo) + i];
+        }
+      }
+    }
+  }
+
+  /// Serialize the sub-box \p region into a flat buffer (row-major).
+  /// Returns the number of elements written.
+  std::int64_t packRegion(const CellRange& region, T* out) const {
+    assert(m_window.contains(region));
+    std::int64_t k = 0;
+    for (int z = region.low().z(); z < region.high().z(); ++z) {
+      for (int y = region.low().y(); y < region.high().y(); ++y) {
+        const IntVector rowLo(region.low().x(), y, z);
+        const std::int64_t count = region.high().x() - region.low().x();
+        if constexpr (std::is_trivially_copyable_v<T>) {
+          std::memcpy(out + k, &(*this)[rowLo],
+                      static_cast<std::size_t>(count) * sizeof(T));
+        } else {
+          for (std::int64_t i = 0; i < count; ++i)
+            out[k + i] = m_data[offset(rowLo) + i];
+        }
+        k += count;
+      }
+    }
+    return k;
+  }
+
+  /// Inverse of packRegion.
+  std::int64_t unpackRegion(const CellRange& region, const T* in) {
+    assert(m_window.contains(region));
+    std::int64_t k = 0;
+    for (int z = region.low().z(); z < region.high().z(); ++z) {
+      for (int y = region.low().y(); y < region.high().y(); ++y) {
+        const IntVector rowLo(region.low().x(), y, z);
+        const std::int64_t count = region.high().x() - region.low().x();
+        if constexpr (std::is_trivially_copyable_v<T>) {
+          std::memcpy(&(*this)[rowLo], in + k,
+                      static_cast<std::size_t>(count) * sizeof(T));
+        } else {
+          for (std::int64_t i = 0; i < count; ++i)
+            m_data[offset(rowLo) + i] = in[k + i];
+        }
+        k += count;
+      }
+    }
+    return k;
+  }
+
+ private:
+  void resizeUninitialized(const CellRange& window) {
+    release();
+    m_window = window;
+    m_size = window.size();
+    const std::int64_t n = window.volume();
+    m_data = n > 0 ? std::allocator_traits<Alloc>::allocate(
+                         m_alloc, static_cast<std::size_t>(n))
+                   : nullptr;
+  }
+
+  void copyFrom(const T* src, std::int64_t n) {
+    if constexpr (std::is_trivially_copyable_v<T>) {
+      if (n > 0)
+        std::memcpy(m_data, src, static_cast<std::size_t>(n) * sizeof(T));
+    } else {
+      for (std::int64_t i = 0; i < n; ++i)
+        std::allocator_traits<Alloc>::construct(m_alloc, m_data + i, src[i]);
+    }
+  }
+
+  void release() {
+    if (m_data) {
+      const std::int64_t n = m_window.volume();
+      if constexpr (!std::is_trivially_destructible_v<T>) {
+        for (std::int64_t i = 0; i < n; ++i)
+          std::allocator_traits<Alloc>::destroy(m_alloc, m_data + i);
+      }
+      std::allocator_traits<Alloc>::deallocate(m_alloc, m_data,
+                                               static_cast<std::size_t>(n));
+      m_data = nullptr;
+    }
+  }
+
+  Alloc m_alloc{};
+  CellRange m_window;
+  IntVector m_size;
+  T* m_data = nullptr;
+};
+
+}  // namespace rmcrt

@@ -1,0 +1,238 @@
+#pragma once
+
+/// \file int_vector.h
+/// Integer and floating-point 3-vectors used throughout the grid,
+/// ray-tracing and runtime layers. Mirrors Uintah's IntVector / Vector
+/// types: IntVector indexes cells on a structured Cartesian mesh, Vector
+/// carries physical positions and ray directions.
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+namespace rmcrt {
+
+/// A 3-component integer vector indexing cells/nodes on a structured mesh.
+///
+/// All arithmetic is component-wise. Comparison operators `<=` / `<` are
+/// *component-wise conjunctions* (as in Uintah), used for box containment
+/// tests; use `operator==` / `operator<=>` only via the named helpers to
+/// avoid confusion with lexicographic ordering (provided separately for
+/// use as a map key via IntVectorLess).
+class IntVector {
+ public:
+  constexpr IntVector() : m_v{0, 0, 0} {}
+  constexpr IntVector(int x, int y, int z) : m_v{x, y, z} {}
+  /// Splat constructor: all three components equal to \p s.
+  constexpr explicit IntVector(int s) : m_v{s, s, s} {}
+
+  constexpr int x() const { return m_v[0]; }
+  constexpr int y() const { return m_v[1]; }
+  constexpr int z() const { return m_v[2]; }
+
+  constexpr int& operator[](int i) { return m_v[i]; }
+  constexpr int operator[](int i) const { return m_v[i]; }
+
+  constexpr IntVector operator+(const IntVector& o) const {
+    return {m_v[0] + o.m_v[0], m_v[1] + o.m_v[1], m_v[2] + o.m_v[2]};
+  }
+  constexpr IntVector operator-(const IntVector& o) const {
+    return {m_v[0] - o.m_v[0], m_v[1] - o.m_v[1], m_v[2] - o.m_v[2]};
+  }
+  constexpr IntVector operator*(const IntVector& o) const {
+    return {m_v[0] * o.m_v[0], m_v[1] * o.m_v[1], m_v[2] * o.m_v[2]};
+  }
+  constexpr IntVector operator/(const IntVector& o) const {
+    return {m_v[0] / o.m_v[0], m_v[1] / o.m_v[1], m_v[2] / o.m_v[2]};
+  }
+  constexpr IntVector operator*(int s) const {
+    return {m_v[0] * s, m_v[1] * s, m_v[2] * s};
+  }
+  constexpr IntVector operator/(int s) const {
+    return {m_v[0] / s, m_v[1] / s, m_v[2] / s};
+  }
+  constexpr IntVector operator-() const { return {-m_v[0], -m_v[1], -m_v[2]}; }
+
+  constexpr IntVector& operator+=(const IntVector& o) {
+    m_v[0] += o.m_v[0];
+    m_v[1] += o.m_v[1];
+    m_v[2] += o.m_v[2];
+    return *this;
+  }
+  constexpr IntVector& operator-=(const IntVector& o) {
+    m_v[0] -= o.m_v[0];
+    m_v[1] -= o.m_v[1];
+    m_v[2] -= o.m_v[2];
+    return *this;
+  }
+
+  constexpr bool operator==(const IntVector& o) const {
+    return m_v[0] == o.m_v[0] && m_v[1] == o.m_v[1] && m_v[2] == o.m_v[2];
+  }
+  constexpr bool operator!=(const IntVector& o) const { return !(*this == o); }
+
+  /// Component-wise "all strictly less" — box containment idiom.
+  constexpr bool allLess(const IntVector& o) const {
+    return m_v[0] < o.m_v[0] && m_v[1] < o.m_v[1] && m_v[2] < o.m_v[2];
+  }
+  /// Component-wise "all less-or-equal".
+  constexpr bool allLessEq(const IntVector& o) const {
+    return m_v[0] <= o.m_v[0] && m_v[1] <= o.m_v[1] && m_v[2] <= o.m_v[2];
+  }
+  /// Component-wise "all greater-or-equal".
+  constexpr bool allGreaterEq(const IntVector& o) const {
+    return m_v[0] >= o.m_v[0] && m_v[1] >= o.m_v[1] && m_v[2] >= o.m_v[2];
+  }
+
+  /// Product of the components; for an extent vector this is the cell count.
+  constexpr std::int64_t volume() const {
+    return static_cast<std::int64_t>(m_v[0]) * m_v[1] * m_v[2];
+  }
+
+  std::string toString() const {
+    std::ostringstream os;
+    os << "[" << m_v[0] << "," << m_v[1] << "," << m_v[2] << "]";
+    return os.str();
+  }
+
+ private:
+  std::array<int, 3> m_v;
+};
+
+constexpr IntVector min(const IntVector& a, const IntVector& b) {
+  return {std::min(a.x(), b.x()), std::min(a.y(), b.y()),
+          std::min(a.z(), b.z())};
+}
+constexpr IntVector max(const IntVector& a, const IntVector& b) {
+  return {std::max(a.x(), b.x()), std::max(a.y(), b.y()),
+          std::max(a.z(), b.z())};
+}
+
+inline std::ostream& operator<<(std::ostream& os, const IntVector& v) {
+  return os << v.toString();
+}
+
+/// Strict weak ordering (lexicographic) for use as an associative-container
+/// key. Kept out of operator< to avoid clashing with box-containment idiom.
+struct IntVectorLess {
+  constexpr bool operator()(const IntVector& a, const IntVector& b) const {
+    if (a.x() != b.x()) return a.x() < b.x();
+    if (a.y() != b.y()) return a.y() < b.y();
+    return a.z() < b.z();
+  }
+};
+
+struct IntVectorHash {
+  std::size_t operator()(const IntVector& v) const {
+    // 3-component mix; constants from splitmix64.
+    std::uint64_t h = static_cast<std::uint32_t>(v.x());
+    h = (h ^ (static_cast<std::uint64_t>(static_cast<std::uint32_t>(v.y()))
+              << 21)) *
+        0x9E3779B97F4A7C15ull;
+    h = (h ^ (h >> 30) ^
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(v.z()))
+          << 42)) *
+        0xBF58476D1CE4E5B9ull;
+    return static_cast<std::size_t>(h ^ (h >> 31));
+  }
+};
+
+/// A 3-component double-precision vector: positions, directions, spacings.
+class Vector {
+ public:
+  constexpr Vector() : m_v{0.0, 0.0, 0.0} {}
+  constexpr Vector(double x, double y, double z) : m_v{x, y, z} {}
+  constexpr explicit Vector(double s) : m_v{s, s, s} {}
+  constexpr explicit Vector(const IntVector& iv)
+      : m_v{static_cast<double>(iv.x()), static_cast<double>(iv.y()),
+            static_cast<double>(iv.z())} {}
+
+  constexpr double x() const { return m_v[0]; }
+  constexpr double y() const { return m_v[1]; }
+  constexpr double z() const { return m_v[2]; }
+
+  constexpr double& operator[](int i) { return m_v[i]; }
+  constexpr double operator[](int i) const { return m_v[i]; }
+
+  constexpr Vector operator+(const Vector& o) const {
+    return {m_v[0] + o.m_v[0], m_v[1] + o.m_v[1], m_v[2] + o.m_v[2]};
+  }
+  constexpr Vector operator-(const Vector& o) const {
+    return {m_v[0] - o.m_v[0], m_v[1] - o.m_v[1], m_v[2] - o.m_v[2]};
+  }
+  constexpr Vector operator*(const Vector& o) const {
+    return {m_v[0] * o.m_v[0], m_v[1] * o.m_v[1], m_v[2] * o.m_v[2]};
+  }
+  constexpr Vector operator/(const Vector& o) const {
+    return {m_v[0] / o.m_v[0], m_v[1] / o.m_v[1], m_v[2] / o.m_v[2]};
+  }
+  constexpr Vector operator*(double s) const {
+    return {m_v[0] * s, m_v[1] * s, m_v[2] * s};
+  }
+  constexpr Vector operator/(double s) const {
+    return {m_v[0] / s, m_v[1] / s, m_v[2] / s};
+  }
+  constexpr Vector operator-() const { return {-m_v[0], -m_v[1], -m_v[2]}; }
+
+  constexpr Vector& operator+=(const Vector& o) {
+    m_v[0] += o.m_v[0];
+    m_v[1] += o.m_v[1];
+    m_v[2] += o.m_v[2];
+    return *this;
+  }
+
+  constexpr bool operator==(const Vector& o) const {
+    return m_v[0] == o.m_v[0] && m_v[1] == o.m_v[1] && m_v[2] == o.m_v[2];
+  }
+
+  constexpr double dot(const Vector& o) const {
+    return m_v[0] * o.m_v[0] + m_v[1] * o.m_v[1] + m_v[2] * o.m_v[2];
+  }
+  double length() const { return std::sqrt(dot(*this)); }
+  constexpr double length2() const { return dot(*this); }
+
+  /// Returns this vector scaled to unit length. Undefined for zero vectors.
+  Vector normalized() const { return *this / length(); }
+
+  /// Component-wise reciprocal with +/-inf for zero components — the form
+  /// ray-marching needs (a zero direction component never crosses planes).
+  Vector safeInverse() const {
+    auto inv = [](double c) {
+      return c == 0.0 ? std::numeric_limits<double>::infinity()
+                      : 1.0 / c;
+    };
+    return {inv(m_v[0]), inv(m_v[1]), inv(m_v[2])};
+  }
+
+  constexpr double minComponent() const {
+    return std::min({m_v[0], m_v[1], m_v[2]});
+  }
+  constexpr double maxComponent() const {
+    return std::max({m_v[0], m_v[1], m_v[2]});
+  }
+
+  std::string toString() const {
+    std::ostringstream os;
+    os << "[" << m_v[0] << "," << m_v[1] << "," << m_v[2] << "]";
+    return os.str();
+  }
+
+ private:
+  std::array<double, 3> m_v;
+};
+
+constexpr Vector operator*(double s, const Vector& v) { return v * s; }
+
+inline std::ostream& operator<<(std::ostream& os, const Vector& v) {
+  return os << v.toString();
+}
+
+}  // namespace rmcrt

@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file logger.h
+/// Minimal leveled, thread-safe logging. Defaults to WARN so library code
+/// stays quiet under test; benchmarks and examples raise the level.
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace rmcrt {
+
+enum class LogLevel : int { Debug = 0, Info = 1, Warn = 2, Error = 3 };
+
+/// Global log configuration and sink (stderr).
+class Logger {
+ public:
+  static Logger& instance() {
+    static Logger g;
+    return g;
+  }
+
+  void setLevel(LogLevel lvl) {
+    m_level.store(static_cast<int>(lvl), std::memory_order_relaxed);
+  }
+  LogLevel level() const {
+    return static_cast<LogLevel>(m_level.load(std::memory_order_relaxed));
+  }
+  bool enabled(LogLevel lvl) const {
+    return static_cast<int>(lvl) >= m_level.load(std::memory_order_relaxed);
+  }
+
+  void write(LogLevel lvl, const std::string& msg) {
+    if (!enabled(lvl)) return;
+    static const char* names[] = {"DEBUG", "INFO", "WARN", "ERROR"};
+    std::lock_guard<std::mutex> lk(m_mutex);
+    std::cerr << "[" << names[static_cast<int>(lvl)] << "] " << msg << "\n";
+  }
+
+ private:
+  Logger() = default;
+  std::atomic<int> m_level{static_cast<int>(LogLevel::Warn)};
+  std::mutex m_mutex;
+};
+
+namespace detail {
+inline void logStream(LogLevel lvl, const std::ostringstream& os) {
+  Logger::instance().write(lvl, os.str());
+}
+}  // namespace detail
+
+#define RMCRT_LOG(lvl, expr)                                   \
+  do {                                                         \
+    if (::rmcrt::Logger::instance().enabled(lvl)) {            \
+      std::ostringstream rmcrt_log_os;                         \
+      rmcrt_log_os << expr;                                    \
+      ::rmcrt::detail::logStream(lvl, rmcrt_log_os);           \
+    }                                                          \
+  } while (0)
+
+#define RMCRT_DEBUG(expr) RMCRT_LOG(::rmcrt::LogLevel::Debug, expr)
+#define RMCRT_INFO(expr) RMCRT_LOG(::rmcrt::LogLevel::Info, expr)
+#define RMCRT_WARN(expr) RMCRT_LOG(::rmcrt::LogLevel::Warn, expr)
+#define RMCRT_ERROR(expr) RMCRT_LOG(::rmcrt::LogLevel::Error, expr)
+
+}  // namespace rmcrt

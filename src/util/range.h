@@ -1,0 +1,149 @@
+#pragma once
+
+/// \file range.h
+/// Half-open 3-D index boxes (\c CellRange) and iteration over them.
+/// A range covers cells with index i where low <= i < high, component-wise.
+
+#include <cassert>
+#include <cstdint>
+#include <iterator>
+#include <ostream>
+
+#include "util/int_vector.h"
+
+namespace rmcrt {
+
+/// A half-open box of cell indices: [low, high) in each dimension.
+/// Empty if any component of high <= low.
+class CellRange {
+ public:
+  constexpr CellRange() = default;
+  constexpr CellRange(const IntVector& low, const IntVector& high)
+      : m_low(low), m_high(high) {}
+
+  constexpr const IntVector& low() const { return m_low; }
+  constexpr const IntVector& high() const { return m_high; }
+
+  /// Extent in each dimension (clamped to zero for empty ranges).
+  constexpr IntVector size() const {
+    return max(m_high - m_low, IntVector(0));
+  }
+  constexpr std::int64_t volume() const { return size().volume(); }
+  constexpr bool empty() const { return volume() == 0; }
+
+  constexpr bool contains(const IntVector& idx) const {
+    return idx.allGreaterEq(m_low) && idx.allLess(m_high);
+  }
+  /// True if \p other lies entirely inside this range.
+  constexpr bool contains(const CellRange& other) const {
+    return other.empty() ||
+           (other.m_low.allGreaterEq(m_low) && other.m_high.allLessEq(m_high));
+  }
+
+  /// Component-wise intersection; may be empty.
+  constexpr CellRange intersect(const CellRange& other) const {
+    return {max(m_low, other.m_low), min(m_high, other.m_high)};
+  }
+  /// Smallest range containing both.
+  constexpr CellRange unionWith(const CellRange& other) const {
+    if (empty()) return other;
+    if (other.empty()) return *this;
+    return {min(m_low, other.m_low), max(m_high, other.m_high)};
+  }
+  /// Range grown by \p n cells on every face (negative shrinks).
+  constexpr CellRange grown(int n) const {
+    return {m_low - IntVector(n), m_high + IntVector(n)};
+  }
+  constexpr CellRange grown(const IntVector& n) const {
+    return {m_low - n, m_high + n};
+  }
+  /// Range translated by \p d.
+  constexpr CellRange shifted(const IntVector& d) const {
+    return {m_low + d, m_high + d};
+  }
+
+  /// Coarsen indices by ratio \p rr with floor semantics valid for negative
+  /// indices (ghost cells below zero).
+  CellRange coarsened(const IntVector& rr) const {
+    auto fdiv = [](int a, int b) {
+      return a >= 0 ? a / b : -((-a + b - 1) / b);
+    };
+    auto cdiv = [](int a, int b) {
+      return a >= 0 ? (a + b - 1) / b : -((-a) / b);
+    };
+    IntVector lo(fdiv(m_low.x(), rr.x()), fdiv(m_low.y(), rr.y()),
+                 fdiv(m_low.z(), rr.z()));
+    IntVector hi(cdiv(m_high.x(), rr.x()), cdiv(m_high.y(), rr.y()),
+                 cdiv(m_high.z(), rr.z()));
+    return {lo, hi};
+  }
+  /// Refine indices by ratio \p rr (exact inverse of coarsened for aligned
+  /// ranges).
+  constexpr CellRange refined(const IntVector& rr) const {
+    return {m_low * rr, m_high * rr};
+  }
+
+  constexpr bool operator==(const CellRange& o) const {
+    return m_low == o.m_low && m_high == o.m_high;
+  }
+
+  /// Forward iterator visiting indices in z-major (x fastest) order,
+  /// matching the linearization used by Array3.
+  class iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = IntVector;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const IntVector*;
+    using reference = const IntVector&;
+
+    iterator() = default;
+    iterator(const CellRange* r, const IntVector& pos) : m_r(r), m_pos(pos) {}
+
+    reference operator*() const { return m_pos; }
+    pointer operator->() const { return &m_pos; }
+
+    iterator& operator++() {
+      m_pos[0]++;
+      if (m_pos[0] >= m_r->high().x()) {
+        m_pos[0] = m_r->low().x();
+        m_pos[1]++;
+        if (m_pos[1] >= m_r->high().y()) {
+          m_pos[1] = m_r->low().y();
+          m_pos[2]++;
+        }
+      }
+      return *this;
+    }
+    iterator operator++(int) {
+      iterator t = *this;
+      ++*this;
+      return t;
+    }
+    bool operator==(const iterator& o) const { return m_pos == o.m_pos; }
+    bool operator!=(const iterator& o) const { return !(*this == o); }
+
+   private:
+    const CellRange* m_r = nullptr;
+    IntVector m_pos;
+  };
+
+  iterator begin() const {
+    if (empty()) return end();
+    return {this, m_low};
+  }
+  iterator end() const {
+    // One past the last index in iteration order.
+    return {this, IntVector(m_low.x(), m_low.y(), m_high.z())};
+  }
+
+ private:
+  IntVector m_low;
+  IntVector m_high;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const CellRange& r) {
+  return os << r.low() << ".." << r.high();
+}
+
+}  // namespace rmcrt

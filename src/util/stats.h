@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file stats.h
+/// Streaming statistics (Welford) and simple aggregate helpers used by
+/// benchmarks, the performance model and accuracy tests.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace rmcrt {
+
+/// Online mean/variance/min/max accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x) {
+    ++m_n;
+    const double delta = x - m_mean;
+    m_mean += delta / static_cast<double>(m_n);
+    m_m2 += delta * (x - m_mean);
+    m_min = std::min(m_min, x);
+    m_max = std::max(m_max, x);
+    m_sum += x;
+  }
+
+  std::int64_t count() const { return m_n; }
+  double mean() const { return m_mean; }
+  double sum() const { return m_sum; }
+  /// Sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  double variance() const {
+    return m_n > 1 ? m_m2 / static_cast<double>(m_n - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return m_n ? m_min : 0.0; }
+  double max() const { return m_n ? m_max : 0.0; }
+
+ private:
+  std::int64_t m_n = 0;
+  double m_mean = 0.0;
+  double m_m2 = 0.0;
+  double m_sum = 0.0;
+  double m_min = std::numeric_limits<double>::infinity();
+  double m_max = -std::numeric_limits<double>::infinity();
+};
+
+/// Relative L2 error between two equally-sized samples:
+/// ||a-b||_2 / ||b||_2 (with b the reference).
+inline double relativeL2Error(const std::vector<double>& a,
+                              const std::vector<double>& b) {
+  double num = 0.0, den = 0.0;
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = a[i] - b[i];
+    num += d * d;
+    den += b[i] * b[i];
+  }
+  return den > 0.0 ? std::sqrt(num / den) : std::sqrt(num);
+}
+
+/// Max-norm error.
+inline double maxAbsError(const std::vector<double>& a,
+                          const std::vector<double>& b) {
+  double m = 0.0;
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) m = std::max(m, std::abs(a[i] - b[i]));
+  return m;
+}
+
+}  // namespace rmcrt

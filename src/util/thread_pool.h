@@ -1,0 +1,133 @@
+#pragma once
+
+/// \file thread_pool.h
+/// A fixed-size worker pool with a shared task queue, plus a parallel_for
+/// helper with static chunking. Used by the simulated GPU executor (each
+/// worker models an SM-like execution slot) and by the multi-threaded
+/// scheduler tests.
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rmcrt {
+
+/// A minimal thread pool. Tasks are `std::function<void()>`; submission is
+/// thread-safe; `waitIdle()` blocks until every submitted task has run.
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t numThreads) {
+    if (numThreads == 0) numThreads = 1;
+    m_workers.reserve(numThreads);
+    for (std::size_t i = 0; i < numThreads; ++i) {
+      m_workers.emplace_back([this, i] { workerLoop(i); });
+    }
+  }
+
+  ~ThreadPool() { shutdown(); }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return m_workers.size(); }
+
+  /// Enqueue a task for execution by any worker.
+  void submit(std::function<void()> fn) {
+    {
+      std::lock_guard<std::mutex> lk(m_mutex);
+      m_queue.push_back(std::move(fn));
+      m_pending.fetch_add(1, std::memory_order_relaxed);
+    }
+    m_cv.notify_one();
+  }
+
+  /// Block until the queue is drained and all in-flight tasks finished.
+  void waitIdle() {
+    std::unique_lock<std::mutex> lk(m_mutex);
+    m_idleCv.wait(lk, [this] {
+      return m_pending.load(std::memory_order_acquire) == 0;
+    });
+  }
+
+  /// Stop accepting work and join all workers (idempotent).
+  void shutdown() {
+    {
+      std::lock_guard<std::mutex> lk(m_mutex);
+      if (m_stop) return;
+      m_stop = true;
+    }
+    m_cv.notify_all();
+    for (auto& t : m_workers)
+      if (t.joinable()) t.join();
+  }
+
+  /// Run fn(i) for i in [begin, end) across the pool, blocking the caller
+  /// until complete. Static chunking: ~4 chunks per worker.
+  void parallelFor(std::int64_t begin, std::int64_t end,
+                   const std::function<void(std::int64_t)>& fn) {
+    const std::int64_t n = end - begin;
+    if (n <= 0) return;
+    const std::int64_t nChunks =
+        std::min<std::int64_t>(n, static_cast<std::int64_t>(size()) * 4);
+    const std::int64_t chunk = (n + nChunks - 1) / nChunks;
+    std::atomic<std::int64_t> done{0};
+    std::mutex doneMutex;
+    std::condition_variable doneCv;
+    std::int64_t launched = 0;
+    for (std::int64_t c = begin; c < end; c += chunk) {
+      const std::int64_t lo = c;
+      const std::int64_t hi = std::min(end, c + chunk);
+      ++launched;
+      submit([lo, hi, &fn, &done, &doneMutex, &doneCv] {
+        for (std::int64_t i = lo; i < hi; ++i) fn(i);
+        if (done.fetch_add(1, std::memory_order_acq_rel) >= 0) {
+          std::lock_guard<std::mutex> lk(doneMutex);
+          doneCv.notify_all();
+        }
+      });
+    }
+    std::unique_lock<std::mutex> lk(doneMutex);
+    doneCv.wait(lk, [&] {
+      return done.load(std::memory_order_acquire) == launched;
+    });
+  }
+
+ private:
+  void workerLoop(std::size_t /*workerId*/) {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lk(m_mutex);
+        m_cv.wait(lk, [this] { return m_stop || !m_queue.empty(); });
+        if (m_queue.empty()) {
+          if (m_stop) return;
+          continue;
+        }
+        task = std::move(m_queue.front());
+        m_queue.pop_front();
+      }
+      task();
+      if (m_pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lk(m_mutex);
+        m_idleCv.notify_all();
+      }
+    }
+  }
+
+  std::vector<std::thread> m_workers;
+  std::deque<std::function<void()>> m_queue;
+  std::mutex m_mutex;
+  std::condition_variable m_cv;
+  std::condition_variable m_idleCv;
+  std::atomic<std::int64_t> m_pending{0};
+  bool m_stop = false;
+};
+
+}  // namespace rmcrt

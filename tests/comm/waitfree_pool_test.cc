@@ -1,0 +1,203 @@
+#include "comm/waitfree_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace rmcrt::comm {
+namespace {
+
+struct Item {
+  int id = 0;
+  bool ready = false;
+};
+
+TEST(WaitFreePool, EmplaceFindErase) {
+  WaitFreePool<Item> pool;
+  pool.emplace(Item{1, true});
+  pool.emplace(Item{2, false});
+  EXPECT_EQ(pool.size(), 2u);
+
+  auto it = pool.find_any([](const Item& i) { return i.ready; });
+  ASSERT_TRUE(static_cast<bool>(it));
+  EXPECT_EQ(it->id, 1);
+  pool.erase(it);
+  EXPECT_EQ(pool.size(), 1u);
+
+  auto none = pool.find_any([](const Item& i) { return i.ready; });
+  EXPECT_FALSE(static_cast<bool>(none));
+}
+
+TEST(WaitFreePool, IteratorReleaseOnDestructionReturnsSlot) {
+  WaitFreePool<Item> pool;
+  pool.emplace(Item{1, true});
+  {
+    auto it = pool.find_any([](const Item& i) { return i.ready; });
+    ASSERT_TRUE(static_cast<bool>(it));
+    // While claimed, no other iterator can reach the same element.
+    auto it2 = pool.find_any([](const Item& i) { return i.ready; });
+    EXPECT_FALSE(static_cast<bool>(it2));
+  }  // it released without erase
+  auto it3 = pool.find_any([](const Item& i) { return i.ready; });
+  EXPECT_TRUE(static_cast<bool>(it3));
+}
+
+TEST(WaitFreePool, IteratorMoveTransfersClaim) {
+  WaitFreePool<Item> pool;
+  pool.emplace(Item{7, true});
+  auto it = pool.find_any([](const Item&) { return true; });
+  ASSERT_TRUE(static_cast<bool>(it));
+  auto it2 = std::move(it);
+  EXPECT_FALSE(static_cast<bool>(it));  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(it2));
+  EXPECT_EQ(it2->id, 7);
+  pool.erase(it2);
+  EXPECT_TRUE(pool.empty());
+}
+
+TEST(WaitFreePool, GrowsBeyondOneSegment) {
+  WaitFreePool<Item, 8> pool;  // tiny segments
+  for (int i = 0; i < 100; ++i) pool.emplace(Item{i, true});
+  EXPECT_EQ(pool.size(), 100u);
+  std::set<int> ids;
+  for (;;) {
+    auto it = pool.find_any([](const Item&) { return true; });
+    if (!it) break;
+    ids.insert(it->id);
+    pool.erase(it);
+  }
+  EXPECT_EQ(ids.size(), 100u);
+  EXPECT_TRUE(pool.empty());
+}
+
+TEST(WaitFreePool, SlotReuseAfterErase) {
+  WaitFreePool<Item, 4> pool;
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 4; ++i) pool.emplace(Item{i, true});
+    for (int i = 0; i < 4; ++i) {
+      auto it = pool.find_any([](const Item&) { return true; });
+      ASSERT_TRUE(static_cast<bool>(it));
+      pool.erase(it);
+    }
+  }
+  EXPECT_TRUE(pool.empty());
+}
+
+TEST(WaitFreePool, NonTrivialElementDestroyed) {
+  auto counter = std::make_shared<int>(0);
+  struct Probe {
+    std::shared_ptr<int> c;
+    Probe(std::shared_ptr<int> counter) : c(std::move(counter)) {}
+    Probe(Probe&&) = default;  // user-declared dtor suppresses implicit move
+    Probe& operator=(Probe&&) = default;
+    ~Probe() {
+      if (c) ++*c;
+    }
+  };
+  {
+    WaitFreePool<Probe> pool;
+    pool.emplace(Probe{counter});
+    pool.emplace(Probe{counter});
+    auto it = pool.find_any([](const Probe&) { return true; });
+    ASSERT_TRUE(static_cast<bool>(it));
+    pool.erase(it);                 // one destroyed by erase
+    EXPECT_EQ(*counter, 1);
+  }                                 // one destroyed by pool destructor
+  EXPECT_EQ(*counter, 2);
+}
+
+// The paper's core guarantee: "no two threads can have iterators which
+// dereference to the same object." Threads claim elements concurrently
+// and mark them; any element processed twice is a violation.
+TEST(WaitFreePool, ExactlyOnceProcessingUnderContention) {
+  WaitFreePool<Item, 64> pool;
+  constexpr int kItems = 20000;
+  for (int i = 0; i < kItems; ++i) pool.emplace(Item{i, true});
+
+  std::vector<std::atomic<int>> processed(kItems);
+  std::atomic<int> total{0};
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (;;) {
+        auto it = pool.find_any([](const Item& i) { return i.ready; });
+        if (!it) break;
+        processed[it->id].fetch_add(1);
+        pool.erase(it);
+        total.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(total.load(), kItems);
+  for (int i = 0; i < kItems; ++i)
+    EXPECT_EQ(processed[i].load(), 1) << "item " << i;
+  EXPECT_TRUE(pool.empty());
+}
+
+// Producers and consumers run simultaneously: emplace is wait-free with
+// respect to concurrent claims.
+TEST(WaitFreePool, ConcurrentProduceConsume) {
+  WaitFreePool<Item, 32> pool;
+  constexpr int kPerProducer = 5000;
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  std::atomic<int> consumed{0};
+  std::atomic<bool> done{false};
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i)
+        pool.emplace(Item{p * kPerProducer + i, true});
+    });
+  }
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      while (!done.load() || !pool.empty()) {
+        auto it = pool.find_any([](const Item& i) { return i.ready; });
+        if (it) {
+          pool.erase(it);
+          consumed.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  done.store(true);
+  for (auto& t : consumers) t.join();
+  EXPECT_EQ(consumed.load(), kPerProducer * kProducers);
+}
+
+TEST(WaitFreePool, PredicateSeesConsistentElement) {
+  // The predicate runs under the claim, so partially-constructed elements
+  // are never visible: every observed element must be fully initialized.
+  WaitFreePool<std::pair<int, int>, 16> pool;
+  std::atomic<bool> bad{false};
+  std::atomic<bool> stop{false};
+  std::thread producer([&] {
+    for (int i = 0; i < 30000; ++i) pool.emplace(std::make_pair(i, ~i));
+    stop.store(true);
+  });
+  std::thread consumer([&] {
+    while (!stop.load() || !pool.empty()) {
+      auto it = pool.find_any([&](const std::pair<int, int>& p) {
+        if (p.second != ~p.first) bad.store(true);
+        return true;
+      });
+      if (it) pool.erase(it);
+    }
+  });
+  producer.join();
+  consumer.join();
+  EXPECT_FALSE(bad.load());
+}
+
+}  // namespace
+}  // namespace rmcrt::comm

@@ -1,0 +1,142 @@
+/// Integration of the concurrent GPU task executor with the RMCRT kernel
+/// and the level database: many patch tasks in flight on streams, each
+/// staging its ROI privately while sharing the single coarse-level device
+/// copy — the full Section III-C execution pattern — validated bitwise
+/// against the serial solver.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/problems.h"
+#include "core/rmcrt_component.h"
+#include "gpu/gpu_task_executor.h"
+#include "grid/operators.h"
+
+namespace rmcrt::core {
+namespace {
+
+using grid::CCVariable;
+using grid::CellType;
+using grid::Grid;
+
+TEST(GpuBatchTrace, ConcurrentPatchTasksShareLevelDbAndMatchSerial) {
+  auto grid = Grid::makeTwoLevel(Vector(0.0), Vector(1.0), IntVector(16),
+                                 IntVector(4), IntVector(4), IntVector(4));
+  RmcrtSetup setup;
+  setup.problem = burnsChriston();
+  setup.trace.nDivQRays = 8;
+  setup.trace.seed = 13;
+  setup.roiHalo = 2;
+
+  const grid::Level& fine = grid->fineLevel();
+  const grid::Level& coarse = grid->coarseLevel();
+
+  // Host fields (what the DataWarehouse would stage).
+  CCVariable<double> fAbs(fine.cells(), 0.0), fSig(fine.cells(), 0.0);
+  CCVariable<CellType> fCt(fine.cells(), CellType::Flow);
+  initializeProperties(fine, setup.problem, fAbs, fSig, fCt);
+  CCVariable<double> cAbs(coarse.cells(), 0.0), cSig(coarse.cells(), 0.0);
+  CCVariable<CellType> cCt(coarse.cells(), CellType::Flow);
+  grid::coarsenAverage(fAbs, IntVector(4), cAbs, coarse.cells());
+  grid::coarsenAverage(fSig, IntVector(4), cSig, coarse.cells());
+  grid::coarsenCellType(fCt, IntVector(4), cCt, coarse.cells());
+
+  gpu::GpuDevice::Config cfg;
+  cfg.globalMemoryBytes = 64 << 20;
+  cfg.workerSlots = 2;
+  gpu::GpuDevice dev(cfg);
+  gpu::GpuDataWarehouse gdw(dev);
+
+  // Shared coarse upload happens once, up front (level database).
+  gdw.getOrUploadLevelVar("abskg", 0, cAbs);
+  gdw.getOrUploadLevelVar("sigmaT4OverPi", 0, cSig);
+  gdw.getOrUploadLevelVar("cellType", 0, cCt);
+
+  const WallProperties walls{0.0, 1.0};
+  std::vector<CCVariable<double>> results;
+  results.reserve(fine.numPatches());
+  for (const grid::Patch& p : fine.patches())
+    results.emplace_back(p.cells(), 0.0);
+
+  std::vector<gpu::GpuPatchTask> tasks;
+  for (std::size_t i = 0; i < fine.numPatches(); ++i) {
+    // (patch reference is re-bound inside each lambda via init-capture)
+    gpu::GpuPatchTask t;
+    t.stage = [&, i, &p = fine.patch(i)](gpu::GpuStream& s) {
+      // Private ROI staging (ghosted copies of the fine fields).
+      const CellRange roi =
+          p.ghostWindow(setup.roiHalo).intersect(fine.cells());
+      CCVariable<double> roiAbs(roi, 0.0), roiSig(roi, 0.0);
+      CCVariable<CellType> roiCt(roi, CellType::Flow);
+      roiAbs.copyRegion(fAbs, roi);
+      roiSig.copyRegion(fSig, roi);
+      roiCt.copyRegion(fCt, roi);
+      gdw.putPatchVar("abskg", p.id(), roiAbs, &s);
+      gdw.putPatchVar("sigmaT4OverPi", p.id(), roiSig, &s);
+      gdw.putPatchVar("cellType", p.id(), roiCt, &s);
+      gdw.allocatePatchVar("divQ", p.id(), p.cells(), sizeof(double));
+      // NOTE: host ROI temporaries die here, but the stream copied them
+      // synchronously? No: uploads are enqueued. Keep them alive by
+      // synchronizing the staging copies now (cheap at this scale).
+      s.synchronize();
+    };
+    t.kernel = [&, &p = fine.patch(i)] {
+      TraceLevel fineTL{
+          LevelGeom::from(fine),
+          RadiationFieldsView{
+              FieldView<double>::fromDevice(gdw.getPatchVar("abskg", p.id())),
+              FieldView<double>::fromDevice(
+                  gdw.getPatchVar("sigmaT4OverPi", p.id())),
+              FieldView<CellType>::fromDevice(
+                  gdw.getPatchVar("cellType", p.id()))},
+          gdw.getPatchVar("abskg", p.id()).window};
+      TraceLevel coarseTL{
+          LevelGeom::from(coarse),
+          RadiationFieldsView{
+              FieldView<double>::fromDevice(
+                  gdw.getOrUploadLevelVar("abskg", 0, cAbs)),
+              FieldView<double>::fromDevice(
+                  gdw.getOrUploadLevelVar("sigmaT4OverPi", 0, cSig)),
+              FieldView<CellType>::fromDevice(
+                  gdw.getOrUploadLevelVar("cellType", 0, cCt))},
+          coarse.cells()};
+      Tracer tracer({fineTL, coarseTL}, walls, setup.trace);
+      gpu::DeviceVar out = gdw.getPatchVar("divQ", p.id());
+      tracer.computeDivQ(p.cells(),
+                         MutableFieldView<double>::fromDevice(out));
+    };
+    t.finish = [&, i, &p = fine.patch(i)](gpu::GpuStream& s) {
+      gdw.fetchPatchVar("divQ", p.id(), results[i], &s);
+      s.synchronize();
+      gdw.removePatchVar("abskg", p.id());
+      gdw.removePatchVar("sigmaT4OverPi", p.id());
+      gdw.removePatchVar("cellType", p.id());
+      gdw.removePatchVar("divQ", p.id());
+    };
+    tasks.push_back(std::move(t));
+  }
+
+  const gpu::ExecutorStats stats = runGpuTasks(dev, tasks, 4);
+  EXPECT_EQ(stats.tasksRun, static_cast<int>(fine.numPatches()));
+  EXPECT_GT(stats.maxConcurrentResident, 1)
+      << "batch execution should actually overlap tasks";
+  EXPECT_EQ(gdw.numLevelVarCopies(), 3u);
+
+  const CCVariable<double> serial =
+      RmcrtComponent::solveSerialTwoLevel(*grid, setup);
+  for (std::size_t i = 0; i < fine.numPatches(); ++i) {
+    for (const auto& c : fine.patch(i).cells())
+      ASSERT_DOUBLE_EQ(results[i][c], serial[c])
+          << "patch " << i << " cell " << c;
+  }
+  // After the batch, only the shared level database remains resident.
+  const std::size_t levelBytes =
+      mem::MmapArena::roundToPages(cAbs.sizeBytes()) +
+      mem::MmapArena::roundToPages(cSig.sizeBytes()) +
+      mem::MmapArena::roundToPages(cCt.sizeBytes());
+  EXPECT_EQ(dev.bytesInUse(), levelBytes);
+}
+
+}  // namespace
+}  // namespace rmcrt::core

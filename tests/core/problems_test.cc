@@ -1,0 +1,72 @@
+#include "core/problems.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "grid/grid.h"
+
+namespace rmcrt::core {
+namespace {
+
+TEST(BurnsChriston, KappaPeaksAtCenterFallsToCorners) {
+  RadiationProblem p = burnsChriston();
+  EXPECT_NEAR(p.abskg(Vector(0.5, 0.5, 0.5)), 1.0, 1e-12);
+  EXPECT_NEAR(p.abskg(Vector(0.0, 0.0, 0.0)), 0.1, 1e-12);
+  EXPECT_NEAR(p.abskg(Vector(1.0, 1.0, 1.0)), 0.1, 1e-12);
+  EXPECT_NEAR(p.abskg(Vector(0.0, 0.5, 0.5)), 0.1, 1e-12);
+}
+
+TEST(BurnsChriston, SeparableProductForm) {
+  RadiationProblem p = burnsChriston();
+  // kappa - 0.1 factors into the three 1-D hat functions.
+  auto hat = [](double t) { return 1.0 - 2.0 * std::abs(t - 0.5); };
+  const Vector x(0.3, 0.7, 0.55);
+  EXPECT_NEAR(p.abskg(x) - 0.1,
+              0.9 * hat(x.x()) * hat(x.y()) * hat(x.z()), 1e-12);
+}
+
+TEST(BurnsChriston, UniformSourceColdWalls) {
+  RadiationProblem p = burnsChriston();
+  EXPECT_DOUBLE_EQ(p.sigmaT4OverPi(Vector(0.2, 0.9, 0.1)), 1.0 / M_PI);
+  EXPECT_DOUBLE_EQ(p.wallSigmaT4OverPi, 0.0);
+  EXPECT_DOUBLE_EQ(p.wallEmissivity, 1.0);
+}
+
+TEST(UniformMedium, ConstantEverywhere) {
+  RadiationProblem p = uniformMedium(2.5, 3.0);
+  EXPECT_DOUBLE_EQ(p.abskg(Vector(0.1, 0.1, 0.1)), 2.5);
+  EXPECT_DOUBLE_EQ(p.abskg(Vector(0.9, 0.2, 0.7)), 2.5);
+  EXPECT_DOUBLE_EQ(p.sigmaT4OverPi(Vector(0.5, 0.5, 0.5)), 3.0 / M_PI);
+  EXPECT_DOUBLE_EQ(p.wallSigmaT4OverPi, 3.0 / M_PI);
+}
+
+TEST(SyntheticBoiler, HotCoreCoolerWalls) {
+  RadiationProblem p = syntheticBoiler();
+  const double core = p.sigmaT4OverPi(Vector(0.5, 0.5, 0.4));
+  const double corner = p.sigmaT4OverPi(Vector(0.0, 0.0, 1.0));
+  EXPECT_GT(core, 10.0 * corner);
+  EXPECT_GT(p.abskg(Vector(0.5, 0.5, 0.4)), p.abskg(Vector(0.0, 0.0, 0.0)));
+  EXPECT_GT(p.wallSigmaT4OverPi, 0.0);
+  EXPECT_LT(p.wallEmissivity, 1.0);
+}
+
+TEST(InitializeProperties, SamplesCellCentersIncludingGhosts) {
+  auto g = grid::Grid::makeSingleLevel(Vector(0.0), Vector(1.0),
+                                       IntVector(8), IntVector(8));
+  const grid::Level& level = g->fineLevel();
+  grid::Patch p(0, 0, CellRange(IntVector(2), IntVector(6)));
+  grid::CCVariable<double> abskg(p, 2, 0.0);
+  grid::CCVariable<double> sig(p, 2, 0.0);
+  grid::CCVariable<grid::CellType> ct(p, 2, grid::CellType::Flow);
+  RadiationProblem prob = burnsChriston();
+  initializeProperties(level, prob, abskg, sig, ct);
+  for (const auto& c : abskg.window()) {
+    EXPECT_DOUBLE_EQ(abskg[c], prob.abskg(level.cellCenter(c)));
+    EXPECT_DOUBLE_EQ(sig[c], 1.0 / M_PI);
+    EXPECT_EQ(ct[c], grid::CellType::Flow);
+  }
+}
+
+}  // namespace
+}  // namespace rmcrt::core

@@ -1,0 +1,138 @@
+#include "core/spectral.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/problems.h"
+#include "grid/grid.h"
+
+namespace rmcrt::core {
+namespace {
+
+using grid::CCVariable;
+using grid::CellType;
+using grid::Grid;
+
+struct SpectralHarness {
+  std::shared_ptr<Grid> grid;
+  CCVariable<double> abskg, sig;
+  CCVariable<CellType> ct;
+  WallProperties walls;
+
+  explicit SpectralHarness(const RadiationProblem& prob, int n = 12)
+      : grid(Grid::makeSingleLevel(Vector(0.0), Vector(1.0), IntVector(n),
+                                   IntVector(n))),
+        abskg(grid->fineLevel().cells(), 0.0),
+        sig(grid->fineLevel().cells(), 0.0),
+        ct(grid->fineLevel().cells(), CellType::Flow),
+        walls{prob.wallSigmaT4OverPi, prob.wallEmissivity} {
+    initializeProperties(grid->fineLevel(), prob, abskg, sig, ct);
+  }
+
+  std::vector<TraceLevel> levels() const {
+    return {TraceLevel{LevelGeom::from(grid->fineLevel()),
+                       RadiationFieldsView{
+                           FieldView<double>::fromHost(abskg),
+                           FieldView<double>::fromHost(sig),
+                           FieldView<CellType>::fromHost(ct)},
+                       grid->fineLevel().cells()}};
+  }
+};
+
+TEST(BandModel, ThreebandIsPlanckConsistent) {
+  const BandModel bands = threeband();
+  double wsum = 0.0;
+  for (const auto& b : bands) wsum += b.weight;
+  EXPECT_NEAR(wsum, 1.0, 1e-12);
+  // Planck-weighted mean kappa scale equals the gray mean (within the
+  // rounding of the published-style coefficients).
+  EXPECT_NEAR(planckMeanScale(bands), 1.0, 0.01);
+}
+
+TEST(SpectralTracer, SingleGrayBandMatchesGrayTracerExactly) {
+  SpectralHarness h(burnsChriston());
+  TraceConfig cfg;
+  cfg.nDivQRays = 16;
+  cfg.seed = 9;
+
+  SpectralTracer spectral(h.levels(), h.walls, cfg, grayBand());
+  CCVariable<double> sq(h.grid->fineLevel().cells(), 0.0);
+  spectral.computeDivQ(h.grid->fineLevel().cells(),
+                       MutableFieldView<double>::fromHost(sq));
+
+  Tracer gray(h.levels(), h.walls, cfg);
+  CCVariable<double> gq(h.grid->fineLevel().cells(), 0.0);
+  gray.computeDivQ(h.grid->fineLevel().cells(),
+                   MutableFieldView<double>::fromHost(gq));
+
+  for (const auto& c : sq.window())
+    EXPECT_DOUBLE_EQ(sq[c], gq[c]) << "cell " << c;
+}
+
+TEST(SpectralTracer, EquilibriumStillZero) {
+  // Radiative equilibrium holds band by band (each band sees a uniform
+  // medium with matching hot walls), so spectral divQ is also zero.
+  SpectralHarness h(uniformMedium(4.0, 1.0));
+  TraceConfig cfg;
+  cfg.nDivQRays = 8;
+  cfg.threshold = 1e-12;
+  SpectralTracer spectral(h.levels(), h.walls, cfg, threeband());
+  CCVariable<double> q(h.grid->fineLevel().cells(), 0.0);
+  spectral.computeDivQ(h.grid->fineLevel().cells(),
+                       MutableFieldView<double>::fromHost(q));
+  for (const auto& c : q.window()) EXPECT_NEAR(q[c], 0.0, 1e-9);
+}
+
+TEST(SpectralTracer, WindowBandLosesMoreFromTheCenter) {
+  // Non-gray physics: with cold walls, the optically thin window band
+  // lets the domain center radiate straight to the walls, so the
+  // spectral divQ at the center EXCEEDS the gray result computed from
+  // the Planck-mean kappa (the classic non-gray enhancement).
+  SpectralHarness h(uniformMedium(8.0, 1.0), 16);
+  h.walls.sigmaT4OverPi = 0.0;  // cold walls
+  TraceConfig cfg;
+  cfg.nDivQRays = 300;
+  cfg.threshold = 1e-9;
+
+  SpectralTracer spectral(h.levels(), h.walls, cfg, threeband());
+  Tracer gray(h.levels(), h.walls, cfg);
+
+  const IntVector center(8, 8, 8);
+  CCVariable<double> sq(CellRange(center, center + IntVector(1)), 0.0);
+  spectral.computeDivQ(sq.window(), MutableFieldView<double>::fromHost(sq));
+  const double grayI = gray.meanIncomingIntensity(center);
+  const double grayQ = 4.0 * M_PI * 8.0 * (1.0 / M_PI - grayI);
+
+  EXPECT_GT(sq[center], grayQ * 1.1)
+      << "the transparent band must enhance net loss at the center";
+}
+
+TEST(SpectralTracer, BandIntensitiesOrderedByOpacity) {
+  // Cold walls: the more transparent a band, the less of the medium's
+  // emission reaches the detector (shorter emitting paths + wall escape),
+  // so band intensity increases with kappa scale.
+  SpectralHarness h(uniformMedium(8.0, 1.0), 16);
+  h.walls.sigmaT4OverPi = 0.0;
+  TraceConfig cfg;
+  cfg.nDivQRays = 400;
+  cfg.threshold = 1e-9;
+  SpectralTracer spectral(h.levels(), h.walls, cfg, threeband());
+  const auto I = spectral.bandIntensities(IntVector(8, 8, 8));
+  ASSERT_EQ(I.size(), 3u);
+  EXPECT_LT(I[0], I[1]);  // window < moderate
+  EXPECT_LT(I[1], I[2]);  // moderate < strong
+}
+
+TEST(SpectralTracer, BandCountScalesWork) {
+  SpectralHarness h(burnsChriston());
+  TraceConfig cfg;
+  cfg.nDivQRays = 4;
+  SpectralTracer one(h.levels(), h.walls, cfg, grayBand());
+  SpectralTracer three(h.levels(), h.walls, cfg, threeband());
+  EXPECT_EQ(one.numBands(), 1u);
+  EXPECT_EQ(three.numBands(), 3u);
+}
+
+}  // namespace
+}  // namespace rmcrt::core

@@ -1,0 +1,153 @@
+#include "gpu/gpu_data_warehouse.h"
+
+#include <gtest/gtest.h>
+
+namespace rmcrt::gpu {
+namespace {
+
+using grid::CCVariable;
+using grid::CellRange;
+using grid::Patch;
+
+GpuDevice::Config cfg(std::size_t bytes = 64 << 20) {
+  GpuDevice::Config c;
+  c.globalMemoryBytes = bytes;
+  return c;
+}
+
+CCVariable<double> makeHostVar(int seed, int side = 8) {
+  CCVariable<double> v(CellRange(IntVector(0), IntVector(side)), 0.0);
+  for (const auto& c : v.window())
+    v[c] = seed + c.x() + 0.1 * c.y() + 0.01 * c.z();
+  return v;
+}
+
+TEST(GpuDataWarehouse, PutFetchPatchVarRoundTrip) {
+  GpuDevice dev(cfg());
+  GpuDataWarehouse dw(dev);
+  CCVariable<double> host = makeHostVar(5);
+  dw.putPatchVar("abskg", 0, host);
+  EXPECT_TRUE(dw.hasPatchVar("abskg", 0));
+  EXPECT_FALSE(dw.hasPatchVar("abskg", 1));
+
+  CCVariable<double> back(host.window(), 0.0);
+  dw.fetchPatchVar("abskg", 0, back);
+  for (const auto& c : host.window()) EXPECT_DOUBLE_EQ(back[c], host[c]);
+}
+
+TEST(GpuDataWarehouse, DeviceVarOffsetMatchesArrayLayout) {
+  GpuDevice dev(cfg());
+  GpuDataWarehouse dw(dev);
+  CCVariable<double> host = makeHostVar(1, 4);
+  DeviceVar& dv = dw.putPatchVar("v", 0, host);
+  for (const auto& c : host.window())
+    EXPECT_DOUBLE_EQ(dv.as<double>()[dv.offset(c)], host[c]);
+}
+
+TEST(GpuDataWarehouse, AllocatePatchVarForOutputs) {
+  GpuDevice dev(cfg());
+  GpuDataWarehouse dw(dev);
+  const CellRange w(IntVector(0), IntVector(16));
+  DeviceVar& dv = dw.allocatePatchVar("divQ", 3, w, sizeof(double));
+  EXPECT_EQ(dv.bytes, 16u * 16 * 16 * 8);
+  EXPECT_NE(dv.devPtr, nullptr);
+  // Write through the device pointer then read back via fetch.
+  dv.as<double>()[0] = 42.0;
+  EXPECT_DOUBLE_EQ(dv.as<double>()[0], 42.0);
+}
+
+TEST(GpuDataWarehouse, LevelDatabaseUploadsExactlyOnce) {
+  GpuDevice dev(cfg());
+  GpuDataWarehouse dw(dev, GpuDataWarehouse::Mode::LevelDatabase);
+  CCVariable<double> coarse = makeHostVar(7, 16);
+
+  DeviceVar& a = dw.getOrUploadLevelVar("abskg", 0, coarse);
+  const auto h2dAfterFirst = dev.stats().h2dBytes;
+  // Ten more patch tasks request the same level var.
+  for (int p = 0; p < 10; ++p) {
+    DeviceVar& again = dw.getOrUploadLevelVar("abskg", 0, coarse, p);
+    EXPECT_EQ(again.devPtr, a.devPtr) << "level DB must share one copy";
+  }
+  EXPECT_EQ(dev.stats().h2dBytes, h2dAfterFirst) << "no extra PCIe traffic";
+  EXPECT_EQ(dw.numLevelVarCopies(), 1u);
+}
+
+TEST(GpuDataWarehouse, PerPatchModeUploadsPerPatch) {
+  GpuDevice dev(cfg());
+  GpuDataWarehouse dw(dev, GpuDataWarehouse::Mode::PerPatchCopies);
+  CCVariable<double> coarse = makeHostVar(7, 16);
+  const std::size_t oneCopy = coarse.sizeBytes();
+
+  for (int p = 0; p < 4; ++p)
+    dw.getOrUploadLevelVar("abskg", 0, coarse, p);
+  EXPECT_EQ(dw.numLevelVarCopies(), 4u);
+  EXPECT_EQ(dev.stats().h2dBytes, 4 * oneCopy);
+  EXPECT_GE(dev.bytesInUse(), 4 * oneCopy);
+}
+
+TEST(GpuDataWarehouse, PerPatchModeExhaustsSmallDevice) {
+  // The Section III-C failure: per-patch coarse copies exceed device
+  // memory where the shared level DB fits comfortably.
+  CCVariable<double> coarse = makeHostVar(3, 32);  // 256 KiB
+  const std::size_t devBytes = 1 << 20;            // 1 MiB "GPU"
+
+  GpuDevice devShared(cfg(devBytes));
+  GpuDataWarehouse shared(devShared, GpuDataWarehouse::Mode::LevelDatabase);
+  for (int p = 0; p < 16; ++p)
+    EXPECT_NO_THROW(shared.getOrUploadLevelVar("abskg", 0, coarse, p));
+
+  GpuDevice devCopies(cfg(devBytes));
+  GpuDataWarehouse copies(devCopies, GpuDataWarehouse::Mode::PerPatchCopies);
+  bool threw = false;
+  try {
+    for (int p = 0; p < 16; ++p)
+      copies.getOrUploadLevelVar("abskg", 0, coarse, p);
+  } catch (const DeviceOutOfMemory&) {
+    threw = true;
+  }
+  EXPECT_TRUE(threw) << "redundant copies must exhaust the small device";
+}
+
+TEST(GpuDataWarehouse, ClearPatchVarsKeepsLevelDatabase) {
+  GpuDevice dev(cfg());
+  GpuDataWarehouse dw(dev);
+  CCVariable<double> coarse = makeHostVar(1, 8);
+  CCVariable<double> fine = makeHostVar(2, 4);
+  dw.getOrUploadLevelVar("abskg", 0, coarse);
+  dw.putPatchVar("abskg", 7, fine);
+  dw.clearPatchVars();
+  EXPECT_FALSE(dw.hasPatchVar("abskg", 7));
+  EXPECT_TRUE(dw.hasLevelVar("abskg", 0));
+  dw.clear();
+  EXPECT_FALSE(dw.hasLevelVar("abskg", 0));
+  EXPECT_EQ(dev.bytesInUse(), 0u);
+}
+
+TEST(GpuDataWarehouse, ReplacingPatchVarFreesOldCopy) {
+  GpuDevice dev(cfg());
+  GpuDataWarehouse dw(dev);
+  CCVariable<double> v8 = makeHostVar(1, 8);
+  CCVariable<double> v16 = makeHostVar(1, 16);
+  dw.putPatchVar("v", 0, v8);
+  const auto inUseSmall = dev.bytesInUse();
+  dw.putPatchVar("v", 0, v16);
+  // Old storage released; usage reflects only the larger variable.
+  EXPECT_GE(dev.bytesInUse(), v16.sizeBytes() * 1u);
+  EXPECT_LT(dev.bytesInUse(), inUseSmall + v16.sizeBytes() * 1u + 4096);
+  dw.clear();
+}
+
+TEST(GpuDataWarehouse, StreamedUploadsCompleteAfterSync) {
+  GpuDevice dev(cfg());
+  GpuDataWarehouse dw(dev);
+  CCVariable<double> host = makeHostVar(9, 8);
+  auto stream = dev.createStream();
+  dw.putPatchVar("v", 0, host, stream.get());
+  stream->synchronize();
+  CCVariable<double> back(host.window(), 0.0);
+  dw.fetchPatchVar("v", 0, back);
+  for (const auto& c : host.window()) EXPECT_DOUBLE_EQ(back[c], host[c]);
+}
+
+}  // namespace
+}  // namespace rmcrt::gpu

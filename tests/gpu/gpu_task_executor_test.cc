@@ -1,0 +1,123 @@
+#include "gpu/gpu_task_executor.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+namespace rmcrt::gpu {
+namespace {
+
+GpuDevice::Config cfg(std::size_t mem = 16 << 20, int workers = 2) {
+  GpuDevice::Config c;
+  c.globalMemoryBytes = mem;
+  c.workerSlots = workers;
+  return c;
+}
+
+TEST(GpuTaskExecutor, RunsAllTasksInStageKernelFinishOrder) {
+  GpuDevice dev(cfg());
+  constexpr int kTasks = 20;
+  std::vector<std::atomic<int>> phase(kTasks);
+  std::vector<GpuPatchTask> tasks;
+  for (int i = 0; i < kTasks; ++i) {
+    GpuPatchTask t;
+    t.stage = [&phase, i](GpuStream& s) {
+      s.enqueueKernel([&phase, i] {
+        EXPECT_EQ(phase[i].exchange(1), 0) << "stage must run first";
+      });
+    };
+    t.kernel = [&phase, i] {
+      EXPECT_EQ(phase[i].exchange(2), 1) << "kernel after stage";
+    };
+    t.finish = [&phase, i](GpuStream& s) {
+      s.enqueueKernel([&phase, i] {
+        EXPECT_EQ(phase[i].exchange(3), 2) << "finish after kernel";
+      });
+    };
+    tasks.push_back(std::move(t));
+  }
+  const ExecutorStats stats = runGpuTasks(dev, tasks, 4);
+  EXPECT_EQ(stats.tasksRun, kTasks);
+  for (int i = 0; i < kTasks; ++i) EXPECT_EQ(phase[i].load(), 3);
+}
+
+TEST(GpuTaskExecutor, ResidencyBoundIsRespected) {
+  GpuDevice dev(cfg());
+  std::atomic<int> resident{0};
+  std::atomic<int> maxResident{0};
+  std::vector<GpuPatchTask> tasks;
+  for (int i = 0; i < 32; ++i) {
+    GpuPatchTask t;
+    t.stage = [&](GpuStream& s) {
+      s.enqueueKernel([&] {
+        const int now = resident.fetch_add(1) + 1;
+        int prev = maxResident.load();
+        while (prev < now && !maxResident.compare_exchange_weak(prev, now)) {
+        }
+      });
+    };
+    t.finish = [&](GpuStream& s) {
+      s.enqueueKernel([&] { resident.fetch_sub(1); });
+    };
+    tasks.push_back(std::move(t));
+  }
+  const ExecutorStats stats = runGpuTasks(dev, tasks, 3);
+  EXPECT_EQ(stats.tasksRun, 32);
+  EXPECT_LE(stats.maxConcurrentResident, 3);
+  EXPECT_LE(maxResident.load(), 3);
+  EXPECT_EQ(resident.load(), 0);
+}
+
+TEST(GpuTaskExecutor, BoundedMemoryWithManyTasks) {
+  // Each resident task allocates 1 MiB; 64 tasks on a 8 MiB device only
+  // work because residency is bounded (4 x 1 MiB at a time).
+  GpuDevice dev(cfg(8 << 20));
+  std::vector<GpuPatchTask> tasks;
+  std::vector<void*> ptrs(64, nullptr);
+  for (int i = 0; i < 64; ++i) {
+    GpuPatchTask t;
+    t.stage = [&dev, &ptrs, i](GpuStream& s) {
+      s.enqueueKernel([&dev, &ptrs, i] { ptrs[i] = dev.allocate(1 << 20); });
+    };
+    t.finish = [&dev, &ptrs, i](GpuStream& s) {
+      s.enqueueKernel([&dev, &ptrs, i] {
+        dev.free(ptrs[i], 1 << 20);
+        ptrs[i] = nullptr;
+      });
+    };
+    tasks.push_back(std::move(t));
+  }
+  EXPECT_NO_THROW(runGpuTasks(dev, tasks, 4));
+  EXPECT_EQ(dev.bytesInUse(), 0u);
+  EXPECT_LE(dev.stats().peakBytesInUse, 6u << 20);
+}
+
+TEST(GpuTaskExecutor, EmptyBatch) {
+  GpuDevice dev(cfg());
+  const ExecutorStats stats = runGpuTasks(dev, {}, 4);
+  EXPECT_EQ(stats.tasksRun, 0);
+  EXPECT_EQ(stats.maxConcurrentResident, 0);
+}
+
+TEST(GpuTaskExecutor, SingleResidencyDegradesToSerial) {
+  GpuDevice dev(cfg());
+  std::atomic<int> running{0};
+  std::atomic<bool> overlap{false};
+  std::vector<GpuPatchTask> tasks;
+  for (int i = 0; i < 8; ++i) {
+    GpuPatchTask t;
+    t.kernel = [&] {
+      if (running.fetch_add(1) != 0) overlap.store(true);
+      running.fetch_sub(1);
+    };
+    tasks.push_back(std::move(t));
+  }
+  const ExecutorStats stats = runGpuTasks(dev, tasks, 1);
+  EXPECT_EQ(stats.tasksRun, 8);
+  EXPECT_EQ(stats.maxConcurrentResident, 1);
+  EXPECT_FALSE(overlap.load());
+}
+
+}  // namespace
+}  // namespace rmcrt::gpu

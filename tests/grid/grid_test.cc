@@ -1,0 +1,92 @@
+#include "grid/grid.h"
+
+#include <gtest/gtest.h>
+
+namespace rmcrt::grid {
+namespace {
+
+TEST(Grid, SingleLevelBasics) {
+  auto g = Grid::makeSingleLevel(Vector(0.0), Vector(1.0), IntVector(32),
+                                 IntVector(16));
+  EXPECT_EQ(g->numLevels(), 1);
+  EXPECT_EQ(g->fineLevel().numCells(), 32 * 32 * 32);
+  EXPECT_EQ(g->numPatches(), 8);
+  EXPECT_NEAR(g->fineLevel().dx().x(), 1.0 / 32, 1e-15);
+}
+
+TEST(Grid, TwoLevelMatchesPaperConfiguration) {
+  // The paper's MEDIUM problem: 256^3 fine, 64^3 coarse, RR 4.
+  auto g = Grid::makeTwoLevel(Vector(0.0), Vector(1.0), IntVector(256),
+                              IntVector(4), IntVector(32), IntVector(32));
+  EXPECT_EQ(g->numLevels(), 2);
+  EXPECT_EQ(g->coarseLevel().cells().size(), IntVector(64));
+  EXPECT_EQ(g->fineLevel().cells().size(), IntVector(256));
+  // Total cells: 256^3 + 64^3 = 17.04M (paper Section V).
+  const std::int64_t total =
+      g->coarseLevel().numCells() + g->fineLevel().numCells();
+  EXPECT_EQ(total, 17039360);
+  // Coarse level spans the whole domain at 4x coarser resolution.
+  EXPECT_NEAR(g->coarseLevel().dx().x(), 4.0 * g->fineLevel().dx().x(),
+              1e-15);
+  EXPECT_EQ(g->fineLevel().refinementRatio(), IntVector(4));
+}
+
+TEST(Grid, LargeProblemCellCount) {
+  // LARGE: 512^3 fine + 128^3 coarse = 136.31M cells (paper Section V).
+  auto g = Grid::makeTwoLevel(Vector(0.0), Vector(1.0), IntVector(512),
+                              IntVector(4), IntVector(64), IntVector(64));
+  const std::int64_t total =
+      g->coarseLevel().numCells() + g->fineLevel().numCells();
+  EXPECT_EQ(total, 136314880);
+}
+
+TEST(Grid, PatchIdsGloballyUniqueAndResolvable) {
+  auto g = Grid::makeTwoLevel(Vector(0.0), Vector(1.0), IntVector(32),
+                              IntVector(2), IntVector(16), IntVector(8));
+  const int n = g->numPatches();
+  EXPECT_EQ(n, 8 + 8);  // 16^3 coarse/8^3 patches + 32^3 fine/16^3 patches
+  for (int id = 0; id < n; ++id) {
+    const Patch* p = g->patchById(id);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(p->id(), id);
+    EXPECT_EQ(g->levelOfPatch(id).index(), p->levelIndex());
+  }
+  EXPECT_EQ(g->patchById(n), nullptr);
+  EXPECT_EQ(g->patchById(-1), nullptr);
+}
+
+TEST(Grid, MultiLevelThreeLevels) {
+  auto g = Grid::makeMultiLevel(
+      Vector(0.0), Vector(1.0), IntVector(64), IntVector(2),
+      {IntVector(8), IntVector(16), IntVector(16)});
+  EXPECT_EQ(g->numLevels(), 3);
+  EXPECT_EQ(g->level(0).cells().size(), IntVector(16));
+  EXPECT_EQ(g->level(1).cells().size(), IntVector(32));
+  EXPECT_EQ(g->level(2).cells().size(), IntVector(64));
+}
+
+TEST(Grid, LevelsShareDomainCorners) {
+  auto g = Grid::makeTwoLevel(Vector(-0.5), Vector(0.5), IntVector(64),
+                              IntVector(4), IntVector(16), IntVector(8));
+  for (int l = 0; l < g->numLevels(); ++l) {
+    EXPECT_EQ(g->level(l).physLow(), Vector(-0.5));
+    const Vector hi = g->level(l).physHigh();
+    EXPECT_NEAR(hi.x(), 0.5, 1e-14);
+    EXPECT_NEAR(hi.z(), 0.5, 1e-14);
+  }
+}
+
+TEST(Grid, FineCoarseCellMapping) {
+  auto g = Grid::makeTwoLevel(Vector(0.0), Vector(1.0), IntVector(16),
+                              IntVector(4), IntVector(4), IntVector(4));
+  const Level& fine = g->fineLevel();
+  const Level& coarse = g->coarseLevel();
+  // A physical point maps to corresponding cells on both levels.
+  const Vector p(0.3, 0.6, 0.9);
+  const IntVector fc = fine.cellAtPosition(p);
+  const IntVector cc = coarse.cellAtPosition(p);
+  EXPECT_EQ(fine.mapCellToCoarser(fc), cc);
+}
+
+}  // namespace
+}  // namespace rmcrt::grid

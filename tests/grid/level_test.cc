@@ -1,0 +1,116 @@
+#include "grid/level.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace rmcrt::grid {
+namespace {
+
+Level makeLevel(int cellsPerSide = 16, int patchSide = 4) {
+  const double dx = 1.0 / cellsPerSide;
+  return Level(0, CellRange(IntVector(0), IntVector(cellsPerSide)),
+               Vector(0.0), Vector(dx), IntVector(patchSide), IntVector(1),
+               0);
+}
+
+TEST(Level, PatchTilingCoversLevelExactly) {
+  Level l = makeLevel(16, 4);
+  EXPECT_EQ(l.numPatches(), 64u);
+  EXPECT_EQ(l.patchLayout(), IntVector(4, 4, 4));
+  std::int64_t covered = 0;
+  for (const Patch& p : l.patches()) {
+    covered += p.numCells();
+    EXPECT_TRUE(l.cells().contains(p.cells()));
+  }
+  EXPECT_EQ(covered, l.numCells());
+}
+
+TEST(Level, PatchIdsAreSequentialFromFirst) {
+  Level l(1, CellRange(IntVector(0), IntVector(8)), Vector(0.0),
+          Vector(0.125), IntVector(4), IntVector(2), 100);
+  EXPECT_EQ(l.patch(0).id(), 100);
+  EXPECT_EQ(l.patch(7).id(), 107);
+  EXPECT_EQ(l.patch(0).levelIndex(), 1);
+}
+
+TEST(Level, CellCenterAndCellAtPositionRoundTrip) {
+  Level l = makeLevel(16, 4);
+  for (const IntVector& c :
+       CellRange(IntVector(0), IntVector(16))) {
+    EXPECT_EQ(l.cellAtPosition(l.cellCenter(c)), c);
+  }
+}
+
+TEST(Level, CellAtPositionClampsBoundary) {
+  Level l = makeLevel(8, 4);
+  EXPECT_EQ(l.cellAtPosition(Vector(1.0, 1.0, 1.0)), IntVector(7, 7, 7));
+  EXPECT_EQ(l.cellAtPosition(Vector(0.0, 0.0, 0.0)), IntVector(0, 0, 0));
+  EXPECT_EQ(l.cellAtPosition(Vector(-0.5, 0.5, 0.5)).x(), 0);
+}
+
+TEST(Level, PatchContaining) {
+  Level l = makeLevel(16, 4);
+  const Patch* p = l.patchContaining(IntVector(5, 0, 0));
+  ASSERT_NE(p, nullptr);
+  EXPECT_TRUE(p->contains(IntVector(5, 0, 0)));
+  EXPECT_EQ(p->low(), IntVector(4, 0, 0));
+  EXPECT_EQ(l.patchContaining(IntVector(16, 0, 0)), nullptr);
+  EXPECT_EQ(l.patchContaining(IntVector(-1, 0, 0)), nullptr);
+}
+
+TEST(Level, PatchesIntersectingFindsAllOverlaps) {
+  Level l = makeLevel(16, 4);
+  // Range straddling a 2x2x2 corner of patches.
+  CellRange r(IntVector(3, 3, 3), IntVector(5, 5, 5));
+  auto overlaps = l.patchesIntersecting(r);
+  EXPECT_EQ(overlaps.size(), 8u);
+  std::int64_t covered = 0;
+  for (const auto& o : overlaps) covered += o.region.volume();
+  EXPECT_EQ(covered, r.volume());
+}
+
+TEST(Level, PatchesIntersectingClipsToLevel) {
+  Level l = makeLevel(8, 4);
+  CellRange r(IntVector(-3, -3, -3), IntVector(2, 2, 2));
+  auto overlaps = l.patchesIntersecting(r);
+  ASSERT_EQ(overlaps.size(), 1u);
+  EXPECT_EQ(overlaps[0].region,
+            CellRange(IntVector(0, 0, 0), IntVector(2, 2, 2)));
+}
+
+TEST(Level, NeighborsExcludeSelfAndCoverGhostRegion) {
+  Level l = makeLevel(12, 4);  // 3x3x3 patches
+  const Patch* center = l.patchContaining(IntVector(5, 5, 5));
+  ASSERT_NE(center, nullptr);
+  auto nbrs = l.neighbors(*center, 1);
+  EXPECT_EQ(nbrs.size(), 26u);  // full 3^3 - self
+  for (const auto& o : nbrs) EXPECT_NE(o.patch->id(), center->id());
+}
+
+TEST(Level, CornerPatchHasFewerNeighbors) {
+  Level l = makeLevel(12, 4);
+  const Patch* corner = l.patchContaining(IntVector(0, 0, 0));
+  auto nbrs = l.neighbors(*corner, 1);
+  EXPECT_EQ(nbrs.size(), 7u);  // 2^3 - self
+}
+
+TEST(Level, MapCellToCoarserUsesFloor) {
+  Level fine(1, CellRange(IntVector(0), IntVector(16)), Vector(0.0),
+             Vector(1.0 / 16), IntVector(4), IntVector(4), 0);
+  EXPECT_EQ(fine.mapCellToCoarser(IntVector(0, 5, 15)), IntVector(0, 1, 3));
+  EXPECT_EQ(fine.mapCellToCoarser(IntVector(-1, -4, -5)),
+            IntVector(-1, -1, -2));
+  EXPECT_EQ(fine.mapCellToFiner(IntVector(1, 1, 1)), IntVector(4, 4, 4));
+}
+
+TEST(Level, PhysicalExtents) {
+  Level l = makeLevel(10, 5);
+  EXPECT_EQ(l.physLow(), Vector(0.0));
+  const Vector hi = l.physHigh();
+  EXPECT_NEAR(hi.x(), 1.0, 1e-14);
+  EXPECT_NEAR(hi.y(), 1.0, 1e-14);
+}
+
+}  // namespace
+}  // namespace rmcrt::grid

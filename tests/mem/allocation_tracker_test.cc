@@ -1,0 +1,94 @@
+#include "mem/allocation_tracker.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace rmcrt::mem {
+namespace {
+
+class AllocationTrackerTest : public ::testing::Test {
+ protected:
+  void SetUp() override { AllocationTracker::instance().reset(); }
+};
+
+TEST_F(AllocationTrackerTest, RecordsLiveAndPeak) {
+  auto& t = AllocationTracker::instance();
+  t.recordAlloc("MPI buffers", 1000);
+  t.recordAlloc("MPI buffers", 500);
+  EXPECT_EQ(t.stats("MPI buffers").liveBytes, 1500);
+  EXPECT_EQ(t.stats("MPI buffers").peakBytes, 1500);
+  t.recordFree("MPI buffers", 1000);
+  EXPECT_EQ(t.stats("MPI buffers").liveBytes, 500);
+  EXPECT_EQ(t.stats("MPI buffers").peakBytes, 1500);  // peak sticks
+  EXPECT_EQ(t.stats("MPI buffers").totalAllocs, 2);
+}
+
+TEST_F(AllocationTrackerTest, TagsAreIndependent) {
+  auto& t = AllocationTracker::instance();
+  t.recordAlloc("a", 10);
+  t.recordAlloc("b", 20);
+  EXPECT_EQ(t.stats("a").liveBytes, 10);
+  EXPECT_EQ(t.stats("b").liveBytes, 20);
+  EXPECT_EQ(t.stats("missing").liveBytes, 0);
+}
+
+TEST_F(AllocationTrackerTest, RaiiScopeReleases) {
+  auto& t = AllocationTracker::instance();
+  {
+    TrackedAllocation a("GridVariables", 4096);
+    EXPECT_EQ(t.stats("GridVariables").liveBytes, 4096);
+  }
+  EXPECT_EQ(t.stats("GridVariables").liveBytes, 0);
+  EXPECT_EQ(t.stats("GridVariables").peakBytes, 4096);
+}
+
+TEST_F(AllocationTrackerTest, ThreadSafety) {
+  auto& t = AllocationTracker::instance();
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 4; ++i) {
+    threads.emplace_back([&t] {
+      for (int k = 0; k < 1000; ++k) {
+        t.recordAlloc("shared", 8);
+        t.recordFree("shared", 8);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(t.stats("shared").liveBytes, 0);
+  EXPECT_EQ(t.stats("shared").totalAllocs, 4000);
+}
+
+TEST(CompareScalingRuns, FlagsReplicatedPatterns) {
+  // The intended use (paper Section VII): snapshots from a 64-rank and a
+  // 512-rank run. "halo" shrinks per rank (scales); "coarse level copy"
+  // is constant per rank (replication — does not scale).
+  std::map<std::string, TagStats> small, large;
+  small["halo"] = TagStats{0, 8 << 20, 0};
+  large["halo"] = TagStats{0, 2 << 20, 0};  // 4x fewer at 8x ranks
+  small["coarse level copy"] = TagStats{0, 42 << 20, 0};
+  large["coarse level copy"] = TagStats{0, 42 << 20, 0};  // constant
+
+  const auto verdicts = compareScalingRuns(small, 64, large, 512);
+  ASSERT_EQ(verdicts.size(), 2u);
+  for (const auto& v : verdicts) {
+    if (v.tag == "halo") {
+      EXPECT_TRUE(v.scales);
+      EXPECT_NEAR(v.scalingExponent, -0.667, 0.01);
+    } else {
+      EXPECT_FALSE(v.scales);
+      EXPECT_NEAR(v.scalingExponent, 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(CompareScalingRuns, MissingTagsSkipped) {
+  std::map<std::string, TagStats> small, large;
+  small["only-small"] = TagStats{0, 100, 0};
+  const auto verdicts = compareScalingRuns(small, 2, large, 4);
+  EXPECT_TRUE(verdicts.empty());
+}
+
+}  // namespace
+}  // namespace rmcrt::mem

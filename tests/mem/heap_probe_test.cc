@@ -1,0 +1,43 @@
+#include "mem/heap_probe.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+namespace rmcrt::mem {
+namespace {
+
+TEST(HeapProbe, SnapshotIsValidOnGlibc) {
+#if RMCRT_HAVE_MALLINFO2
+  const HeapSnapshot s = probeHeap();
+  EXPECT_TRUE(s.valid);
+  EXPECT_GT(s.heapBytesTotal, 0u);
+#else
+  GTEST_SKIP() << "mallinfo2 unavailable";
+#endif
+}
+
+TEST(HeapProbe, InUseGrowsWithLiveAllocations) {
+#if RMCRT_HAVE_MALLINFO2
+  const HeapSnapshot before = probeHeap();
+  std::vector<void*> blocks;
+  for (int i = 0; i < 1000; ++i) blocks.push_back(std::malloc(1024));
+  const HeapSnapshot during = probeHeap();
+  EXPECT_GT(during.heapBytesInUse, before.heapBytesInUse);
+  for (void* p : blocks) std::free(p);
+#else
+  GTEST_SKIP();
+#endif
+}
+
+TEST(HeapProbe, FragmentationRatioBounded) {
+  const HeapSnapshot s = probeHeap();
+  EXPECT_GE(s.fragmentationRatio(), 0.0);
+  EXPECT_LE(s.fragmentationRatio(), 1.0 + 1e-9);
+  // Default-constructed snapshot divides by zero safely.
+  EXPECT_DOUBLE_EQ(HeapSnapshot{}.fragmentationRatio(), 0.0);
+}
+
+}  // namespace
+}  // namespace rmcrt::mem

@@ -1,0 +1,74 @@
+#include "mem/mmap_arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+namespace rmcrt::mem {
+namespace {
+
+TEST(MmapArena, MapGivesZeroedWritableMemory) {
+  const std::size_t n = 1 << 20;
+  auto* p = static_cast<unsigned char*>(MmapArena::map(n));
+  ASSERT_NE(p, nullptr);
+  for (std::size_t i = 0; i < n; i += 4096) EXPECT_EQ(p[i], 0);
+  std::memset(p, 0xAB, n);
+  EXPECT_EQ(p[n - 1], 0xAB);
+  MmapArena::unmap(p, n);
+}
+
+TEST(MmapArena, RoundToPages) {
+  const std::size_t pg = MmapArena::pageSize();
+  EXPECT_EQ(MmapArena::roundToPages(1), pg);
+  EXPECT_EQ(MmapArena::roundToPages(pg), pg);
+  EXPECT_EQ(MmapArena::roundToPages(pg + 1), 2 * pg);
+}
+
+TEST(MmapArena, StatsTrackLiveBytes) {
+  const auto before = MmapArena::stats().bytesMapped;
+  void* p = MmapArena::map(10 * 4096);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(MmapArena::stats().bytesMapped - before,
+            MmapArena::roundToPages(10 * 4096));
+  MmapArena::unmap(p, 10 * 4096);
+  EXPECT_EQ(MmapArena::stats().bytesMapped, before);
+}
+
+TEST(MmapArena, PeakHighWaterMark) {
+  MmapArena::resetStats();
+  void* a = MmapArena::map(1 << 20);
+  void* b = MmapArena::map(1 << 20);
+  const auto peakWithBoth = MmapArena::stats().peakBytesMapped;
+  MmapArena::unmap(a, 1 << 20);
+  MmapArena::unmap(b, 1 << 20);
+  EXPECT_EQ(MmapArena::stats().peakBytesMapped, peakWithBoth);
+  EXPECT_GE(peakWithBoth, 2u << 20);
+}
+
+TEST(MmapArena, ZeroByteRequestStillValid) {
+  void* p = MmapArena::map(0);
+  ASSERT_NE(p, nullptr);
+  MmapArena::unmap(p, 0);
+}
+
+TEST(MmapArena, ConcurrentMapUnmap) {
+  const auto before = MmapArena::stats().bytesMapped;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < 200; ++i) {
+        void* p = MmapArena::map(64 * 1024);
+        ASSERT_NE(p, nullptr);
+        std::memset(p, 1, 64);
+        MmapArena::unmap(p, 64 * 1024);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(MmapArena::stats().bytesMapped, before);
+}
+
+}  // namespace
+}  // namespace rmcrt::mem

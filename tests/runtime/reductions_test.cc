@@ -1,0 +1,93 @@
+#include "runtime/reductions.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <thread>
+#include <vector>
+
+namespace rmcrt::runtime {
+namespace {
+
+TEST(Reductions, IdentitiesAndCombine) {
+  EXPECT_EQ(ReductionSet::identity(ReductionOp::Sum), 0.0);
+  EXPECT_TRUE(std::isinf(ReductionSet::identity(ReductionOp::Min)));
+  EXPECT_TRUE(std::isinf(-ReductionSet::identity(ReductionOp::Max)));
+  EXPECT_DOUBLE_EQ(ReductionSet::combine(ReductionOp::Sum, 2, 3), 5);
+  EXPECT_DOUBLE_EQ(ReductionSet::combine(ReductionOp::Min, 2, 3), 2);
+  EXPECT_DOUBLE_EQ(ReductionSet::combine(ReductionOp::Max, 2, 3), 3);
+}
+
+TEST(Reductions, LocalPartialAccumulates) {
+  ReductionSet set;
+  set.declare("delT", ReductionOp::Min);
+  set.contribute("delT", 0.5);
+  set.contribute("delT", 0.2);
+  set.contribute("delT", 0.9);
+  EXPECT_DOUBLE_EQ(set.partial("delT"), 0.2);
+}
+
+TEST(Reductions, DeclareIsIdempotent) {
+  ReductionSet set;
+  set.declare("q", ReductionOp::Sum);
+  set.declare("q", ReductionOp::Sum);
+  set.contribute("q", 1.0);
+  set.contribute("q", 2.0);
+  EXPECT_DOUBLE_EQ(set.partial("q"), 3.0);
+}
+
+TEST(Reductions, ConcurrentContributions) {
+  ReductionSet set;
+  set.declare("power", ReductionOp::Sum);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&set] {
+      for (int i = 0; i < 1000; ++i) set.contribute("power", 0.5);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_DOUBLE_EQ(set.partial("power"), 2000.0);
+}
+
+TEST(Reductions, ReduceAcrossRanksMinSumMax) {
+  const int P = 4;
+  comm::Communicator world(P);
+  std::vector<ReductionSet> sets(P);
+  std::vector<double> minOut(P), sumOut(P), maxOut(P);
+  std::vector<std::thread> ranks;
+  for (int r = 0; r < P; ++r) {
+    ranks.emplace_back([&, r] {
+      sets[r].declare("delT", ReductionOp::Min);
+      sets[r].declare("q", ReductionOp::Sum);
+      sets[r].declare("peak", ReductionOp::Max);
+      sets[r].contribute("delT", 1.0 / (r + 1));  // min = 1/4
+      sets[r].contribute("q", r * 1.0);           // sum = 6
+      sets[r].contribute("peak", r * 2.0);        // max = 6
+      minOut[r] = sets[r].reduceAcross("delT", world, r);
+      sumOut[r] = sets[r].reduceAcross("q", world, r);
+      maxOut[r] = sets[r].reduceAcross("peak", world, r);
+    });
+  }
+  for (auto& t : ranks) t.join();
+  for (int r = 0; r < P; ++r) {
+    EXPECT_DOUBLE_EQ(minOut[r], 0.25);
+    EXPECT_DOUBLE_EQ(sumOut[r], 6.0);
+    EXPECT_DOUBLE_EQ(maxOut[r], 6.0);
+  }
+}
+
+TEST(Reductions, ReduceResetsPartialToIdentity) {
+  comm::Communicator world(1);
+  ReductionSet set;
+  set.declare("delT", ReductionOp::Min);
+  set.contribute("delT", 0.1);
+  EXPECT_DOUBLE_EQ(set.reduceAcross("delT", world, 0), 0.1);
+  EXPECT_TRUE(std::isinf(set.partial("delT")));
+  // Next timestep accumulates fresh.
+  set.contribute("delT", 0.7);
+  EXPECT_DOUBLE_EQ(set.reduceAcross("delT", world, 0), 0.7);
+}
+
+}  // namespace
+}  // namespace rmcrt::runtime

@@ -1,0 +1,58 @@
+#include "sim/calibration.h"
+
+#include <gtest/gtest.h>
+
+namespace rmcrt::sim {
+namespace {
+
+TEST(Calibration, KernelMeasurementIsPositiveAndPlausible) {
+  const double segPerSec = measureKernelSegmentsPerSecond(16, 2);
+  EXPECT_GT(segPerSec, 1e5);   // even a slow host marches >100k cells/s
+  EXPECT_LT(segPerSec, 1e11);  // and no host marches 100G cells/s
+}
+
+TEST(Calibration, ContainerCostsMeasured) {
+  double wf = 0, locked = 0;
+  measureContainerCosts(wf, locked, /*threads=*/2, /*messages=*/4000);
+  EXPECT_GT(wf, 0.0);
+  EXPECT_GT(locked, 0.0);
+  EXPECT_LT(wf, 1e-3);  // < 1 ms per message
+  EXPECT_LT(locked, 1e-2);
+}
+
+TEST(Calibration, CalibrateAppliesMeasurements) {
+  Calibration c;
+  c.hostSegmentsPerSecond = 1.0e8;
+  c.waitFreePerMessage = 2.0e-6;
+  c.lockedPerMessage = 5.0e-6;
+  const MachineModel m = calibrate(titan(), c, /*hostToGpuScale=*/10.0);
+  EXPECT_DOUBLE_EQ(m.gpuSegmentsPerSecond, 1.0e9);
+  EXPECT_DOUBLE_EQ(m.perMessageOverheadWaitFree, 2.0e-6);
+  EXPECT_DOUBLE_EQ(m.perMessageOverheadLocked, 5.0e-6);
+}
+
+TEST(Calibration, ZeroMeasurementsKeepDefaults) {
+  const MachineModel base = titan();
+  const MachineModel m = calibrate(base, Calibration{});
+  EXPECT_DOUBLE_EQ(m.gpuSegmentsPerSecond, base.gpuSegmentsPerSecond);
+  EXPECT_DOUBLE_EQ(m.perMessageOverheadWaitFree,
+                   base.perMessageOverheadWaitFree);
+}
+
+TEST(Calibration, CalibratedModelStillScales) {
+  // The scaling SHAPE must be robust to the calibrated throughput:
+  // monotone decrease while over-decomposed, regardless of host speed.
+  Calibration c;
+  c.hostSegmentsPerSecond = measureKernelSegmentsPerSecond(16, 2);
+  const MachineModel m = calibrate(titan(), c);
+  ProblemConfig p = largeProblem(16);
+  double prev = 1e99;
+  for (int g : {512, 2048, 8192}) {
+    const double t = simulateTimestep(m, p, g).total;
+    EXPECT_LT(t, prev);
+    prev = t;
+  }
+}
+
+}  // namespace
+}  // namespace rmcrt::sim

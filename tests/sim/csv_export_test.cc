@@ -1,0 +1,72 @@
+#include "sim/csv_export.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace rmcrt::sim {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream is(path);
+  std::stringstream ss;
+  ss << is.rdbuf();
+  return ss.str();
+}
+
+TEST(CsvExport, ScalingStudyHeaderAndRows) {
+  StrongScalingStudy study;
+  study.title = "test";
+  study.baseProblem = mediumProblem();
+  study.patchSizes = {16, 32};
+  study.gpuCounts = {64, 128};
+  const std::string path = "/tmp/rmcrt_csv_test.csv";
+  ASSERT_TRUE(writeScalingCsv(path, study, titan()));
+  const std::string content = slurp(path);
+  EXPECT_NE(content.find("gpus,p16,p32"), std::string::npos);
+  // Two data rows after the header.
+  int lines = 0;
+  for (char c : content)
+    if (c == '\n') ++lines;
+  EXPECT_EQ(lines, 3);
+  std::remove(path.c_str());
+}
+
+TEST(CsvExport, InfeasiblePointsAreEmptyCells) {
+  StrongScalingStudy study;
+  study.baseProblem = mediumProblem();
+  study.patchSizes = {64};  // only 64 patches in MEDIUM
+  study.gpuCounts = {64, 128};
+  const std::string path = "/tmp/rmcrt_csv_test2.csv";
+  ASSERT_TRUE(writeScalingCsv(path, study, titan()));
+  const std::string content = slurp(path);
+  // Row "128," ends with the empty cell.
+  EXPECT_NE(content.find("128,\n"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CsvExport, CommStudyRows) {
+  const std::string path = "/tmp/rmcrt_csv_test3.csv";
+  ASSERT_TRUE(writeCommStudyCsv(path, commImprovementStudy(titan())));
+  const std::string content = slurp(path);
+  EXPECT_NE(content.find("nodes,before_s,after_s,speedup"),
+            std::string::npos);
+  EXPECT_NE(content.find("512,"), std::string::npos);
+  EXPECT_NE(content.find("16384,"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CsvExport, FailsOnBadPath) {
+  StrongScalingStudy study;
+  study.baseProblem = mediumProblem();
+  study.patchSizes = {32};
+  study.gpuCounts = {64};
+  EXPECT_FALSE(
+      writeScalingCsv("/nonexistent-dir/x.csv", study, titan()));
+  EXPECT_FALSE(writeCommStudyCsv("/nonexistent-dir/y.csv", {}));
+}
+
+}  // namespace
+}  // namespace rmcrt::sim

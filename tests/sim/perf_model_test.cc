@@ -1,0 +1,154 @@
+#include "sim/perf_model.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/event_sim.h"
+#include "sim/scaling_study.h"
+
+namespace rmcrt::sim {
+namespace {
+
+TEST(ResourceTimeline, SingleServerSerializes) {
+  ResourceTimeline r(1);
+  EXPECT_DOUBLE_EQ(r.schedule(0.0, 2.0), 2.0);
+  EXPECT_DOUBLE_EQ(r.schedule(0.0, 3.0), 5.0);  // waits for server
+  EXPECT_DOUBLE_EQ(r.schedule(10.0, 1.0), 11.0);
+  EXPECT_DOUBLE_EQ(r.makespan(), 11.0);
+  EXPECT_DOUBLE_EQ(r.busyTime(), 6.0);
+}
+
+TEST(ResourceTimeline, TwoServersOverlap) {
+  ResourceTimeline r(2);
+  EXPECT_DOUBLE_EQ(r.schedule(0.0, 2.0), 2.0);
+  EXPECT_DOUBLE_EQ(r.schedule(0.0, 2.0), 2.0);  // second engine
+  EXPECT_DOUBLE_EQ(r.schedule(0.0, 1.0), 3.0);  // queues behind one
+  r.reset();
+  EXPECT_DOUBLE_EQ(r.earliestFree(), 0.0);
+}
+
+TEST(PerfModel, StrongScalingIsMonotoneWhileOverDecomposed) {
+  const MachineModel m = titan();
+  ProblemConfig p = largeProblem(16);  // 32768 patches
+  double prev = 1e99;
+  for (int g : {128, 256, 512, 1024, 2048, 4096, 8192, 16384}) {
+    const double t = simulateTimestep(m, p, g).total;
+    EXPECT_LT(t, prev) << "time must fall up to " << g << " GPUs";
+    prev = t;
+  }
+}
+
+TEST(PerfModel, LargerPatchesAreFasterPerGpu) {
+  // Paper Section V observation 1: larger patches = more significant
+  // GPU speedup (compare at a GPU count all three decompositions fill).
+  const MachineModel m = titan();
+  const int gpus = 256;
+  const double t16 = simulateTimestep(m, largeProblem(16), gpus).total;
+  const double t32 = simulateTimestep(m, largeProblem(32), gpus).total;
+  const double t64 = simulateTimestep(m, largeProblem(64), gpus).total;
+  EXPECT_GT(t16, t32);
+  EXPECT_GT(t32, t64);
+}
+
+TEST(PerfModel, PaperEfficiencyHeadlines) {
+  // Paper Section V: strong-scaling efficiency of the LARGE benchmark is
+  // 96% from 4096->8192 GPUs and 89% from 4096->16384. The model must
+  // land in the same regime (+-6 points).
+  const MachineModel m = titan();
+  const double e8k = largeProblemEfficiency(m, 16, 4096, 8192);
+  const double e16k = largeProblemEfficiency(m, 16, 4096, 16384);
+  EXPECT_NEAR(e8k, 0.96, 0.06);
+  EXPECT_NEAR(e16k, 0.89, 0.06);
+  EXPECT_GT(e8k, e16k);
+}
+
+TEST(PerfModel, SeriesEndWhenPatchesRunOut) {
+  const auto series = largeStudy().run(titan());
+  for (const auto& s : series) {
+    ProblemConfig p = largeProblem(s.patchSize);
+    for (const auto& pt : s.points)
+      EXPECT_LE(pt.gpus, p.numFinePatches());
+  }
+  // 64^3 tops out at 512 GPUs; 16^3 reaches 16384.
+  EXPECT_EQ(series[0].points.back().gpus, 16384);  // 16^3
+  EXPECT_EQ(series[2].points.back().gpus, 512);    // 64^3
+}
+
+TEST(PerfModel, WaitFreeContainerReducesLocalComm) {
+  const MachineModel m = titan();
+  ProblemConfig p = largeProblem(8);
+  for (int nodes : {512, 4096, 16384}) {
+    const double before = localCommTime(m, p, nodes,
+                                        CommContainer::LockedVector);
+    const double after =
+        localCommTime(m, p, nodes, CommContainer::WaitFree);
+    const double speedup = before / after;
+    EXPECT_GT(speedup, 2.0) << nodes;
+    EXPECT_LT(speedup, 5.0) << nodes;  // paper Table I: 2.27x - 4.40x
+  }
+}
+
+TEST(PerfModel, LocalCommDropsWithNodeCount) {
+  // Fig. 1 shape: both curves decrease as the fixed problem spreads.
+  const auto rows = commImprovementStudy(titan());
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_LT(rows[i].beforeSeconds, rows[i - 1].beforeSeconds);
+    EXPECT_LT(rows[i].afterSeconds, rows[i - 1].afterSeconds);
+  }
+  // Order-of-magnitude agreement with Table I's first row (6.25 s).
+  EXPECT_GT(rows.front().beforeSeconds, 1.0);
+  EXPECT_LT(rows.front().beforeSeconds, 20.0);
+}
+
+TEST(PerfModel, PerPatchCoarseCopiesExceedK20xMemory) {
+  // Section III-C: without the level database, per-patch coarse copies
+  // exceed the 6 GB K20X for the LARGE problem; with it, the footprint
+  // fits.
+  const MachineModel m = titan();
+  ProblemConfig p = largeProblem(64);
+  const auto shared = simulateTimestep(m, p, 512, CommContainer::WaitFree,
+                                       /*perPatchCoarseCopies=*/false);
+  EXPECT_FALSE(shared.deviceMemoryExceeded);
+  // A hundred resident per-patch copies of a 42 MB coarse level blow the
+  // budget once enough tasks are resident; emulate by growing the
+  // concurrency.
+  MachineModel crowded = m;
+  crowded.concurrentKernels = 128;
+  const auto copies = simulateTimestep(crowded, p, 4, CommContainer::WaitFree,
+                                       /*perPatchCoarseCopies=*/true);
+  EXPECT_TRUE(copies.deviceMemoryExceeded);
+  const auto sharedCrowded = simulateTimestep(
+      crowded, p, 4, CommContainer::WaitFree, /*perPatchCoarseCopies=*/false);
+  EXPECT_FALSE(sharedCrowded.deviceMemoryExceeded);
+}
+
+TEST(PerfModel, PerPatchCopiesAlsoCostPcieTime) {
+  const MachineModel m = titan();
+  ProblemConfig p = largeProblem(32);
+  const auto shared = simulateTimestep(m, p, 256, CommContainer::WaitFree,
+                                       false);
+  const auto copies = simulateTimestep(m, p, 256, CommContainer::WaitFree,
+                                       true);
+  EXPECT_GT(copies.pcie, 2.0 * shared.pcie);
+  EXPECT_GE(copies.total, shared.total);
+}
+
+TEST(PerfModel, BreakdownComponentsAreConsistent) {
+  const auto b = simulateTimestep(titan(), mediumProblem(32), 64);
+  EXPECT_GT(b.total, 0.0);
+  EXPECT_GT(b.kernel, 0.0);
+  EXPECT_GT(b.pcie, 0.0);
+  EXPECT_GE(b.total, b.gpuMakespan);
+  EXPECT_GT(b.localComm, 0.0);
+}
+
+TEST(PerfModel, EfficiencyDefinitionMatchesEq3) {
+  ScalingPoint a{100, {}}, b{200, {}};
+  a.breakdown.total = 2.0;
+  b.breakdown.total = 1.0;  // perfect halving
+  EXPECT_DOUBLE_EQ(parallelEfficiency(a, b), 1.0);
+  b.breakdown.total = 1.25;
+  EXPECT_DOUBLE_EQ(parallelEfficiency(a, b), 0.8);
+}
+
+}  // namespace
+}  // namespace rmcrt::sim

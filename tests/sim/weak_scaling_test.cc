@@ -1,0 +1,46 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/perf_model.h"
+
+namespace rmcrt::sim {
+namespace {
+
+TEST(WeakScaling, AggregateVolumeGrowsQuadratically) {
+  // Paper Section V: weak scaling is omitted because "radiation or any
+  // globally coupled algorithm grows quadratically as O(N^2) ... with
+  // respect to the problem size". Verify the model reproduces the
+  // quadratic law: 4x the ranks -> ~16x the aggregate volume.
+  ProblemConfig base = mediumProblem();
+  const auto pts = weakScalingCommVolume(base, {64, 256, 1024});
+  ASSERT_EQ(pts.size(), 3u);
+  const double g1 =
+      pts[1].aggregateSingleLevelBytes / pts[0].aggregateSingleLevelBytes;
+  const double g2 =
+      pts[2].aggregateSingleLevelBytes / pts[1].aggregateSingleLevelBytes;
+  EXPECT_NEAR(g1, 16.0, 0.2);
+  EXPECT_NEAR(g2, 16.0, 0.2);
+  // Same law for the 2-level scheme (it reduces the constant, not the
+  // exponent — which is why the paper pursues strong scaling instead).
+  const double t1 =
+      pts[1].aggregateTwoLevelBytes / pts[0].aggregateTwoLevelBytes;
+  EXPECT_NEAR(t1, 16.0, 0.2);
+}
+
+TEST(WeakScaling, TwoLevelReducesConstantByRrCubed) {
+  ProblemConfig base = mediumProblem();  // RR 4
+  const auto pts = weakScalingCommVolume(base, {256});
+  EXPECT_NEAR(
+      pts[0].aggregateSingleLevelBytes / pts[0].aggregateTwoLevelBytes,
+      64.0, 0.1);
+}
+
+TEST(WeakScaling, SingleRankHasNoTraffic) {
+  const auto pts = weakScalingCommVolume(mediumProblem(), {1});
+  EXPECT_DOUBLE_EQ(pts[0].aggregateSingleLevelBytes, 0.0);
+  EXPECT_DOUBLE_EQ(pts[0].aggregateTwoLevelBytes, 0.0);
+}
+
+}  // namespace
+}  // namespace rmcrt::sim

@@ -1,0 +1,103 @@
+#include "sim/workload.h"
+
+#include <gtest/gtest.h>
+
+namespace rmcrt::sim {
+namespace {
+
+TEST(ProblemConfig, MediumMatchesPaperCellCounts) {
+  // Paper Section V: MEDIUM = 17.04M cells total (256^3 + 64^3).
+  ProblemConfig p = mediumProblem();
+  EXPECT_EQ(p.fineCells(), 16777216);
+  EXPECT_EQ(p.coarseCells(), 262144);
+  EXPECT_EQ(p.totalCells(), 17039360);
+}
+
+TEST(ProblemConfig, LargeMatchesPaperCellCounts) {
+  // Paper Section V: LARGE = 136.31M cells total (512^3 + 128^3).
+  ProblemConfig p = largeProblem();
+  EXPECT_EQ(p.totalCells(), 136314880);
+}
+
+TEST(ProblemConfig, TableOnePatchCountMatchesPaper) {
+  // Paper Section IV-B: "262k total mesh patches" for the 512^3 CPU
+  // problem => fine patch edge 8.
+  ProblemConfig p = largeProblem(8);
+  EXPECT_EQ(p.numFinePatches(), 262144);
+}
+
+TEST(ProblemConfig, PatchCounts) {
+  EXPECT_EQ(largeProblem(16).numFinePatches(), 32768);
+  EXPECT_EQ(largeProblem(32).numFinePatches(), 4096);
+  EXPECT_EQ(largeProblem(64).numFinePatches(), 512);
+  EXPECT_EQ(mediumProblem(64).numFinePatches(), 64);
+}
+
+TEST(ProblemConfig, PatchesPerRankCeil) {
+  ProblemConfig p = mediumProblem(32);  // 512 patches
+  EXPECT_EQ(p.patchesPerRank(1), 512);
+  EXPECT_EQ(p.patchesPerRank(512), 1);
+  EXPECT_EQ(p.patchesPerRank(500), 2);  // straggler holds two
+}
+
+TEST(ProblemConfig, ReplicationVolumeIsCoarseLevelShare) {
+  ProblemConfig p = largeProblem();
+  const double full =
+      p.coarseCells() * ProblemConfig::bytesPerPropertyCell;
+  EXPECT_NEAR(p.replicationBytesPerRank(2), full / 2, 1.0);
+  EXPECT_NEAR(p.replicationBytesPerRank(1024), full * (1023.0 / 1024), 1.0);
+  // Single rank: nothing to replicate remotely... (share = 0).
+  EXPECT_NEAR(p.replicationBytesPerRank(1), 0.0, 1.0);
+}
+
+TEST(ProblemConfig, SingleLevelWouldReplicateFineLevel) {
+  // The point of the AMR scheme: coarse replication is RR^3 smaller than
+  // replicating the fine level.
+  ProblemConfig p = largeProblem();
+  const double coarse = p.replicationBytesPerRank(1024);
+  const double fineEquivalent =
+      p.fineCells() * ProblemConfig::bytesPerPropertyCell *
+      (1.0 - 1.0 / 1024.0);
+  EXPECT_NEAR(fineEquivalent / coarse, 64.0, 0.1);  // RR^3 = 64
+}
+
+TEST(ProblemConfig, HaloVolumeShrinksPerRankWithScale) {
+  ProblemConfig p = largeProblem(16);
+  EXPECT_GT(p.haloBytesPerRank(128), p.haloBytesPerRank(1024));
+  EXPECT_GT(p.haloBytesPerRank(1024), p.haloBytesPerRank(16384));
+  EXPECT_EQ(p.haloBytesPerRank(1), 0.0);
+}
+
+TEST(ProblemConfig, DependencyRecordsDominatedByReplication) {
+  // The paper's race/overhead hot spot: whole-level requirements create
+  // (fine patch x coarse patch) records.
+  ProblemConfig p = largeProblem(8);
+  const double recs = p.dependencyRecordsPerRank(512);
+  EXPECT_GT(recs, 1e6);  // ~512 patches x 4096 coarse patches
+  EXPECT_LT(recs, 3e6);
+  EXPECT_GT(recs, p.dependencyRecordsPerRank(16384));
+}
+
+TEST(ProblemConfig, DeviceBytesLevelDbVsPerPatch) {
+  ProblemConfig p = largeProblem(32);
+  const double shared = p.deviceBytesNeeded(4, false);
+  const double copies = p.deviceBytesNeeded(4, true);
+  // 4 tasks with private coarse copies hold ~4x the coarse bytes.
+  const double coarseBytes =
+      p.coarseCells() * ProblemConfig::bytesPerPropertyCell;
+  EXPECT_NEAR(copies - shared, 3 * coarseBytes, 1.0);
+  // LARGE coarse level = 128^3 * 20 B = 42 MB per copy.
+  EXPECT_GT(coarseBytes, 40e6);
+}
+
+TEST(ProblemConfig, SegmentsScaleWithRaysAndCells) {
+  ProblemConfig p = mediumProblem(32);
+  const double base = p.segmentsPerRank(64);
+  ProblemConfig doubleRays = p;
+  doubleRays.raysPerCell = 200;
+  EXPECT_NEAR(doubleRays.segmentsPerRank(64) / base, 2.0, 1e-9);
+  EXPECT_NEAR(p.segmentsPerRank(128) / base, 0.5, 1e-9);
+}
+
+}  // namespace
+}  // namespace rmcrt::sim

@@ -1,0 +1,109 @@
+#include "util/int_vector.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <unordered_set>
+
+namespace rmcrt {
+namespace {
+
+TEST(IntVector, DefaultIsZero) {
+  IntVector v;
+  EXPECT_EQ(v, IntVector(0, 0, 0));
+}
+
+TEST(IntVector, SplatConstructor) {
+  EXPECT_EQ(IntVector(3), IntVector(3, 3, 3));
+}
+
+TEST(IntVector, Arithmetic) {
+  IntVector a(1, 2, 3), b(4, 5, 6);
+  EXPECT_EQ(a + b, IntVector(5, 7, 9));
+  EXPECT_EQ(b - a, IntVector(3, 3, 3));
+  EXPECT_EQ(a * b, IntVector(4, 10, 18));
+  EXPECT_EQ(b / a, IntVector(4, 2, 2));
+  EXPECT_EQ(a * 2, IntVector(2, 4, 6));
+  EXPECT_EQ(b / 2, IntVector(2, 2, 3));
+  EXPECT_EQ(-a, IntVector(-1, -2, -3));
+}
+
+TEST(IntVector, CompoundAssign) {
+  IntVector a(1, 1, 1);
+  a += IntVector(2, 3, 4);
+  EXPECT_EQ(a, IntVector(3, 4, 5));
+  a -= IntVector(1, 1, 1);
+  EXPECT_EQ(a, IntVector(2, 3, 4));
+}
+
+TEST(IntVector, ComponentwiseComparisons) {
+  EXPECT_TRUE(IntVector(0, 0, 0).allLess(IntVector(1, 1, 1)));
+  EXPECT_FALSE(IntVector(0, 0, 1).allLess(IntVector(1, 1, 1)));
+  EXPECT_TRUE(IntVector(0, 0, 1).allLessEq(IntVector(1, 1, 1)));
+  EXPECT_TRUE(IntVector(1, 1, 1).allGreaterEq(IntVector(1, 0, 1)));
+  EXPECT_FALSE(IntVector(1, -1, 1).allGreaterEq(IntVector(1, 0, 1)));
+}
+
+TEST(IntVector, Volume) {
+  EXPECT_EQ(IntVector(4, 5, 6).volume(), 120);
+  // Does not overflow 32 bits: 2048^3 > 2^31.
+  EXPECT_EQ(IntVector(2048, 2048, 2048).volume(), 8589934592LL);
+}
+
+TEST(IntVector, MinMax) {
+  IntVector a(1, 5, 3), b(2, 4, 3);
+  EXPECT_EQ(min(a, b), IntVector(1, 4, 3));
+  EXPECT_EQ(max(a, b), IntVector(2, 5, 3));
+}
+
+TEST(IntVector, LexicographicOrderingForMaps) {
+  std::map<IntVector, int, IntVectorLess> m;
+  m[IntVector(0, 0, 1)] = 1;
+  m[IntVector(0, 1, 0)] = 2;
+  m[IntVector(1, 0, 0)] = 3;
+  EXPECT_EQ(m.size(), 3u);
+  EXPECT_EQ(m.begin()->second, 1);  // (0,0,1) < (0,1,0) < (1,0,0)
+}
+
+TEST(IntVector, HashDistinguishesAxes) {
+  IntVectorHash h;
+  std::unordered_set<std::size_t> seen;
+  // Axis permutations of the same components must hash differently.
+  seen.insert(h(IntVector(1, 2, 3)));
+  seen.insert(h(IntVector(3, 2, 1)));
+  seen.insert(h(IntVector(2, 3, 1)));
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(Vector, DotLengthNormalize) {
+  Vector v(3.0, 4.0, 0.0);
+  EXPECT_DOUBLE_EQ(v.dot(v), 25.0);
+  EXPECT_DOUBLE_EQ(v.length(), 5.0);
+  Vector n = v.normalized();
+  EXPECT_NEAR(n.length(), 1.0, 1e-15);
+  EXPECT_NEAR(n.x(), 0.6, 1e-15);
+}
+
+TEST(Vector, SafeInverseHandlesZeros) {
+  Vector inv = Vector(2.0, 0.0, -4.0).safeInverse();
+  EXPECT_DOUBLE_EQ(inv.x(), 0.5);
+  EXPECT_TRUE(std::isinf(inv.y()));
+  EXPECT_DOUBLE_EQ(inv.z(), -0.25);
+}
+
+TEST(Vector, FromIntVector) {
+  Vector v{IntVector(1, 2, 3)};
+  EXPECT_DOUBLE_EQ(v.x(), 1.0);
+  EXPECT_DOUBLE_EQ(v.z(), 3.0);
+}
+
+TEST(Vector, ScalarOps) {
+  Vector v(1.0, 2.0, 3.0);
+  EXPECT_EQ(2.0 * v, Vector(2.0, 4.0, 6.0));
+  EXPECT_EQ(v / 2.0, Vector(0.5, 1.0, 1.5));
+  EXPECT_DOUBLE_EQ(v.minComponent(), 1.0);
+  EXPECT_DOUBLE_EQ(v.maxComponent(), 3.0);
+}
+
+}  // namespace
+}  // namespace rmcrt

@@ -1,0 +1,115 @@
+#include "util/range.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace rmcrt {
+namespace {
+
+TEST(CellRange, SizeAndVolume) {
+  CellRange r(IntVector(0, 0, 0), IntVector(4, 3, 2));
+  EXPECT_EQ(r.size(), IntVector(4, 3, 2));
+  EXPECT_EQ(r.volume(), 24);
+  EXPECT_FALSE(r.empty());
+}
+
+TEST(CellRange, EmptyWhenDegenerate) {
+  CellRange r(IntVector(2, 0, 0), IntVector(2, 5, 5));
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.volume(), 0);
+  CellRange inverted(IntVector(3, 0, 0), IntVector(1, 5, 5));
+  EXPECT_TRUE(inverted.empty());
+}
+
+TEST(CellRange, ContainsPoint) {
+  CellRange r(IntVector(-2, -2, -2), IntVector(2, 2, 2));
+  EXPECT_TRUE(r.contains(IntVector(-2, -2, -2)));
+  EXPECT_TRUE(r.contains(IntVector(1, 1, 1)));
+  EXPECT_FALSE(r.contains(IntVector(2, 0, 0)));  // high is exclusive
+  EXPECT_FALSE(r.contains(IntVector(-3, 0, 0)));
+}
+
+TEST(CellRange, ContainsRange) {
+  CellRange outer(IntVector(0, 0, 0), IntVector(10, 10, 10));
+  EXPECT_TRUE(outer.contains(CellRange(IntVector(2, 2, 2), IntVector(8, 8, 8))));
+  EXPECT_TRUE(outer.contains(outer));
+  EXPECT_FALSE(
+      outer.contains(CellRange(IntVector(2, 2, 2), IntVector(11, 8, 8))));
+  // Empty ranges are contained everywhere.
+  EXPECT_TRUE(outer.contains(CellRange()));
+}
+
+TEST(CellRange, Intersect) {
+  CellRange a(IntVector(0, 0, 0), IntVector(5, 5, 5));
+  CellRange b(IntVector(3, 3, 3), IntVector(8, 8, 8));
+  CellRange i = a.intersect(b);
+  EXPECT_EQ(i, CellRange(IntVector(3, 3, 3), IntVector(5, 5, 5)));
+  CellRange disjoint(IntVector(6, 6, 6), IntVector(9, 9, 9));
+  EXPECT_TRUE(a.intersect(disjoint).empty());
+}
+
+TEST(CellRange, UnionWith) {
+  CellRange a(IntVector(0, 0, 0), IntVector(2, 2, 2));
+  CellRange b(IntVector(5, 5, 5), IntVector(6, 6, 6));
+  EXPECT_EQ(a.unionWith(b), CellRange(IntVector(0, 0, 0), IntVector(6, 6, 6)));
+  EXPECT_EQ(a.unionWith(CellRange()), a);
+  EXPECT_EQ(CellRange().unionWith(b), b);
+}
+
+TEST(CellRange, GrownAndShifted) {
+  CellRange r(IntVector(0, 0, 0), IntVector(4, 4, 4));
+  EXPECT_EQ(r.grown(2), CellRange(IntVector(-2, -2, -2), IntVector(6, 6, 6)));
+  EXPECT_EQ(r.grown(2).grown(-2), r);
+  EXPECT_EQ(r.shifted(IntVector(1, 0, -1)),
+            CellRange(IntVector(1, 0, -1), IntVector(5, 4, 3)));
+}
+
+TEST(CellRange, CoarsenedPositive) {
+  CellRange fine(IntVector(0, 0, 0), IntVector(8, 8, 8));
+  EXPECT_EQ(fine.coarsened(IntVector(4)),
+            CellRange(IntVector(0, 0, 0), IntVector(2, 2, 2)));
+  // Non-aligned high rounds outward.
+  CellRange odd(IntVector(0, 0, 0), IntVector(5, 5, 5));
+  EXPECT_EQ(odd.coarsened(IntVector(4)),
+            CellRange(IntVector(0, 0, 0), IntVector(2, 2, 2)));
+}
+
+TEST(CellRange, CoarsenedNegativeIndicesUseFloor) {
+  // Ghost window extending below zero: floor division must round toward
+  // negative infinity so the coarse window still covers the fine one.
+  CellRange ghost(IntVector(-3, -1, 0), IntVector(4, 4, 4));
+  CellRange c = ghost.coarsened(IntVector(4));
+  EXPECT_EQ(c.low(), IntVector(-1, -1, 0));
+  EXPECT_EQ(c.high(), IntVector(1, 1, 1));
+  EXPECT_TRUE(c.refined(IntVector(4)).contains(ghost));
+}
+
+TEST(CellRange, RefinedIsInverseForAligned) {
+  CellRange c(IntVector(-1, 0, 2), IntVector(3, 4, 5));
+  EXPECT_EQ(c.refined(IntVector(2)).coarsened(IntVector(2)), c);
+}
+
+TEST(CellRange, IterationVisitsAllCellsXFastest) {
+  CellRange r(IntVector(-1, 0, 1), IntVector(1, 2, 3));
+  std::vector<IntVector> visited;
+  for (const IntVector& c : r) visited.push_back(c);
+  ASSERT_EQ(visited.size(), static_cast<std::size_t>(r.volume()));
+  EXPECT_EQ(visited.front(), IntVector(-1, 0, 1));
+  EXPECT_EQ(visited[1], IntVector(0, 0, 1));  // x fastest
+  EXPECT_EQ(visited.back(), IntVector(0, 1, 2));
+  std::set<std::string> unique;
+  for (const auto& c : visited) unique.insert(c.toString());
+  EXPECT_EQ(unique.size(), visited.size());
+}
+
+TEST(CellRange, IterationOfEmptyRange) {
+  CellRange r(IntVector(0, 0, 0), IntVector(0, 5, 5));
+  int count = 0;
+  for ([[maybe_unused]] const IntVector& c : r) ++count;
+  EXPECT_EQ(count, 0);
+}
+
+}  // namespace
+}  // namespace rmcrt

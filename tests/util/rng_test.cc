@@ -1,0 +1,112 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace rmcrt {
+namespace {
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.nextU64(), b.nextU64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.nextU64() == b.nextU64()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    double d = r.nextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanAndVariance) {
+  Rng r(123);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    double d = r.nextDouble();
+    sum += d;
+    sum2 += d * d;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.5, 0.005);
+  EXPECT_NEAR(var, 1.0 / 12.0, 0.002);
+}
+
+TEST(Rng, PerCellStreamsIndependentOfConstructionOrder) {
+  // The stream for a (cell, ray) pair must not depend on which other
+  // streams exist — this is what makes RMCRT results independent of the
+  // patch decomposition.
+  Rng a(99, IntVector(10, 20, 30), 5);
+  const std::uint64_t first = a.nextU64();
+  Rng c(99, IntVector(0, 0, 0), 0);
+  (void)c.nextU64();
+  Rng b(99, IntVector(10, 20, 30), 5);
+  EXPECT_EQ(b.nextU64(), first);
+}
+
+TEST(Rng, NeighboringCellsDecorrelated) {
+  // Streams of adjacent cells should not be shifted copies.
+  Rng a(1, IntVector(5, 5, 5), 0);
+  Rng b(1, IntVector(6, 5, 5), 0);
+  std::vector<std::uint64_t> sa, sb;
+  for (int i = 0; i < 32; ++i) {
+    sa.push_back(a.nextU64());
+    sb.push_back(b.nextU64());
+  }
+  for (int lag = 0; lag < 8; ++lag) {
+    int matches = 0;
+    for (int i = 0; i + lag < 32; ++i)
+      if (sa[i + lag] == sb[i]) ++matches;
+    EXPECT_EQ(matches, 0) << "lag " << lag;
+  }
+}
+
+TEST(Rng, RayIdSeparatesStreams) {
+  Rng a(1, IntVector(2, 2, 2), 0);
+  Rng b(1, IntVector(2, 2, 2), 1);
+  EXPECT_NE(a.nextU64(), b.nextU64());
+}
+
+TEST(Rng, UniformRange) {
+  Rng r(5);
+  for (int i = 0; i < 1000; ++i) {
+    double d = r.uniform(-2.0, 3.0);
+    EXPECT_GE(d, -2.0);
+    EXPECT_LT(d, 3.0);
+  }
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng r(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    auto v = r.nextBelow(10);
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // all 10 values hit in 1000 draws
+}
+
+TEST(Splitmix64, KnownFixedPointFreeMixing) {
+  // Bijectivity smoke test: no collisions among consecutive inputs.
+  std::set<std::uint64_t> outs;
+  for (std::uint64_t i = 0; i < 4096; ++i) outs.insert(splitmix64(i));
+  EXPECT_EQ(outs.size(), 4096u);
+}
+
+}  // namespace
+}  // namespace rmcrt

@@ -1,0 +1,65 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace rmcrt {
+namespace {
+
+TEST(RunningStats, Empty) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStats, KnownMoments) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1 = 7: sum sq dev = 32 -> 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, NegativeValues) {
+  RunningStats s;
+  s.add(-3.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), -3.0);
+}
+
+TEST(ErrorNorms, RelativeL2) {
+  std::vector<double> a{1.0, 2.0, 3.0};
+  std::vector<double> b{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(relativeL2Error(a, b), 0.0);
+  std::vector<double> c{2.0, 2.0, 3.0};
+  EXPECT_NEAR(relativeL2Error(c, b), 1.0 / std::sqrt(14.0), 1e-12);
+}
+
+TEST(ErrorNorms, MaxAbs) {
+  std::vector<double> a{1.0, 5.0, 3.0};
+  std::vector<double> b{1.0, 2.0, 3.5};
+  EXPECT_DOUBLE_EQ(maxAbsError(a, b), 3.0);
+}
+
+TEST(ErrorNorms, ZeroReferenceFallsBackToAbsolute) {
+  std::vector<double> a{3.0, 4.0};
+  std::vector<double> b{0.0, 0.0};
+  EXPECT_DOUBLE_EQ(relativeL2Error(a, b), 5.0);
+}
+
+}  // namespace
+}  // namespace rmcrt

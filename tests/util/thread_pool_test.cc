@@ -1,0 +1,78 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace rmcrt {
+namespace {
+
+TEST(ThreadPool, RunsAllSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i)
+    pool.submit([&count] { count.fetch_add(1); });
+  pool.waitIdle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleWithNoTasks) {
+  ThreadPool pool(2);
+  pool.waitIdle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(8);
+  const std::int64_t n = 10000;
+  std::vector<std::atomic<int>> hits(n);
+  pool.parallelFor(0, n, [&](std::int64_t i) { hits[i].fetch_add(1); });
+  for (std::int64_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyRange) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.parallelFor(5, 5, [&](std::int64_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 0);
+}
+
+TEST(ThreadPool, ParallelForSum) {
+  ThreadPool pool(4);
+  std::atomic<std::int64_t> sum{0};
+  pool.parallelFor(1, 1001, [&](std::int64_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 500500);
+}
+
+TEST(ThreadPool, ZeroThreadsClampedToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  std::atomic<int> c{0};
+  pool.submit([&c] { c.fetch_add(1); });
+  pool.waitIdle();
+  EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ThreadPool, ShutdownIsIdempotent) {
+  ThreadPool pool(2);
+  pool.shutdown();
+  pool.shutdown();
+  SUCCEED();
+}
+
+TEST(ThreadPool, NestedSubmitFromWorker) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 10; ++i) {
+    pool.submit([&pool, &count] {
+      pool.submit([&count] { count.fetch_add(1); });
+    });
+  }
+  pool.waitIdle();
+  EXPECT_EQ(count.load(), 10);
+}
+
+}  // namespace
+}  // namespace rmcrt

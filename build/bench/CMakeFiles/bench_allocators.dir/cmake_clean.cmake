@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_allocators.dir/bench_allocators.cc.o"
+  "CMakeFiles/bench_allocators.dir/bench_allocators.cc.o.d"
+  "bench_allocators"
+  "bench_allocators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_allocators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_amr_ablation.dir/bench_amr_ablation.cc.o"
+  "CMakeFiles/bench_amr_ablation.dir/bench_amr_ablation.cc.o.d"
+  "bench_amr_ablation"
+  "bench_amr_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_amr_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_comm_pool.dir/bench_comm_pool.cc.o"
+  "CMakeFiles/bench_comm_pool.dir/bench_comm_pool.cc.o.d"
+  "bench_comm_pool"
+  "bench_comm_pool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_comm_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

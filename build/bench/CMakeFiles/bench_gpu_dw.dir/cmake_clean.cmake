@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gpu_dw.dir/bench_gpu_dw.cc.o"
+  "CMakeFiles/bench_gpu_dw.dir/bench_gpu_dw.cc.o.d"
+  "bench_gpu_dw"
+  "bench_gpu_dw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gpu_dw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

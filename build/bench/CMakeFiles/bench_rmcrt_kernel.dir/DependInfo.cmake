@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_rmcrt_kernel.cc" "bench/CMakeFiles/bench_rmcrt_kernel.dir/bench_rmcrt_kernel.cc.o" "gcc" "bench/CMakeFiles/bench_rmcrt_kernel.dir/bench_rmcrt_kernel.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/rmcrt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rmcrt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/rmcrt_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/rmcrt_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/rmcrt_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/rmcrt_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/rmcrt_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rmcrt_kernel.dir/bench_rmcrt_kernel.cc.o"
+  "CMakeFiles/bench_rmcrt_kernel.dir/bench_rmcrt_kernel.cc.o.d"
+  "bench_rmcrt_kernel"
+  "bench_rmcrt_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rmcrt_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scaling_large.dir/bench_scaling_large.cc.o"
+  "CMakeFiles/bench_scaling_large.dir/bench_scaling_large.cc.o.d"
+  "bench_scaling_large"
+  "bench_scaling_large.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scaling_large.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

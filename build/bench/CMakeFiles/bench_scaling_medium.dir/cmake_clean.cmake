@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scaling_medium.dir/bench_scaling_medium.cc.o"
+  "CMakeFiles/bench_scaling_medium.dir/bench_scaling_medium.cc.o.d"
+  "bench_scaling_medium"
+  "bench_scaling_medium.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scaling_medium.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/boiler.dir/boiler.cpp.o"
+  "CMakeFiles/boiler.dir/boiler.cpp.o.d"
+  "boiler"
+  "boiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/boiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for boiler.
+# This may be replaced when dependencies are built.

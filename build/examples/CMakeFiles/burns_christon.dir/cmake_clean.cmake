@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/burns_christon.dir/burns_christon.cpp.o"
+  "CMakeFiles/burns_christon.dir/burns_christon.cpp.o.d"
+  "burns_christon"
+  "burns_christon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/burns_christon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

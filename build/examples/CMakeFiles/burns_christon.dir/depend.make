@@ -1,0 +1,2 @@
+# Empty dependencies file for burns_christon.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmcrt_comm.dir/communicator.cc.o"
+  "CMakeFiles/rmcrt_comm.dir/communicator.cc.o.d"
+  "librmcrt_comm.a"
+  "librmcrt_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmcrt_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

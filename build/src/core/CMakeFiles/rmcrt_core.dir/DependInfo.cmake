@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/dom_solver.cc" "src/core/CMakeFiles/rmcrt_core.dir/dom_solver.cc.o" "gcc" "src/core/CMakeFiles/rmcrt_core.dir/dom_solver.cc.o.d"
+  "/root/repo/src/core/ray_tracer.cc" "src/core/CMakeFiles/rmcrt_core.dir/ray_tracer.cc.o" "gcc" "src/core/CMakeFiles/rmcrt_core.dir/ray_tracer.cc.o.d"
+  "/root/repo/src/core/rmcrt_component.cc" "src/core/CMakeFiles/rmcrt_core.dir/rmcrt_component.cc.o" "gcc" "src/core/CMakeFiles/rmcrt_core.dir/rmcrt_component.cc.o.d"
+  "/root/repo/src/core/spectral.cc" "src/core/CMakeFiles/rmcrt_core.dir/spectral.cc.o" "gcc" "src/core/CMakeFiles/rmcrt_core.dir/spectral.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/rmcrt_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/rmcrt_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/rmcrt_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/rmcrt_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/rmcrt_comm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmcrt_core.dir/dom_solver.cc.o"
+  "CMakeFiles/rmcrt_core.dir/dom_solver.cc.o.d"
+  "CMakeFiles/rmcrt_core.dir/ray_tracer.cc.o"
+  "CMakeFiles/rmcrt_core.dir/ray_tracer.cc.o.d"
+  "CMakeFiles/rmcrt_core.dir/rmcrt_component.cc.o"
+  "CMakeFiles/rmcrt_core.dir/rmcrt_component.cc.o.d"
+  "CMakeFiles/rmcrt_core.dir/spectral.cc.o"
+  "CMakeFiles/rmcrt_core.dir/spectral.cc.o.d"
+  "librmcrt_core.a"
+  "librmcrt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmcrt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

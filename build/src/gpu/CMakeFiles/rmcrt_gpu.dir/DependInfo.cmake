@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpu/gpu_device.cc" "src/gpu/CMakeFiles/rmcrt_gpu.dir/gpu_device.cc.o" "gcc" "src/gpu/CMakeFiles/rmcrt_gpu.dir/gpu_device.cc.o.d"
+  "/root/repo/src/gpu/gpu_task_executor.cc" "src/gpu/CMakeFiles/rmcrt_gpu.dir/gpu_task_executor.cc.o" "gcc" "src/gpu/CMakeFiles/rmcrt_gpu.dir/gpu_task_executor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/rmcrt_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/rmcrt_grid.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

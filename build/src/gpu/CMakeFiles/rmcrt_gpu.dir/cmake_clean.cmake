@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmcrt_gpu.dir/gpu_device.cc.o"
+  "CMakeFiles/rmcrt_gpu.dir/gpu_device.cc.o.d"
+  "CMakeFiles/rmcrt_gpu.dir/gpu_task_executor.cc.o"
+  "CMakeFiles/rmcrt_gpu.dir/gpu_task_executor.cc.o.d"
+  "librmcrt_gpu.a"
+  "librmcrt_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmcrt_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/grid/grid.cc" "src/grid/CMakeFiles/rmcrt_grid.dir/grid.cc.o" "gcc" "src/grid/CMakeFiles/rmcrt_grid.dir/grid.cc.o.d"
+  "/root/repo/src/grid/level.cc" "src/grid/CMakeFiles/rmcrt_grid.dir/level.cc.o" "gcc" "src/grid/CMakeFiles/rmcrt_grid.dir/level.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/rmcrt_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

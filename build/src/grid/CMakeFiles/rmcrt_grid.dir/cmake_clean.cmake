@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmcrt_grid.dir/grid.cc.o"
+  "CMakeFiles/rmcrt_grid.dir/grid.cc.o.d"
+  "CMakeFiles/rmcrt_grid.dir/level.cc.o"
+  "CMakeFiles/rmcrt_grid.dir/level.cc.o.d"
+  "librmcrt_grid.a"
+  "librmcrt_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmcrt_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

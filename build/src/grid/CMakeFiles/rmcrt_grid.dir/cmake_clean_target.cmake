@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librmcrt_grid.a"
+)

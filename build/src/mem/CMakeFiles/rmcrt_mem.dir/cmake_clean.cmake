@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmcrt_mem.dir/lockfree_pool.cc.o"
+  "CMakeFiles/rmcrt_mem.dir/lockfree_pool.cc.o.d"
+  "CMakeFiles/rmcrt_mem.dir/mmap_arena.cc.o"
+  "CMakeFiles/rmcrt_mem.dir/mmap_arena.cc.o.d"
+  "librmcrt_mem.a"
+  "librmcrt_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmcrt_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/data_archiver.cc" "src/runtime/CMakeFiles/rmcrt_runtime.dir/data_archiver.cc.o" "gcc" "src/runtime/CMakeFiles/rmcrt_runtime.dir/data_archiver.cc.o.d"
+  "/root/repo/src/runtime/scheduler.cc" "src/runtime/CMakeFiles/rmcrt_runtime.dir/scheduler.cc.o" "gcc" "src/runtime/CMakeFiles/rmcrt_runtime.dir/scheduler.cc.o.d"
+  "/root/repo/src/runtime/simulation_controller.cc" "src/runtime/CMakeFiles/rmcrt_runtime.dir/simulation_controller.cc.o" "gcc" "src/runtime/CMakeFiles/rmcrt_runtime.dir/simulation_controller.cc.o.d"
+  "/root/repo/src/runtime/task_graph.cc" "src/runtime/CMakeFiles/rmcrt_runtime.dir/task_graph.cc.o" "gcc" "src/runtime/CMakeFiles/rmcrt_runtime.dir/task_graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/rmcrt_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/rmcrt_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/rmcrt_grid.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmcrt_runtime.dir/data_archiver.cc.o"
+  "CMakeFiles/rmcrt_runtime.dir/data_archiver.cc.o.d"
+  "CMakeFiles/rmcrt_runtime.dir/scheduler.cc.o"
+  "CMakeFiles/rmcrt_runtime.dir/scheduler.cc.o.d"
+  "CMakeFiles/rmcrt_runtime.dir/simulation_controller.cc.o"
+  "CMakeFiles/rmcrt_runtime.dir/simulation_controller.cc.o.d"
+  "CMakeFiles/rmcrt_runtime.dir/task_graph.cc.o"
+  "CMakeFiles/rmcrt_runtime.dir/task_graph.cc.o.d"
+  "librmcrt_runtime.a"
+  "librmcrt_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmcrt_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

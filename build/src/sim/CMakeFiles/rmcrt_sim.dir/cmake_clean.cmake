@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmcrt_sim.dir/calibration.cc.o"
+  "CMakeFiles/rmcrt_sim.dir/calibration.cc.o.d"
+  "CMakeFiles/rmcrt_sim.dir/perf_model.cc.o"
+  "CMakeFiles/rmcrt_sim.dir/perf_model.cc.o.d"
+  "CMakeFiles/rmcrt_sim.dir/scaling_study.cc.o"
+  "CMakeFiles/rmcrt_sim.dir/scaling_study.cc.o.d"
+  "librmcrt_sim.a"
+  "librmcrt_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmcrt_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

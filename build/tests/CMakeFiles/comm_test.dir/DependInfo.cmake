@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/comm/communicator_test.cc" "tests/CMakeFiles/comm_test.dir/comm/communicator_test.cc.o" "gcc" "tests/CMakeFiles/comm_test.dir/comm/communicator_test.cc.o.d"
+  "/root/repo/tests/comm/request_containers_test.cc" "tests/CMakeFiles/comm_test.dir/comm/request_containers_test.cc.o" "gcc" "tests/CMakeFiles/comm_test.dir/comm/request_containers_test.cc.o.d"
+  "/root/repo/tests/comm/waitfree_pool_test.cc" "tests/CMakeFiles/comm_test.dir/comm/waitfree_pool_test.cc.o" "gcc" "tests/CMakeFiles/comm_test.dir/comm/waitfree_pool_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/rmcrt_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/rmcrt_comm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

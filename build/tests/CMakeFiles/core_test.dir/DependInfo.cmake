@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/dom_solver_test.cc" "tests/CMakeFiles/core_test.dir/core/dom_solver_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/dom_solver_test.cc.o.d"
+  "/root/repo/tests/core/gpu_batch_trace_test.cc" "tests/CMakeFiles/core_test.dir/core/gpu_batch_trace_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/gpu_batch_trace_test.cc.o.d"
+  "/root/repo/tests/core/multilevel_test.cc" "tests/CMakeFiles/core_test.dir/core/multilevel_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/multilevel_test.cc.o.d"
+  "/root/repo/tests/core/pipeline_sweep_test.cc" "tests/CMakeFiles/core_test.dir/core/pipeline_sweep_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/pipeline_sweep_test.cc.o.d"
+  "/root/repo/tests/core/pipeline_test.cc" "tests/CMakeFiles/core_test.dir/core/pipeline_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/pipeline_test.cc.o.d"
+  "/root/repo/tests/core/problems_test.cc" "tests/CMakeFiles/core_test.dir/core/problems_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/problems_test.cc.o.d"
+  "/root/repo/tests/core/radiometer_test.cc" "tests/CMakeFiles/core_test.dir/core/radiometer_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/radiometer_test.cc.o.d"
+  "/root/repo/tests/core/ray_tracer_test.cc" "tests/CMakeFiles/core_test.dir/core/ray_tracer_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/ray_tracer_test.cc.o.d"
+  "/root/repo/tests/core/spectral_test.cc" "tests/CMakeFiles/core_test.dir/core/spectral_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/spectral_test.cc.o.d"
+  "/root/repo/tests/core/tracer_edge_cases_test.cc" "tests/CMakeFiles/core_test.dir/core/tracer_edge_cases_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/tracer_edge_cases_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/rmcrt_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/rmcrt_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rmcrt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/rmcrt_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/rmcrt_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/rmcrt_grid.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/dom_solver_test.cc.o"
+  "CMakeFiles/core_test.dir/core/dom_solver_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/gpu_batch_trace_test.cc.o"
+  "CMakeFiles/core_test.dir/core/gpu_batch_trace_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/multilevel_test.cc.o"
+  "CMakeFiles/core_test.dir/core/multilevel_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/pipeline_sweep_test.cc.o"
+  "CMakeFiles/core_test.dir/core/pipeline_sweep_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/pipeline_test.cc.o"
+  "CMakeFiles/core_test.dir/core/pipeline_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/problems_test.cc.o"
+  "CMakeFiles/core_test.dir/core/problems_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/radiometer_test.cc.o"
+  "CMakeFiles/core_test.dir/core/radiometer_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/ray_tracer_test.cc.o"
+  "CMakeFiles/core_test.dir/core/ray_tracer_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/spectral_test.cc.o"
+  "CMakeFiles/core_test.dir/core/spectral_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/tracer_edge_cases_test.cc.o"
+  "CMakeFiles/core_test.dir/core/tracer_edge_cases_test.cc.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

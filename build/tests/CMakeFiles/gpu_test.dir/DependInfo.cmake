@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/gpu/gpu_data_warehouse_test.cc" "tests/CMakeFiles/gpu_test.dir/gpu/gpu_data_warehouse_test.cc.o" "gcc" "tests/CMakeFiles/gpu_test.dir/gpu/gpu_data_warehouse_test.cc.o.d"
+  "/root/repo/tests/gpu/gpu_device_test.cc" "tests/CMakeFiles/gpu_test.dir/gpu/gpu_device_test.cc.o" "gcc" "tests/CMakeFiles/gpu_test.dir/gpu/gpu_device_test.cc.o.d"
+  "/root/repo/tests/gpu/gpu_task_executor_test.cc" "tests/CMakeFiles/gpu_test.dir/gpu/gpu_task_executor_test.cc.o" "gcc" "tests/CMakeFiles/gpu_test.dir/gpu/gpu_task_executor_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/rmcrt_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/rmcrt_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/rmcrt_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/rmcrt_grid.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/grid/grid_test.cc" "tests/CMakeFiles/grid_test.dir/grid/grid_test.cc.o" "gcc" "tests/CMakeFiles/grid_test.dir/grid/grid_test.cc.o.d"
+  "/root/repo/tests/grid/level_test.cc" "tests/CMakeFiles/grid_test.dir/grid/level_test.cc.o" "gcc" "tests/CMakeFiles/grid_test.dir/grid/level_test.cc.o.d"
+  "/root/repo/tests/grid/load_balancer_test.cc" "tests/CMakeFiles/grid_test.dir/grid/load_balancer_test.cc.o" "gcc" "tests/CMakeFiles/grid_test.dir/grid/load_balancer_test.cc.o.d"
+  "/root/repo/tests/grid/regrid_vtk_test.cc" "tests/CMakeFiles/grid_test.dir/grid/regrid_vtk_test.cc.o" "gcc" "tests/CMakeFiles/grid_test.dir/grid/regrid_vtk_test.cc.o.d"
+  "/root/repo/tests/grid/variable_test.cc" "tests/CMakeFiles/grid_test.dir/grid/variable_test.cc.o" "gcc" "tests/CMakeFiles/grid_test.dir/grid/variable_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/rmcrt_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/rmcrt_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/rmcrt_grid.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid_test.dir/grid/grid_test.cc.o"
+  "CMakeFiles/grid_test.dir/grid/grid_test.cc.o.d"
+  "CMakeFiles/grid_test.dir/grid/level_test.cc.o"
+  "CMakeFiles/grid_test.dir/grid/level_test.cc.o.d"
+  "CMakeFiles/grid_test.dir/grid/load_balancer_test.cc.o"
+  "CMakeFiles/grid_test.dir/grid/load_balancer_test.cc.o.d"
+  "CMakeFiles/grid_test.dir/grid/regrid_vtk_test.cc.o"
+  "CMakeFiles/grid_test.dir/grid/regrid_vtk_test.cc.o.d"
+  "CMakeFiles/grid_test.dir/grid/variable_test.cc.o"
+  "CMakeFiles/grid_test.dir/grid/variable_test.cc.o.d"
+  "grid_test"
+  "grid_test.pdb"
+  "grid_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mem/allocation_tracker_test.cc" "tests/CMakeFiles/mem_test.dir/mem/allocation_tracker_test.cc.o" "gcc" "tests/CMakeFiles/mem_test.dir/mem/allocation_tracker_test.cc.o.d"
+  "/root/repo/tests/mem/allocators_test.cc" "tests/CMakeFiles/mem_test.dir/mem/allocators_test.cc.o" "gcc" "tests/CMakeFiles/mem_test.dir/mem/allocators_test.cc.o.d"
+  "/root/repo/tests/mem/heap_probe_test.cc" "tests/CMakeFiles/mem_test.dir/mem/heap_probe_test.cc.o" "gcc" "tests/CMakeFiles/mem_test.dir/mem/heap_probe_test.cc.o.d"
+  "/root/repo/tests/mem/lockfree_pool_test.cc" "tests/CMakeFiles/mem_test.dir/mem/lockfree_pool_test.cc.o" "gcc" "tests/CMakeFiles/mem_test.dir/mem/lockfree_pool_test.cc.o.d"
+  "/root/repo/tests/mem/mmap_arena_test.cc" "tests/CMakeFiles/mem_test.dir/mem/mmap_arena_test.cc.o" "gcc" "tests/CMakeFiles/mem_test.dir/mem/mmap_arena_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/rmcrt_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/rmcrt_comm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mem_test.dir/mem/allocation_tracker_test.cc.o"
+  "CMakeFiles/mem_test.dir/mem/allocation_tracker_test.cc.o.d"
+  "CMakeFiles/mem_test.dir/mem/allocators_test.cc.o"
+  "CMakeFiles/mem_test.dir/mem/allocators_test.cc.o.d"
+  "CMakeFiles/mem_test.dir/mem/heap_probe_test.cc.o"
+  "CMakeFiles/mem_test.dir/mem/heap_probe_test.cc.o.d"
+  "CMakeFiles/mem_test.dir/mem/lockfree_pool_test.cc.o"
+  "CMakeFiles/mem_test.dir/mem/lockfree_pool_test.cc.o.d"
+  "CMakeFiles/mem_test.dir/mem/mmap_arena_test.cc.o"
+  "CMakeFiles/mem_test.dir/mem/mmap_arena_test.cc.o.d"
+  "mem_test"
+  "mem_test.pdb"
+  "mem_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

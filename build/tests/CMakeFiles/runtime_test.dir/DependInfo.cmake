@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/runtime/data_archiver_test.cc" "tests/CMakeFiles/runtime_test.dir/runtime/data_archiver_test.cc.o" "gcc" "tests/CMakeFiles/runtime_test.dir/runtime/data_archiver_test.cc.o.d"
+  "/root/repo/tests/runtime/data_warehouse_test.cc" "tests/CMakeFiles/runtime_test.dir/runtime/data_warehouse_test.cc.o" "gcc" "tests/CMakeFiles/runtime_test.dir/runtime/data_warehouse_test.cc.o.d"
+  "/root/repo/tests/runtime/reductions_test.cc" "tests/CMakeFiles/runtime_test.dir/runtime/reductions_test.cc.o" "gcc" "tests/CMakeFiles/runtime_test.dir/runtime/reductions_test.cc.o.d"
+  "/root/repo/tests/runtime/scheduler_sweep_test.cc" "tests/CMakeFiles/runtime_test.dir/runtime/scheduler_sweep_test.cc.o" "gcc" "tests/CMakeFiles/runtime_test.dir/runtime/scheduler_sweep_test.cc.o.d"
+  "/root/repo/tests/runtime/scheduler_test.cc" "tests/CMakeFiles/runtime_test.dir/runtime/scheduler_test.cc.o" "gcc" "tests/CMakeFiles/runtime_test.dir/runtime/scheduler_test.cc.o.d"
+  "/root/repo/tests/runtime/simulation_controller_test.cc" "tests/CMakeFiles/runtime_test.dir/runtime/simulation_controller_test.cc.o" "gcc" "tests/CMakeFiles/runtime_test.dir/runtime/simulation_controller_test.cc.o.d"
+  "/root/repo/tests/runtime/task_graph_test.cc" "tests/CMakeFiles/runtime_test.dir/runtime/task_graph_test.cc.o" "gcc" "tests/CMakeFiles/runtime_test.dir/runtime/task_graph_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/rmcrt_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/rmcrt_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/rmcrt_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/rmcrt_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rmcrt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/rmcrt_gpu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

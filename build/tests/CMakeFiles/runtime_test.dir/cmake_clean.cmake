@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_test.dir/runtime/data_archiver_test.cc.o"
+  "CMakeFiles/runtime_test.dir/runtime/data_archiver_test.cc.o.d"
+  "CMakeFiles/runtime_test.dir/runtime/data_warehouse_test.cc.o"
+  "CMakeFiles/runtime_test.dir/runtime/data_warehouse_test.cc.o.d"
+  "CMakeFiles/runtime_test.dir/runtime/reductions_test.cc.o"
+  "CMakeFiles/runtime_test.dir/runtime/reductions_test.cc.o.d"
+  "CMakeFiles/runtime_test.dir/runtime/scheduler_sweep_test.cc.o"
+  "CMakeFiles/runtime_test.dir/runtime/scheduler_sweep_test.cc.o.d"
+  "CMakeFiles/runtime_test.dir/runtime/scheduler_test.cc.o"
+  "CMakeFiles/runtime_test.dir/runtime/scheduler_test.cc.o.d"
+  "CMakeFiles/runtime_test.dir/runtime/simulation_controller_test.cc.o"
+  "CMakeFiles/runtime_test.dir/runtime/simulation_controller_test.cc.o.d"
+  "CMakeFiles/runtime_test.dir/runtime/task_graph_test.cc.o"
+  "CMakeFiles/runtime_test.dir/runtime/task_graph_test.cc.o.d"
+  "runtime_test"
+  "runtime_test.pdb"
+  "runtime_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/calibration_test.cc" "tests/CMakeFiles/sim_test.dir/sim/calibration_test.cc.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/calibration_test.cc.o.d"
+  "/root/repo/tests/sim/csv_export_test.cc" "tests/CMakeFiles/sim_test.dir/sim/csv_export_test.cc.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/csv_export_test.cc.o.d"
+  "/root/repo/tests/sim/perf_model_test.cc" "tests/CMakeFiles/sim_test.dir/sim/perf_model_test.cc.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/perf_model_test.cc.o.d"
+  "/root/repo/tests/sim/weak_scaling_test.cc" "tests/CMakeFiles/sim_test.dir/sim/weak_scaling_test.cc.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/weak_scaling_test.cc.o.d"
+  "/root/repo/tests/sim/workload_test.cc" "tests/CMakeFiles/sim_test.dir/sim/workload_test.cc.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/workload_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/rmcrt_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/rmcrt_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rmcrt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rmcrt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/rmcrt_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/rmcrt_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/rmcrt_grid.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

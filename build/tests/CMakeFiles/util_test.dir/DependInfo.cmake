@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/array3_test.cc" "tests/CMakeFiles/util_test.dir/util/array3_test.cc.o" "gcc" "tests/CMakeFiles/util_test.dir/util/array3_test.cc.o.d"
+  "/root/repo/tests/util/int_vector_test.cc" "tests/CMakeFiles/util_test.dir/util/int_vector_test.cc.o" "gcc" "tests/CMakeFiles/util_test.dir/util/int_vector_test.cc.o.d"
+  "/root/repo/tests/util/range_test.cc" "tests/CMakeFiles/util_test.dir/util/range_test.cc.o" "gcc" "tests/CMakeFiles/util_test.dir/util/range_test.cc.o.d"
+  "/root/repo/tests/util/rng_test.cc" "tests/CMakeFiles/util_test.dir/util/rng_test.cc.o" "gcc" "tests/CMakeFiles/util_test.dir/util/rng_test.cc.o.d"
+  "/root/repo/tests/util/stats_test.cc" "tests/CMakeFiles/util_test.dir/util/stats_test.cc.o" "gcc" "tests/CMakeFiles/util_test.dir/util/stats_test.cc.o.d"
+  "/root/repo/tests/util/thread_pool_test.cc" "tests/CMakeFiles/util_test.dir/util/thread_pool_test.cc.o" "gcc" "tests/CMakeFiles/util_test.dir/util/thread_pool_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/rmcrt_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/rmcrt_comm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_test.dir/util/array3_test.cc.o"
+  "CMakeFiles/util_test.dir/util/array3_test.cc.o.d"
+  "CMakeFiles/util_test.dir/util/int_vector_test.cc.o"
+  "CMakeFiles/util_test.dir/util/int_vector_test.cc.o.d"
+  "CMakeFiles/util_test.dir/util/range_test.cc.o"
+  "CMakeFiles/util_test.dir/util/range_test.cc.o.d"
+  "CMakeFiles/util_test.dir/util/rng_test.cc.o"
+  "CMakeFiles/util_test.dir/util/rng_test.cc.o.d"
+  "CMakeFiles/util_test.dir/util/stats_test.cc.o"
+  "CMakeFiles/util_test.dir/util/stats_test.cc.o.d"
+  "CMakeFiles/util_test.dir/util/thread_pool_test.cc.o"
+  "CMakeFiles/util_test.dir/util/thread_pool_test.cc.o.d"
+  "util_test"
+  "util_test.pdb"
+  "util_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -4,6 +4,9 @@
 #include <cstring>
 #include <thread>
 
+#include "comm/fault_injector.h"
+#include "util/backoff.h"
+
 namespace rmcrt::comm {
 
 Communicator::Communicator(int size) : m_size(size) {
@@ -11,6 +14,16 @@ Communicator::Communicator(int size) : m_size(size) {
   m_boxes.reserve(static_cast<std::size_t>(size));
   for (int i = 0; i < size; ++i)
     m_boxes.push_back(std::make_unique<Mailbox>());
+}
+
+Communicator::~Communicator() {
+  // No deferred delivery may outlive the mailboxes it writes into.
+  if (m_injector) m_injector->cancelPendingAndWait();
+}
+
+void Communicator::setFaultInjector(std::shared_ptr<FaultInjector> injector) {
+  if (m_injector && !injector) m_injector->cancelPendingAndWait();
+  m_injector = std::move(injector);
 }
 
 void Communicator::deliver(const Message& msg, RequestState& st) {
@@ -22,8 +35,8 @@ void Communicator::deliver(const Message& msg, RequestState& st) {
   st.complete.store(true, std::memory_order_release);
 }
 
-Request Communicator::isend(int src, int dst, std::int64_t tag, const void* data,
-                            std::size_t bytes) {
+Request Communicator::isend(int src, int dst, std::int64_t tag,
+                            const void* data, std::size_t bytes) {
   assert(dst >= 0 && dst < m_size);
   Message msg;
   msg.src = src;
@@ -37,7 +50,15 @@ Request Communicator::isend(int src, int dst, std::int64_t tag, const void* data
   auto st = std::make_shared<RequestState>();
   st->complete.store(true, std::memory_order_release);  // buffered send
 
-  Mailbox& box = *m_boxes[static_cast<std::size_t>(dst)];
+  if (m_injector)
+    routeThroughInjector(std::move(msg));
+  else
+    deliverNow(std::move(msg));
+  return Request(std::move(st));
+}
+
+void Communicator::deliverNow(Message msg) {
+  Mailbox& box = *m_boxes[static_cast<std::size_t>(msg.dst)];
   std::shared_ptr<RequestState> target;
   {
     std::lock_guard<std::mutex> lk(box.mutex);
@@ -51,13 +72,73 @@ Request Communicator::isend(int src, int dst, std::int64_t tag, const void* data
     if (!target) {
       box.unexpected.push_back(std::move(msg));
       m_unexpected.fetch_add(1, std::memory_order_relaxed);
-      return Request(std::move(st));
+      return;
     }
   }
   // Deliver outside the mailbox lock: the state is exclusively ours now
   // (it was removed from the posted queue while the lock was held).
   deliver(msg, *target);
-  return Request(std::move(st));
+}
+
+void Communicator::routeThroughInjector(Message msg) {
+  const FaultInjector::Plan plan =
+      m_injector->plan(msg.src, msg.dst, msg.tag);
+  const int src = msg.src, dst = msg.dst;
+  switch (plan.action) {
+    case FaultAction::Drop:
+      return;
+    case FaultAction::Delay: {
+      m_injector->deferMs(plan.delayMs, [this, m = std::move(msg)]() mutable {
+        deliverNow(std::move(m));
+      });
+      return;
+    }
+    case FaultAction::Duplicate: {
+      Message copy = msg;  // shares the payload; deliver never mutates it
+      deliverNow(std::move(msg));
+      deliverNow(std::move(copy));
+      flushReorderSlot(src, dst);
+      return;
+    }
+    case FaultAction::Reorder: {
+      {
+        std::lock_guard<std::mutex> lk(m_reorderMutex);
+        auto [it, inserted] =
+            m_reorderHeld.try_emplace(std::make_pair(src, dst));
+        if (!inserted) {
+          // Slot occupied: release the older hostage first, hold this one.
+          Message prev = std::move(it->second);
+          it->second = std::move(msg);
+          deliverNow(std::move(prev));
+        } else {
+          it->second = std::move(msg);
+        }
+      }
+      // Bound the holding time in case no later message overtakes it.
+      m_injector->deferMs(m_injector->reorderHoldMs(),
+                          [this, src, dst] { flushReorderSlot(src, dst); });
+      return;
+    }
+    case FaultAction::Deliver:
+      deliverNow(std::move(msg));
+      flushReorderSlot(src, dst);
+      return;
+  }
+}
+
+void Communicator::flushReorderSlot(int src, int dst) {
+  Message held;
+  bool have = false;
+  {
+    std::lock_guard<std::mutex> lk(m_reorderMutex);
+    auto it = m_reorderHeld.find({src, dst});
+    if (it != m_reorderHeld.end()) {
+      held = std::move(it->second);
+      m_reorderHeld.erase(it);
+      have = true;
+    }
+  }
+  if (have) deliverNow(std::move(held));
 }
 
 Request Communicator::irecv(int rank, int src, std::int64_t tag, void* buf,
@@ -94,28 +175,63 @@ Request Communicator::irecv(int rank, int src, std::int64_t tag, void* buf,
   return Request(std::move(st));
 }
 
+bool Communicator::cancelRecv(int rank, const Request& r) {
+  assert(rank >= 0 && rank < m_size);
+  if (!r.valid()) return false;
+  Mailbox& box = *m_boxes[static_cast<std::size_t>(rank)];
+  std::lock_guard<std::mutex> lk(box.mutex);
+  for (auto it = box.posted.begin(); it != box.posted.end(); ++it) {
+    if (it->state.get() == r.state()) {
+      box.posted.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
 void Communicator::recv(int rank, int src, std::int64_t tag, void* buf,
                         std::size_t capacity) {
   Request r = irecv(rank, src, tag, buf, capacity);
-  while (!r.test()) std::this_thread::yield();
+  util::Backoff backoff;
+  while (!r.test()) {
+    if (aborted()) throw CommAborted(abortReason());
+    backoff.pause();
+  }
+}
+
+void Communicator::abort(const std::string& reason) {
+  {
+    std::lock_guard<std::mutex> lk(m_collMutex);
+    if (m_abortReason.empty()) m_abortReason = reason;
+  }
+  m_aborted.store(true, std::memory_order_release);
+  m_collCv.notify_all();
+}
+
+std::string Communicator::abortReason() const {
+  std::lock_guard<std::mutex> lk(m_collMutex);
+  return m_abortReason.empty() ? "(no reason recorded)" : m_abortReason;
 }
 
 void Communicator::barrier(int rank) {
   (void)rank;
   std::unique_lock<std::mutex> lk(m_collMutex);
+  if (aborted()) throw CommAborted(m_abortReason);
   const std::uint64_t epoch = m_barrierEpoch;
   if (++m_barrierCount == m_size) {
     m_barrierCount = 0;
     ++m_barrierEpoch;
     m_collCv.notify_all();
   } else {
-    m_collCv.wait(lk, [&] { return m_barrierEpoch != epoch; });
+    m_collCv.wait(lk, [&] { return m_barrierEpoch != epoch || aborted(); });
+    if (m_barrierEpoch == epoch) throw CommAborted(m_abortReason);
   }
 }
 
 double Communicator::allReduceSum(int rank, double value) {
   (void)rank;
   std::unique_lock<std::mutex> lk(m_collMutex);
+  if (aborted()) throw CommAborted(m_abortReason);
   const std::uint64_t epoch = m_reduceEpoch;
   if (m_reduceCount == 0) m_reduceAcc = 0.0;
   m_reduceAcc += value;
@@ -126,13 +242,15 @@ double Communicator::allReduceSum(int rank, double value) {
     m_collCv.notify_all();
     return m_reduceResult;
   }
-  m_collCv.wait(lk, [&] { return m_reduceEpoch != epoch; });
+  m_collCv.wait(lk, [&] { return m_reduceEpoch != epoch || aborted(); });
+  if (m_reduceEpoch == epoch) throw CommAborted(m_abortReason);
   return m_reduceResult;
 }
 
 double Communicator::allReduceMax(int rank, double value) {
   (void)rank;
   std::unique_lock<std::mutex> lk(m_collMutex);
+  if (aborted()) throw CommAborted(m_abortReason);
   const std::uint64_t epoch = m_reduceEpoch;
   if (m_reduceCount == 0)
     m_reduceAcc = value;
@@ -145,13 +263,15 @@ double Communicator::allReduceMax(int rank, double value) {
     m_collCv.notify_all();
     return m_reduceResult;
   }
-  m_collCv.wait(lk, [&] { return m_reduceEpoch != epoch; });
+  m_collCv.wait(lk, [&] { return m_reduceEpoch != epoch || aborted(); });
+  if (m_reduceEpoch == epoch) throw CommAborted(m_abortReason);
   return m_reduceResult;
 }
 
 void Communicator::allGather(int rank, const void* mine, std::size_t bytes,
                              void* out) {
   std::unique_lock<std::mutex> lk(m_collMutex);
+  if (aborted()) throw CommAborted(m_abortReason);
   const std::uint64_t epoch = m_gatherEpoch;
   std::vector<std::byte>& buf = m_gatherBuf[epoch & 1];
   if (m_gatherCount == 0)
@@ -163,7 +283,8 @@ void Communicator::allGather(int rank, const void* mine, std::size_t bytes,
     ++m_gatherEpoch;
     m_collCv.notify_all();
   } else {
-    m_collCv.wait(lk, [&] { return m_gatherEpoch != epoch; });
+    m_collCv.wait(lk, [&] { return m_gatherEpoch != epoch || aborted(); });
+    if (m_gatherEpoch == epoch) throw CommAborted(m_abortReason);
   }
   std::memcpy(out, buf.data(), static_cast<std::size_t>(m_size) * bytes);
 }
@@ -174,6 +295,13 @@ CommStats Communicator::stats() const {
   s.bytesSent = m_bytesSent.load(std::memory_order_relaxed);
   s.recvsPosted = m_recvsPosted.load(std::memory_order_relaxed);
   s.unexpectedMessages = m_unexpected.load(std::memory_order_relaxed);
+  if (m_injector) {
+    const FaultInjectorStats fi = m_injector->stats();
+    s.dropsInjected = fi.dropped;
+    s.delaysInjected = fi.delayed;
+    s.duplicatesInjected = fi.duplicated;
+    s.reordersInjected = fi.reordered;
+  }
   return s;
 }
 

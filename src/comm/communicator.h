@@ -13,19 +13,39 @@
 /// asynchronously with respect to the threads polling it (the sender's
 /// thread completes a matched receive), which is what made the legacy
 /// locked-vector design racy.
+///
+/// Failure modes are first-class: a FaultInjector attached via
+/// setFaultInjector() can drop, delay, duplicate, or reorder any message
+/// (see comm/fault_injector.h), and abort() wakes every rank blocked in a
+/// collective or blocking recv with a CommAborted exception so one failed
+/// rank cannot hang the job. With no injector attached the send path is
+/// byte-identical to the fault-free one apart from a null-pointer check.
 
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "comm/message.h"
 
 namespace rmcrt::comm {
+
+class FaultInjector;
+
+/// Thrown out of blocking calls (collectives, recv) on a world that has
+/// been abort()ed — e.g. by a scheduler whose timestep stalled.
+class CommAborted : public std::runtime_error {
+ public:
+  explicit CommAborted(const std::string& reason)
+      : std::runtime_error("communicator aborted: " + reason) {}
+};
 
 /// Completion state shared between the poster and pollers of an operation.
 struct RequestState {
@@ -62,17 +82,23 @@ class Request {
   std::size_t bytes() const { return m_state ? m_state->actualBytes : 0; }
 
   RequestState* state() { return m_state.get(); }
+  const RequestState* state() const { return m_state.get(); }
 
  private:
   std::shared_ptr<RequestState> m_state;
 };
 
-/// Snapshot of world-level traffic counters.
+/// Snapshot of world-level traffic counters. The *Injected fields are only
+/// nonzero when a FaultInjector is attached.
 struct CommStats {
   std::uint64_t messagesSent = 0;
   std::uint64_t bytesSent = 0;
   std::uint64_t recvsPosted = 0;
   std::uint64_t unexpectedMessages = 0;
+  std::uint64_t dropsInjected = 0;
+  std::uint64_t delaysInjected = 0;
+  std::uint64_t duplicatesInjected = 0;
+  std::uint64_t reordersInjected = 0;
 };
 
 /// A world of \p size ranks living in one process.
@@ -84,8 +110,17 @@ struct CommStats {
 class Communicator {
  public:
   explicit Communicator(int size);
+  ~Communicator();
 
   int size() const { return m_size; }
+
+  /// Attach (or detach with nullptr) a fault injector. All subsequent
+  /// isends — including retransmissions and acks of any reliability layer
+  /// above — pass through it.
+  void setFaultInjector(std::shared_ptr<FaultInjector> injector);
+  const std::shared_ptr<FaultInjector>& faultInjector() const {
+    return m_injector;
+  }
 
   /// Nonblocking send: the payload is copied immediately (buffered-send
   /// semantics), so the returned request is complete at once — like an
@@ -98,6 +133,12 @@ class Communicator {
   /// in-flight message from \p src (or kAnySource) with \p tag (or
   /// kAnyTag). Completion is observed via Request::test().
   Request irecv(int rank, int src, std::int64_t tag, void* buf, std::size_t capacity);
+
+  /// Withdraw a still-unmatched posted receive. Returns true when the
+  /// request was found posted and removed; false when it already matched
+  /// (completed or mid-delivery). After a successful cancel the receive
+  /// buffer will never be written.
+  bool cancelRecv(int rank, const Request& r);
 
   /// Blocking helpers built on the nonblocking pair.
   void send(int src, int dst, std::int64_t tag, const void* data, std::size_t bytes) {
@@ -118,6 +159,13 @@ class Communicator {
   /// \p mine has \p bytes bytes; \p out receives size()*bytes bytes laid
   /// out by rank.
   void allGather(int rank, const void* mine, std::size_t bytes, void* out);
+
+  /// Mark the world dead: every rank blocked in a collective or blocking
+  /// recv (now or later) throws CommAborted instead of waiting forever.
+  /// Idempotent; the first reason wins.
+  void abort(const std::string& reason);
+  bool aborted() const { return m_aborted.load(std::memory_order_acquire); }
+  std::string abortReason() const;
 
   CommStats stats() const;
   void resetStats();
@@ -141,12 +189,30 @@ class Communicator {
            (st.wantTag == kAnyTag || st.wantTag == msg.tag);
   }
 
+  /// Fault-free delivery: match against posted receives or park in the
+  /// unexpected queue. The tail of the pre-injection isend path.
+  void deliverNow(Message msg);
+
+  /// Injection path: consult the injector and drop / defer / duplicate /
+  /// reorder accordingly.
+  void routeThroughInjector(Message msg);
+
+  /// Deliver the message (if any) held back for reordering on (src,dst).
+  void flushReorderSlot(int src, int dst);
+
   int m_size;
   std::vector<std::unique_ptr<Mailbox>> m_boxes;
 
+  std::shared_ptr<FaultInjector> m_injector;
+  std::mutex m_reorderMutex;
+  std::map<std::pair<int, int>, Message> m_reorderHeld;
+
+  std::atomic<bool> m_aborted{false};
+
   // Collectives state (sense-reversing barrier + reduction slots).
-  std::mutex m_collMutex;
+  mutable std::mutex m_collMutex;
   std::condition_variable m_collCv;
+  std::string m_abortReason;
   int m_barrierCount = 0;
   std::uint64_t m_barrierEpoch = 0;
   double m_reduceAcc = 0.0;

@@ -1,0 +1,191 @@
+#include "comm/fault_injector.h"
+
+#include <utility>
+
+namespace rmcrt::comm {
+
+namespace {
+
+/// Stable per-link seed mix (splitmix64 finalizer over seed^src^dst).
+std::uint64_t mixSeed(std::uint64_t seed, int src, int dst) {
+  std::uint64_t z = seed;
+  z ^= 0x9e3779b97f4a7c15ull * (static_cast<std::uint64_t>(src) + 1);
+  z ^= 0xbf58476d1ce4e5b9ull * (static_cast<std::uint64_t>(dst) + 2);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+constexpr int kMatchAny = -1;  // kAnySource / kAnyTag
+
+}  // namespace
+
+FaultInjector::FaultInjector(std::uint64_t seed) : m_seed(seed) {}
+
+FaultInjector::~FaultInjector() {
+  cancelPendingAndWait();
+  {
+    std::lock_guard<std::mutex> lk(m_timerMutex);
+    m_timerStop = true;
+  }
+  m_timerCv.notify_all();
+  if (m_timerThread.joinable()) m_timerThread.join();
+}
+
+void FaultInjector::setDefaultProbabilities(const FaultProbabilities& p) {
+  std::lock_guard<std::mutex> lk(m_mutex);
+  m_default = p;
+}
+
+void FaultInjector::setLinkProbabilities(int src, int dst,
+                                         const FaultProbabilities& p) {
+  std::lock_guard<std::mutex> lk(m_mutex);
+  m_linkProbs[{src, dst}] = p;
+}
+
+void FaultInjector::script(const ScriptedFault& f) {
+  std::lock_guard<std::mutex> lk(m_mutex);
+  m_scripts.push_back(ScriptState{f, 0});
+}
+
+FaultInjector::Plan FaultInjector::plan(int src, int dst, std::int64_t tag) {
+  m_examined.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lk(m_mutex);
+
+  // Scripted faults take precedence over the probabilistic draw.
+  for (ScriptState& s : m_scripts) {
+    const ScriptedFault& f = s.fault;
+    if ((f.src == kMatchAny || f.src == src) &&
+        (f.dst == kMatchAny || f.dst == dst) &&
+        (f.tag == kMatchAny || f.tag == tag)) {
+      ++s.matches;
+      if (s.matches == f.nth || (f.permanent && s.matches > f.nth)) {
+        Plan p{f.action, 0.0};
+        switch (f.action) {
+          case FaultAction::Drop:
+            m_dropped.fetch_add(1, std::memory_order_relaxed);
+            return p;
+          case FaultAction::Duplicate:
+            m_duplicated.fetch_add(1, std::memory_order_relaxed);
+            return p;
+          case FaultAction::Reorder:
+            m_reordered.fetch_add(1, std::memory_order_relaxed);
+            return p;
+          case FaultAction::Delay: {
+            const auto it = m_linkProbs.find({src, dst});
+            const FaultProbabilities& probs =
+                it != m_linkProbs.end() ? it->second : m_default;
+            p.delayMs = 0.5 * (probs.delayMinMs + probs.delayMaxMs);
+            m_delayed.fetch_add(1, std::memory_order_relaxed);
+            return p;
+          }
+          case FaultAction::Deliver:
+            return p;
+        }
+      }
+    }
+  }
+
+  const auto probsIt = m_linkProbs.find({src, dst});
+  const FaultProbabilities& probs =
+      probsIt != m_linkProbs.end() ? probsIt->second : m_default;
+  if (probs.drop <= 0 && probs.delay <= 0 && probs.duplicate <= 0 &&
+      probs.reorder <= 0) {
+    return Plan{};
+  }
+
+  LinkState& link = m_links[{src, dst}];
+  if (!link.seeded) {
+    link.rng.seed(mixSeed(m_seed, src, dst));
+    link.seeded = true;
+  }
+  ++link.count;
+  std::uniform_real_distribution<double> uni(0.0, 1.0);
+  const double u = uni(link.rng);
+  double edge = probs.drop;
+  if (u < edge) {
+    m_dropped.fetch_add(1, std::memory_order_relaxed);
+    return Plan{FaultAction::Drop, 0.0};
+  }
+  edge += probs.delay;
+  if (u < edge) {
+    std::uniform_real_distribution<double> d(probs.delayMinMs,
+                                             probs.delayMaxMs);
+    m_delayed.fetch_add(1, std::memory_order_relaxed);
+    return Plan{FaultAction::Delay, d(link.rng)};
+  }
+  edge += probs.duplicate;
+  if (u < edge) {
+    m_duplicated.fetch_add(1, std::memory_order_relaxed);
+    return Plan{FaultAction::Duplicate, 0.0};
+  }
+  edge += probs.reorder;
+  if (u < edge) {
+    m_reordered.fetch_add(1, std::memory_order_relaxed);
+    return Plan{FaultAction::Reorder, 0.0};
+  }
+  return Plan{};
+}
+
+void FaultInjector::ensureTimerThreadLocked() {
+  if (!m_timerThread.joinable())
+    m_timerThread = std::thread([this] { timerLoop(); });
+}
+
+void FaultInjector::deferMs(double delayMs, std::function<void()> fn) {
+  const auto due =
+      std::chrono::steady_clock::now() +
+      std::chrono::microseconds(static_cast<std::int64_t>(delayMs * 1000.0));
+  {
+    std::lock_guard<std::mutex> lk(m_timerMutex);
+    m_deferred.push(Deferred{due, m_deferredOrder++, std::move(fn)});
+    ensureTimerThreadLocked();
+  }
+  m_timerCv.notify_all();
+}
+
+void FaultInjector::cancelPendingAndWait() {
+  std::unique_lock<std::mutex> lk(m_timerMutex);
+  while (!m_deferred.empty()) m_deferred.pop();
+  m_timerIdleCv.wait(lk, [this] { return !m_timerRunning; });
+}
+
+void FaultInjector::timerLoop() {
+  std::unique_lock<std::mutex> lk(m_timerMutex);
+  for (;;) {
+    if (m_timerStop) return;
+    if (m_deferred.empty()) {
+      m_timerCv.wait(lk,
+                     [this] { return m_timerStop || !m_deferred.empty(); });
+      continue;
+    }
+    const auto due = m_deferred.top().due;
+    const auto now = std::chrono::steady_clock::now();
+    if (now < due) {
+      m_timerCv.wait_until(lk, due);
+      continue;  // re-check: queue may have changed / stop requested
+    }
+    // Move the action out so the queue can be mutated while it runs.
+    std::function<void()> fn =
+        std::move(const_cast<Deferred&>(m_deferred.top()).fn);
+    m_deferred.pop();
+    m_timerRunning = true;
+    lk.unlock();
+    fn();
+    lk.lock();
+    m_timerRunning = false;
+    m_timerIdleCv.notify_all();
+  }
+}
+
+FaultInjectorStats FaultInjector::stats() const {
+  FaultInjectorStats s;
+  s.examined = m_examined.load(std::memory_order_relaxed);
+  s.dropped = m_dropped.load(std::memory_order_relaxed);
+  s.delayed = m_delayed.load(std::memory_order_relaxed);
+  s.duplicated = m_duplicated.load(std::memory_order_relaxed);
+  s.reordered = m_reordered.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace rmcrt::comm

@@ -1,0 +1,284 @@
+#include "comm/reliable_channel.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "util/logger.h"
+
+namespace rmcrt::comm {
+
+namespace {
+
+/// 8-byte frame header carrying the per-link sequence number.
+struct WireHeader {
+  std::uint64_t seq;
+};
+
+/// Ack payload: cumulative ack plus the specific sequence being answered
+/// (so out-of-order receipts stop retransmitting before the gap fills).
+struct AckPayload {
+  std::uint64_t cumAck;
+  std::uint64_t seq;
+};
+
+}  // namespace
+
+ReliableChannel::ReliableChannel(Communicator& world, int rank, Config cfg)
+    : m_world(world), m_rank(rank), m_cfg(cfg) {
+  m_ackBuf.resize(sizeof(AckPayload));
+}
+
+ReliableChannel::ReliableChannel(Communicator& world, int rank)
+    : ReliableChannel(world, rank, Config{}) {}
+
+ReliableChannel::~ReliableChannel() {
+  {
+    std::lock_guard<std::mutex> lk(m_bgMutex);
+    m_stop = true;
+  }
+  m_bgCv.notify_all();
+  if (m_background.joinable()) m_background.join();
+
+  // Withdraw our posted receives so no late delivery can write into the
+  // wire buffers we are about to free. A cancel can fail only when the
+  // request already matched; completion then finishes on the sender's
+  // thread imminently — wait it out before releasing the buffers.
+  std::lock_guard<std::mutex> lk(m_mutex);
+  for (auto& pr : m_recvs) {
+    if (!m_world.cancelRecv(m_rank, pr->inner)) {
+      while (!pr->inner.test()) std::this_thread::yield();
+    }
+  }
+  if (m_ackReq.valid() && !m_world.cancelRecv(m_rank, m_ackReq)) {
+    while (!m_ackReq.test()) std::this_thread::yield();
+  }
+}
+
+void ReliableChannel::ensureBackgroundThreadLocked() {
+  if (!m_cfg.backgroundProgress || m_background.joinable()) return;
+  m_background = std::thread([this] { backgroundLoop(); });
+}
+
+void ReliableChannel::backgroundLoop() {
+  const auto interval = std::chrono::microseconds(
+      static_cast<std::int64_t>(m_cfg.progressIntervalMs * 1000.0));
+  std::unique_lock<std::mutex> lk(m_bgMutex);
+  while (!m_stop) {
+    m_bgCv.wait_for(lk, interval, [this] { return m_stop; });
+    if (m_stop) return;
+    lk.unlock();
+    progress();
+    lk.lock();
+  }
+}
+
+void ReliableChannel::send(int dst, std::int64_t tag, const void* data,
+                           std::size_t bytes) {
+  assert(tag != kAckTag && "tag collides with the reserved ack tag");
+  std::lock_guard<std::mutex> lk(m_mutex);
+  ensureBackgroundThreadLocked();
+  postAckRecvLocked();
+
+  SendLink& link = m_sendLinks[dst];
+  const std::uint64_t seq = link.nextSeq++;
+
+  auto frame = std::make_shared<Buffer>(sizeof(WireHeader) + bytes);
+  WireHeader hdr{seq};
+  std::memcpy(frame->data(), &hdr, sizeof hdr);
+  if (bytes > 0)
+    std::memcpy(frame->data() + sizeof hdr, data, bytes);
+
+  m_world.isend(m_rank, dst, tag, frame->data(), frame->size());
+  ++m_stats.dataSent;
+
+  Unacked u;
+  u.tag = tag;
+  u.frame = std::move(frame);
+  u.backoffMs = m_cfg.baseBackoffMs;
+  u.deadline = Clock::now() + std::chrono::microseconds(static_cast<std::int64_t>(
+                                  u.backoffMs * 1000.0));
+  link.unacked.emplace(seq, std::move(u));
+}
+
+Request ReliableChannel::postRecv(int src, std::int64_t tag, void* buf,
+                                  std::size_t capacity) {
+  assert(src >= 0 && "reliable receives need a concrete source rank");
+  assert(tag != kAckTag && "tag collides with the reserved ack tag");
+  std::lock_guard<std::mutex> lk(m_mutex);
+  ensureBackgroundThreadLocked();
+  postAckRecvLocked();
+
+  auto pr = std::make_unique<PendingRecv>();
+  pr->src = src;
+  pr->tag = tag;
+  pr->userBuf = buf;
+  pr->userCap = capacity;
+  pr->user = std::make_shared<RequestState>();
+  pr->user->recvBuf = buf;
+  pr->user->recvCapacity = capacity;
+  pr->user->wantSrc = src;
+  pr->user->wantTag = tag;
+  pr->wire = std::make_shared<Buffer>(sizeof(WireHeader) + capacity);
+  pr->inner =
+      m_world.irecv(m_rank, src, tag, pr->wire->data(), pr->wire->size());
+  Request user(pr->user);
+  m_recvs.push_back(std::move(pr));
+  return user;
+}
+
+void ReliableChannel::postAckRecvLocked() {
+  if (m_ackReq.valid()) return;
+  m_ackReq = m_world.irecv(m_rank, kAnySource, kAckTag, m_ackBuf.data(),
+                           m_ackBuf.size());
+}
+
+void ReliableChannel::sendAckLocked(int dst, std::uint64_t cumAck,
+                                    std::uint64_t seq) {
+  AckPayload ack{cumAck, seq};
+  m_world.isend(m_rank, dst, kAckTag, &ack, sizeof ack);
+  ++m_stats.acksSent;
+}
+
+void ReliableChannel::progress() {
+  std::lock_guard<std::mutex> lk(m_mutex);
+  progressLocked();
+}
+
+void ReliableChannel::progressLocked() {
+  // 1. Drain acknowledgements addressed to us.
+  while (m_ackReq.valid() && m_ackReq.test()) {
+    AckPayload ack{};
+    std::memcpy(&ack, m_ackBuf.data(),
+                std::min(sizeof ack, m_ackReq.bytes()));
+    const int from = m_ackReq.source();
+    ++m_stats.acksReceived;
+    auto it = m_sendLinks.find(from);
+    if (it != m_sendLinks.end()) {
+      SendLink& link = it->second;
+      link.unacked.erase(link.unacked.begin(),
+                         link.unacked.upper_bound(ack.cumAck));
+      link.unacked.erase(ack.seq);
+    }
+    m_ackReq = Request();
+    postAckRecvLocked();
+  }
+
+  // 2. Deliver (or discard as duplicate) completed inbound data frames.
+  for (auto it = m_recvs.begin(); it != m_recvs.end();) {
+    PendingRecv& pr = **it;
+    if (!pr.inner.test()) {
+      ++it;
+      continue;
+    }
+    if (pr.inner.bytes() < sizeof(WireHeader)) {
+      // Malformed frame (never produced by this protocol): repost.
+      RMCRT_WARN("reliable channel rank " << m_rank
+                                          << ": runt frame discarded");
+      pr.inner = m_world.irecv(m_rank, pr.src, pr.tag, pr.wire->data(),
+                               pr.wire->size());
+      ++it;
+      continue;
+    }
+    WireHeader hdr{};
+    std::memcpy(&hdr, pr.wire->data(), sizeof hdr);
+    RecvLink& link = m_recvLinks[pr.src];
+    const bool duplicate =
+        hdr.seq <= link.cumAck || link.ahead.count(hdr.seq) > 0;
+    if (duplicate) {
+      ++m_stats.duplicatesDiscarded;
+      // Re-ack so a sender stuck retransmitting an already-received frame
+      // stops, then keep waiting for the frame this recv actually wants.
+      sendAckLocked(pr.src, link.cumAck, hdr.seq);
+      pr.inner = m_world.irecv(m_rank, pr.src, pr.tag, pr.wire->data(),
+                               pr.wire->size());
+      ++it;
+      continue;
+    }
+    if (hdr.seq == link.cumAck + 1) {
+      ++link.cumAck;
+      while (!link.ahead.empty() &&
+             *link.ahead.begin() == link.cumAck + 1) {
+        ++link.cumAck;
+        link.ahead.erase(link.ahead.begin());
+      }
+    } else {
+      link.ahead.insert(hdr.seq);
+    }
+    sendAckLocked(pr.src, link.cumAck, hdr.seq);
+
+    const std::size_t payloadBytes = pr.inner.bytes() - sizeof hdr;
+    const std::size_t n = std::min(payloadBytes, pr.userCap);
+    if (n > 0)
+      std::memcpy(pr.userBuf, pr.wire->data() + sizeof hdr, n);
+    pr.user->actualSource = pr.src;
+    pr.user->actualTag = pr.tag;
+    pr.user->actualBytes = n;
+    pr.user->complete.store(true, std::memory_order_release);
+    ++m_stats.dataDelivered;
+    it = m_recvs.erase(it);
+  }
+
+  // 3. Retransmit overdue unacked frames with exponential backoff.
+  const auto now = Clock::now();
+  for (auto& [dst, link] : m_sendLinks) {
+    for (auto& [seq, u] : link.unacked) {
+      if (now < u.deadline) continue;
+      if (!m_cfg.retransmit) {
+        u.deadline = now + std::chrono::hours(24);  // detect-only mode
+        continue;
+      }
+      if (u.retries >= m_cfg.maxRetries) {
+        if (!link.dead) {
+          link.dead = true;
+          ++m_stats.deadLinks;
+          RMCRT_ERROR("reliable channel rank "
+                      << m_rank << ": link to rank " << dst
+                      << " exhausted " << m_cfg.maxRetries
+                      << " retries (seq " << seq << ", tag " << u.tag
+                      << ")");
+        }
+        u.deadline = now + std::chrono::hours(24);
+        continue;
+      }
+      m_world.isend(m_rank, dst, u.tag, u.frame->data(), u.frame->size());
+      ++u.retries;
+      ++m_stats.retransmits;
+      u.backoffMs = std::min(m_cfg.maxBackoffMs, u.backoffMs * 2.0);
+      m_stats.maxBackoffMs = std::max(m_stats.maxBackoffMs, u.backoffMs);
+      u.deadline = now + std::chrono::microseconds(
+                             static_cast<std::int64_t>(u.backoffMs * 1000.0));
+    }
+  }
+}
+
+void ReliableChannel::forceRetransmit() {
+  std::lock_guard<std::mutex> lk(m_mutex);
+  const auto now = Clock::now();
+  for (auto& [dst, link] : m_sendLinks)
+    for (auto& [seq, u] : link.unacked) u.deadline = now;
+  progressLocked();
+}
+
+std::size_t ReliableChannel::unackedCount() const {
+  std::lock_guard<std::mutex> lk(m_mutex);
+  std::size_t n = 0;
+  for (const auto& [dst, link] : m_sendLinks) n += link.unacked.size();
+  return n;
+}
+
+std::vector<std::pair<int, std::int64_t>> ReliableChannel::pendingRecvs()
+    const {
+  std::lock_guard<std::mutex> lk(m_mutex);
+  std::vector<std::pair<int, std::int64_t>> out;
+  out.reserve(m_recvs.size());
+  for (const auto& pr : m_recvs) out.emplace_back(pr->src, pr->tag);
+  return out;
+}
+
+ReliableChannelStats ReliableChannel::stats() const {
+  std::lock_guard<std::mutex> lk(m_mutex);
+  return m_stats;
+}
+
+}  // namespace rmcrt::comm

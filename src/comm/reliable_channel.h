@@ -1,0 +1,153 @@
+#pragma once
+
+/// \file reliable_channel.h
+/// A per-rank reliability endpoint over the (possibly fault-injected)
+/// Communicator: per-link sequence numbers, cumulative acknowledgements,
+/// and retransmission with exponential backoff and a retry cap. The
+/// scheduler routes its dependency messages through this layer so dropped,
+/// duplicated, delayed, or reordered messages are recovered transparently.
+///
+/// Wire protocol: every data message is framed with an 8-byte sequence
+/// header; every received frame is answered with an ack {cumAck, seq} on a
+/// reserved tag. The receiver tracks, per source link, the highest
+/// contiguous sequence received (cumAck) plus an out-of-order set, so any
+/// stale retransmit or injected duplicate — including one arriving a whole
+/// phase later under a reused tag — is discarded by sequence, never
+/// re-delivered.
+///
+/// Progress is driven two ways: progress() can be called inline from a
+/// polling loop (lowest latency), and a lazily-started background thread
+/// ticks every progressIntervalMs so a rank blocked in a barrier still
+/// acks inbound frames and retransmits its own unacked ones.
+
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "comm/communicator.h"
+
+namespace rmcrt::comm {
+
+/// Reliability counters for one endpoint.
+struct ReliableChannelStats {
+  std::uint64_t dataSent = 0;
+  std::uint64_t dataDelivered = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t duplicatesDiscarded = 0;
+  std::uint64_t acksSent = 0;
+  std::uint64_t acksReceived = 0;
+  double maxBackoffMs = 0.0;
+  std::uint64_t deadLinks = 0;  ///< links that exhausted the retry cap
+};
+
+class ReliableChannel {
+ public:
+  struct Config {
+    bool retransmit = true;    ///< false: detect loss but never resend
+    int maxRetries = 12;       ///< per message, before the link is dead
+    double baseBackoffMs = 4.0;
+    double maxBackoffMs = 100.0;
+    double progressIntervalMs = 1.0;  ///< background thread cadence
+    bool backgroundProgress = true;   ///< false: caller must drive progress()
+  };
+
+  /// Reserved tag for acknowledgement frames; user tags must differ.
+  static constexpr std::int64_t kAckTag =
+      std::numeric_limits<std::int64_t>::min() / 2;
+
+  ReliableChannel(Communicator& world, int rank, Config cfg);
+  ReliableChannel(Communicator& world, int rank);
+  ~ReliableChannel();
+
+  ReliableChannel(const ReliableChannel&) = delete;
+  ReliableChannel& operator=(const ReliableChannel&) = delete;
+
+  int rank() const { return m_rank; }
+
+  /// Reliable send of [data, data+bytes) to \p dst with \p tag. Returns
+  /// after the first transmission; retransmission happens in progress().
+  void send(int dst, std::int64_t tag, const void* data, std::size_t bytes);
+
+  /// Post a reliable receive from the concrete rank \p src (wildcards are
+  /// not supported — sequence tracking is per link). The returned request
+  /// completes once a non-duplicate frame has been delivered into
+  /// [buf, buf+capacity).
+  Request postRecv(int src, std::int64_t tag, void* buf,
+                   std::size_t capacity);
+
+  /// Drive the protocol: process acks, deliver/dedup inbound frames, and
+  /// retransmit overdue unacked messages. Thread-safe and idempotent; may
+  /// be called from a polling loop and the background thread concurrently.
+  void progress();
+
+  /// Watchdog hook: make every unacked message due immediately, so the
+  /// next progress() retransmits it regardless of backoff state.
+  void forceRetransmit();
+
+  std::size_t unackedCount() const;
+  /// Incomplete posted receives as (source, tag) — stall diagnostics.
+  std::vector<std::pair<int, std::int64_t>> pendingRecvs() const;
+
+  ReliableChannelStats stats() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Unacked {
+    std::int64_t tag = 0;
+    std::shared_ptr<Buffer> frame;  // header + payload, kept for resend
+    Clock::time_point deadline;
+    int retries = 0;
+    double backoffMs = 0.0;
+  };
+  struct SendLink {
+    std::uint64_t nextSeq = 1;
+    std::map<std::uint64_t, Unacked> unacked;  // by seq
+    bool dead = false;
+  };
+  struct RecvLink {
+    std::uint64_t cumAck = 0;        // all seq <= cumAck delivered
+    std::set<std::uint64_t> ahead;   // received beyond a gap
+  };
+  struct PendingRecv {
+    int src = -1;
+    std::int64_t tag = 0;
+    void* userBuf = nullptr;
+    std::size_t userCap = 0;
+    std::shared_ptr<RequestState> user;  // completed by the channel
+    std::shared_ptr<Buffer> wire;        // header + payload staging
+    Request inner;                       // the raw communicator recv
+  };
+
+  void progressLocked();
+  void sendAckLocked(int dst, std::uint64_t cumAck, std::uint64_t seq);
+  void postAckRecvLocked();
+  void ensureBackgroundThreadLocked();
+  void backgroundLoop();
+
+  Communicator& m_world;
+  const int m_rank;
+  const Config m_cfg;
+
+  mutable std::mutex m_mutex;
+  std::map<int, SendLink> m_sendLinks;    // by destination
+  std::map<int, RecvLink> m_recvLinks;    // by source
+  std::vector<std::unique_ptr<PendingRecv>> m_recvs;
+  Buffer m_ackBuf;
+  Request m_ackReq;
+
+  bool m_stop = false;
+  std::thread m_background;
+  std::condition_variable m_bgCv;
+  std::mutex m_bgMutex;
+
+  ReliableChannelStats m_stats;
+};
+
+}  // namespace rmcrt::comm

@@ -1,6 +1,10 @@
 #include "core/rmcrt_component.h"
 
+#include <chrono>
+#include <thread>
+
 #include "grid/operators.h"
+#include "util/logger.h"
 
 namespace rmcrt::core {
 
@@ -175,80 +179,130 @@ Task makeSingleLevelTraceTask(std::shared_ptr<PipelineState> st,
   return t;
 }
 
+/// One attempt at the device path of the GPU trace task. Throws
+/// DeviceOutOfMemory when the device cannot hold the inputs; the caller
+/// owns recovery. The per-attempt stream is a local, so stack unwinding
+/// drains it before the caller frees any device memory it references.
+void runGpuTraceAttempt(const TaskContext& ctx, const PipelineState& st,
+                        int fineLevel, gpu::GpuDataWarehouse* gdw) {
+  const int pid = ctx.patch->id();
+  auto stream = gdw->device().createStream();
+
+  // H2D: this patch's ROI data (private) ...
+  const auto& fAbs = ctx.getGhosted<double>(RmcrtLabels::abskg, st.roiHalo);
+  const auto& fSig = ctx.getGhosted<double>(RmcrtLabels::sigmaT4, st.roiHalo);
+  const auto& fCt =
+      ctx.getGhosted<CellType>(RmcrtLabels::cellType, st.roiHalo);
+  gpu::DeviceVar& dAbsF =
+      gdw->putPatchVar(RmcrtLabels::abskg, pid, fAbs, stream.get());
+  gpu::DeviceVar& dSigF =
+      gdw->putPatchVar(RmcrtLabels::sigmaT4, pid, fSig, stream.get());
+  gpu::DeviceVar& dCtF =
+      gdw->putPatchVar(RmcrtLabels::cellType, pid, fCt, stream.get());
+
+  // ... and the coarse radiation mesh through the level database: ONE
+  // device copy shared by every patch task (paper Section III-C).
+  const auto& cAbs = ctx.getWholeLevel<double>(RmcrtLabels::abskg, 0);
+  const auto& cSig = ctx.getWholeLevel<double>(RmcrtLabels::sigmaT4, 0);
+  const auto& cCt = ctx.getWholeLevel<CellType>(RmcrtLabels::cellType, 0);
+  gpu::DeviceVar& dAbsC = gdw->getOrUploadLevelVar(RmcrtLabels::abskg, 0,
+                                                   cAbs, pid, stream.get());
+  gpu::DeviceVar& dSigC = gdw->getOrUploadLevelVar(RmcrtLabels::sigmaT4, 0,
+                                                   cSig, pid, stream.get());
+  gpu::DeviceVar& dCtC = gdw->getOrUploadLevelVar(RmcrtLabels::cellType, 0,
+                                                  cCt, pid, stream.get());
+
+  gpu::DeviceVar& dDivQ = gdw->allocatePatchVar(
+      RmcrtLabels::divQ, pid, ctx.patch->cells(), sizeof(double));
+
+  // Kernel: the same marching code, over device-resident views.
+  const LevelGeom fineGeom = LevelGeom::from(ctx.grid->level(fineLevel));
+  const LevelGeom coarseGeom = LevelGeom::from(ctx.grid->level(0));
+  const CellRange patchCells = ctx.patch->cells();
+  const WallProperties walls{st.problem.wallSigmaT4OverPi,
+                             st.problem.wallEmissivity};
+  const TraceConfig cfg = st.trace;
+  stream->enqueueKernel([=, &dAbsF, &dSigF, &dCtF, &dAbsC, &dSigC, &dCtC,
+                         &dDivQ] {
+    TraceLevel fineTL{
+        fineGeom,
+        RadiationFieldsView{FieldView<double>::fromDevice(dAbsF),
+                            FieldView<double>::fromDevice(dSigF),
+                            FieldView<CellType>::fromDevice(dCtF)},
+        dAbsF.window};
+    TraceLevel coarseTL{
+        coarseGeom,
+        RadiationFieldsView{FieldView<double>::fromDevice(dAbsC),
+                            FieldView<double>::fromDevice(dSigC),
+                            FieldView<CellType>::fromDevice(dCtC)},
+        coarseGeom.cells};
+    Tracer tracer({fineTL, coarseTL}, walls, cfg);
+    gpu::DeviceVar out = dDivQ;
+    tracer.computeDivQ(patchCells,
+                       MutableFieldView<double>::fromDevice(out));
+  });
+
+  // D2H: the result.
+  auto& divQ = ctx.newDW->getModifiable<double>(RmcrtLabels::divQ, pid);
+  gdw->fetchPatchVar(RmcrtLabels::divQ, pid, divQ, stream.get());
+  stream->synchronize();
+
+  // Free the per-patch device variables; the level database stays
+  // resident for the next patch task.
+  gdw->removePatchVar(RmcrtLabels::abskg, pid);
+  gdw->removePatchVar(RmcrtLabels::sigmaT4, pid);
+  gdw->removePatchVar(RmcrtLabels::cellType, pid);
+  gdw->removePatchVar(RmcrtLabels::divQ, pid);
+}
+
+/// Free any per-patch device variables a failed attempt left behind.
+void releasePatchDeviceVars(gpu::GpuDataWarehouse* gdw, int pid) {
+  gdw->removePatchVar(RmcrtLabels::abskg, pid);
+  gdw->removePatchVar(RmcrtLabels::sigmaT4, pid);
+  gdw->removePatchVar(RmcrtLabels::cellType, pid);
+  gdw->removePatchVar(RmcrtLabels::divQ, pid);
+}
+
 Task makeGpuTraceTask(std::shared_ptr<PipelineState> st, int fineLevel,
                       gpu::GpuDataWarehouse* gdw) {
   Task t("RMCRT::rayTraceGPU", fineLevel, [st, fineLevel,
                                            gdw](const TaskContext& ctx) {
+    // Graceful degradation ladder (DESIGN.md "Failure model"): retry the
+    // device path after evicting resident data, then fall back to the CPU
+    // tracer over the identical staged inputs — bitwise the same divQ.
+    constexpr int kMaxAttempts = 3;
     const int pid = ctx.patch->id();
-    auto stream = gdw->device().createStream();
+    for (int attempt = 1; attempt <= kMaxAttempts; ++attempt) {
+      try {
+        runGpuTraceAttempt(ctx, *st, fineLevel, gdw);
+        return;
+      } catch (const gpu::DeviceOutOfMemory& e) {
+        // The attempt's stream drained during unwinding, so freeing the
+        // device memory its copies referenced is safe now.
+        releasePatchDeviceVars(gdw, pid);
+        if (attempt == kMaxAttempts) {
+          RMCRT_WARN("GPU trace patch " << pid << ": " << e.what()
+                                        << "; falling back to CPU tracer");
+          break;
+        }
+        const std::size_t freed = gdw->evictLevelVars();
+        RMCRT_WARN("GPU trace patch " << pid << " attempt " << attempt
+                                      << ": " << e.what() << "; evicted "
+                                      << freed << " level-db bytes, retrying");
+        std::this_thread::sleep_for(std::chrono::milliseconds(1 << attempt));
+      }
+    }
 
-    // H2D: this patch's ROI data (private) ...
-    const auto& fAbs = ctx.getGhosted<double>(RmcrtLabels::abskg, st->roiHalo);
-    const auto& fSig =
-        ctx.getGhosted<double>(RmcrtLabels::sigmaT4, st->roiHalo);
-    const auto& fCt =
-        ctx.getGhosted<CellType>(RmcrtLabels::cellType, st->roiHalo);
-    gpu::DeviceVar& dAbsF =
-        gdw->putPatchVar(RmcrtLabels::abskg, pid, fAbs, stream.get());
-    gpu::DeviceVar& dSigF =
-        gdw->putPatchVar(RmcrtLabels::sigmaT4, pid, fSig, stream.get());
-    gpu::DeviceVar& dCtF =
-        gdw->putPatchVar(RmcrtLabels::cellType, pid, fCt, stream.get());
-
-    // ... and the coarse radiation mesh through the level database: ONE
-    // device copy shared by every patch task (paper Section III-C).
-    const auto& cAbs = ctx.getWholeLevel<double>(RmcrtLabels::abskg, 0);
-    const auto& cSig = ctx.getWholeLevel<double>(RmcrtLabels::sigmaT4, 0);
-    const auto& cCt = ctx.getWholeLevel<CellType>(RmcrtLabels::cellType, 0);
-    gpu::DeviceVar& dAbsC = gdw->getOrUploadLevelVar(RmcrtLabels::abskg, 0,
-                                                     cAbs, pid, stream.get());
-    gpu::DeviceVar& dSigC = gdw->getOrUploadLevelVar(
-        RmcrtLabels::sigmaT4, 0, cSig, pid, stream.get());
-    gpu::DeviceVar& dCtC = gdw->getOrUploadLevelVar(RmcrtLabels::cellType, 0,
-                                                    cCt, pid, stream.get());
-
-    gpu::DeviceVar& dDivQ = gdw->allocatePatchVar(
-        RmcrtLabels::divQ, pid, ctx.patch->cells(), sizeof(double));
-
-    // Kernel: the same marching code, over device-resident views.
-    const LevelGeom fineGeom = LevelGeom::from(ctx.grid->level(fineLevel));
-    const LevelGeom coarseGeom = LevelGeom::from(ctx.grid->level(0));
-    const CellRange patchCells = ctx.patch->cells();
+    gdw->device().noteCpuFallback();
+    auto levels = buildTraceLevels(ctx, fineLevel, st->roiHalo,
+                                   /*twoLevel=*/true);
     const WallProperties walls{st->problem.wallSigmaT4OverPi,
                                st->problem.wallEmissivity};
-    const TraceConfig cfg = st->trace;
-    stream->enqueueKernel([=, &dAbsF, &dSigF, &dCtF, &dAbsC, &dSigC, &dCtC,
-                           &dDivQ] {
-      TraceLevel fineTL{
-          fineGeom,
-          RadiationFieldsView{FieldView<double>::fromDevice(dAbsF),
-                              FieldView<double>::fromDevice(dSigF),
-                              FieldView<CellType>::fromDevice(dCtF)},
-          dAbsF.window};
-      TraceLevel coarseTL{
-          coarseGeom,
-          RadiationFieldsView{FieldView<double>::fromDevice(dAbsC),
-                              FieldView<double>::fromDevice(dSigC),
-                              FieldView<CellType>::fromDevice(dCtC)},
-          coarseGeom.cells};
-      Tracer tracer({fineTL, coarseTL}, walls, cfg);
-      gpu::DeviceVar out = dDivQ;
-      tracer.computeDivQ(patchCells,
-                         MutableFieldView<double>::fromDevice(out));
-    });
-
-    // D2H: the result.
+    Tracer tracer(std::move(levels), walls, st->trace);
     auto& divQ =
         ctx.newDW->getModifiable<double>(RmcrtLabels::divQ, pid);
-    gdw->fetchPatchVar(RmcrtLabels::divQ, pid, divQ, stream.get());
-    stream->synchronize();
-
-    // Free the per-patch device variables; the level database stays
-    // resident for the next patch task.
-    gdw->removePatchVar(RmcrtLabels::abskg, pid);
-    gdw->removePatchVar(RmcrtLabels::sigmaT4, pid);
-    gdw->removePatchVar(RmcrtLabels::cellType, pid);
-    gdw->removePatchVar(RmcrtLabels::divQ, pid);
+    tracer.computeDivQ(ctx.patch->cells(),
+                       MutableFieldView<double>::fromHost(divQ));
   });
   t.addRequires(Requires{RmcrtLabels::abskg, VarType::Double, fineLevel,
                          st->roiHalo, false});

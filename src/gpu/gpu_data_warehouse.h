@@ -80,8 +80,8 @@ class GpuDataWarehouse {
                          const grid::CCVariable<T>& host,
                          GpuStream* stream = nullptr) {
     std::lock_guard<std::mutex> lk(m_mutex);
-    DeviceVar& dv = allocSlotLocked(m_patchVars[key(label, patchId)],
-                                    host.window(), sizeof(T));
+    DeviceVar& dv = allocInMapLocked(m_patchVars, key(label, patchId),
+                                     host.window(), sizeof(T));
     upload(dv, host.data(), stream);
     return dv;
   }
@@ -91,8 +91,8 @@ class GpuDataWarehouse {
                               const grid::CellRange& window,
                               std::size_t elemSize) {
     std::lock_guard<std::mutex> lk(m_mutex);
-    return allocSlotLocked(m_patchVars[key(label, patchId)], window,
-                           elemSize);
+    return allocInMapLocked(m_patchVars, key(label, patchId), window,
+                            elemSize);
   }
 
   DeviceVar& getPatchVar(const std::string& label, int patchId) {
@@ -159,8 +159,7 @@ class GpuDataWarehouse {
     }
     auto it = m_levelVars.find(k);
     if (it != m_levelVars.end()) return it->second;
-    DeviceVar& dv =
-        allocSlotLocked(m_levelVars[k], host.window(), sizeof(T));
+    DeviceVar& dv = allocInMapLocked(m_levelVars, k, host.window(), sizeof(T));
     upload(dv, host.data(), stream);
     return dv;
   }
@@ -173,6 +172,22 @@ class GpuDataWarehouse {
   std::size_t numLevelVarCopies() const {
     std::lock_guard<std::mutex> lk(m_mutex);
     return m_levelVars.size();
+  }
+
+  /// Evict the whole level database, returning the bytes freed. The OOM
+  /// recovery ladder uses this as its last eviction step: level vars are
+  /// re-uploaded on demand by the next getOrUploadLevelVar, so dropping
+  /// them trades PCIe traffic for headroom (most valuable in
+  /// PerPatchCopies mode, where stale per-patch copies accumulate).
+  std::size_t evictLevelVars() {
+    std::lock_guard<std::mutex> lk(m_mutex);
+    std::size_t freed = 0;
+    for (auto& [k, dv] : m_levelVars) {
+      m_dev.free(dv.devPtr, dv.bytes);
+      freed += dv.bytes;
+    }
+    m_levelVars.clear();
+    return freed;
   }
 
   /// Free every device variable.
@@ -200,12 +215,30 @@ class GpuDataWarehouse {
 
   DeviceVar& allocSlotLocked(DeviceVar& slot, const grid::CellRange& window,
                              std::size_t elemSize) {
-    if (slot.devPtr) m_dev.free(slot.devPtr, slot.bytes);
+    if (slot.devPtr) {
+      m_dev.free(slot.devPtr, slot.bytes);
+      slot.devPtr = nullptr;  // allocate may throw; never leave a stale ptr
+    }
     slot.window = window;
     slot.elemSize = elemSize;
     slot.bytes = static_cast<std::size_t>(window.volume()) * elemSize;
     slot.devPtr = m_dev.allocate(slot.bytes);
     return slot;
+  }
+
+  /// Allocate into map slot \p k; a failed allocation (DeviceOutOfMemory)
+  /// removes the slot entirely so lookups never see a null entry.
+  DeviceVar& allocInMapLocked(std::map<std::string, DeviceVar>& vars,
+                              const std::string& k,
+                              const grid::CellRange& window,
+                              std::size_t elemSize) {
+    auto [it, inserted] = vars.try_emplace(k);
+    try {
+      return allocSlotLocked(it->second, window, elemSize);
+    } catch (...) {
+      vars.erase(it);
+      throw;
+    }
   }
 
   void upload(DeviceVar& dv, const void* hostData, GpuStream* stream) {

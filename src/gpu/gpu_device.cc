@@ -1,6 +1,9 @@
 #include "gpu/gpu_device.h"
 
 #include <cassert>
+#include <utility>
+
+#include "util/logger.h"
 
 namespace rmcrt::gpu {
 
@@ -73,6 +76,7 @@ DeviceStats GpuDevice::stats() const {
   s.bytesInUse = m_inUse.load(std::memory_order_relaxed);
   s.peakBytesInUse = m_peak.load(std::memory_order_relaxed);
   s.allocFailures = m_allocFailures.load(std::memory_order_relaxed);
+  s.cpuFallbacks = m_cpuFallbacks.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -83,6 +87,7 @@ void GpuDevice::resetStats() {
   m_d2hCount.store(0, std::memory_order_relaxed);
   m_kernels.store(0, std::memory_order_relaxed);
   m_allocFailures.store(0, std::memory_order_relaxed);
+  m_cpuFallbacks.store(0, std::memory_order_relaxed);
   m_peak.store(m_inUse.load(std::memory_order_relaxed),
                std::memory_order_relaxed);
 }
@@ -124,7 +129,20 @@ void GpuStream::pump() {
     op = std::move(m_queue.front());
     m_queue.pop_front();
   }
-  op();
+  try {
+    op();
+  } catch (...) {
+    // A faulted stream discards the rest of its queue — in-order semantics
+    // leave later operations' inputs undefined. The error is reported at
+    // the next synchronize(), like CUDA's deferred async-error model.
+    std::lock_guard<std::mutex> lk(m_mutex);
+    if (!m_error) m_error = std::current_exception();
+    m_completed += 1 + m_queue.size();
+    m_queue.clear();
+    m_running = false;
+    m_cv.notify_all();
+    return;
+  }
   bool more;
   {
     std::lock_guard<std::mutex> lk(m_mutex);
@@ -142,6 +160,27 @@ void GpuStream::synchronize() {
   std::unique_lock<std::mutex> lk(m_mutex);
   m_cv.wait(lk,
             [this] { return m_completed == m_submitted && !m_running; });
+  if (m_error) {
+    std::exception_ptr e = std::exchange(m_error, nullptr);
+    lk.unlock();
+    std::rethrow_exception(e);
+  }
+}
+
+bool GpuStream::failed() const {
+  std::lock_guard<std::mutex> lk(m_mutex);
+  return m_error != nullptr;
+}
+
+GpuStream::~GpuStream() {
+  try {
+    synchronize();
+  } catch (const std::exception& e) {
+    RMCRT_ERROR("GpuStream destroyed with pending operation error: "
+                << e.what());
+  } catch (...) {
+    RMCRT_ERROR("GpuStream destroyed with pending non-standard error");
+  }
 }
 
 }  // namespace rmcrt::gpu

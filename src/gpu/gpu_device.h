@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <cstring>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -46,6 +47,7 @@ struct DeviceStats {
   std::uint64_t bytesInUse = 0;
   std::uint64_t peakBytesInUse = 0;
   std::uint64_t allocFailures = 0;
+  std::uint64_t cpuFallbacks = 0;  ///< patches rerouted to the CPU tracer
 };
 
 class GpuStream;
@@ -91,6 +93,12 @@ class GpuDevice {
   /// Block until every stream operation submitted so far has finished.
   void synchronize();
 
+  /// Record that a patch fell back to the CPU tracer after this device
+  /// could not accommodate it (graceful-degradation accounting).
+  void noteCpuFallback() {
+    m_cpuFallbacks.fetch_add(1, std::memory_order_relaxed);
+  }
+
   DeviceStats stats() const;
   void resetStats();
 
@@ -109,6 +117,7 @@ class GpuDevice {
   std::atomic<std::uint64_t> m_d2hCount{0};
   std::atomic<std::uint64_t> m_kernels{0};
   std::atomic<std::uint64_t> m_allocFailures{0};
+  std::atomic<std::uint64_t> m_cpuFallbacks{0};
 };
 
 /// An in-order operation queue on a device (CUDA-stream-like). Operations
@@ -118,7 +127,9 @@ class GpuDevice {
 class GpuStream {
  public:
   explicit GpuStream(GpuDevice& dev) : m_dev(dev) {}
-  ~GpuStream() { synchronize(); }
+  /// Drains the stream. A captured operation error is logged, never
+  /// thrown — destructors must not std::terminate the process.
+  ~GpuStream();
 
   GpuStream(const GpuStream&) = delete;
   GpuStream& operator=(const GpuStream&) = delete;
@@ -130,8 +141,14 @@ class GpuStream {
   /// Asynchronous kernel: an arbitrary callable run on a device worker.
   void enqueueKernel(std::function<void()> kernel);
 
-  /// Block the calling thread until all enqueued work completes.
+  /// Block the calling thread until all enqueued work completes. If any
+  /// operation threw, the first exception is rethrown here (then cleared),
+  /// mirroring how CUDA reports async errors at the next sync point;
+  /// operations queued behind the faulting one were discarded.
   void synchronize();
+
+  /// True while a captured operation error awaits the next synchronize().
+  bool failed() const;
 
  private:
   void enqueue(std::function<void()> op);
@@ -140,12 +157,13 @@ class GpuStream {
   void pump();
 
   GpuDevice& m_dev;
-  std::mutex m_mutex;
+  mutable std::mutex m_mutex;
   std::condition_variable m_cv;
   std::uint64_t m_submitted = 0;
   std::uint64_t m_completed = 0;
   bool m_running = false;  ///< an op for this stream is on a worker
   std::deque<std::function<void()>> m_queue;
+  std::exception_ptr m_error;  ///< first op failure, until synchronize
 };
 
 }  // namespace rmcrt::gpu

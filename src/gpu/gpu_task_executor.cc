@@ -2,8 +2,24 @@
 
 #include <algorithm>
 #include <deque>
+#include <exception>
+
+#include "util/logger.h"
 
 namespace rmcrt::gpu {
+
+namespace {
+
+/// Drain a stream whose task already failed, swallowing any further
+/// captured error — we are abandoning its work either way.
+void drainQuietly(GpuStream& s) {
+  try {
+    s.synchronize();
+  } catch (...) {
+  }
+}
+
+}  // namespace
 
 ExecutorStats runGpuTasks(GpuDevice& device,
                           const std::vector<GpuPatchTask>& tasks,
@@ -16,17 +32,41 @@ ExecutorStats runGpuTasks(GpuDevice& device,
   // when its stream drains after `finish`.
   struct InFlight {
     std::unique_ptr<GpuStream> stream;
+    std::size_t taskIdx = 0;
   };
   std::deque<InFlight> resident;
   std::size_t next = 0;
+  std::exception_ptr firstUnrecovered;
+
+  // A task whose device path failed either runs its fallback or records
+  // the error; the batch always drains before an error propagates.
+  auto handleFailure = [&](std::size_t taskIdx, std::exception_ptr err) {
+    ++stats.deviceErrors;
+    const GpuPatchTask& t = tasks[taskIdx];
+    if (t.fallback) {
+      t.fallback();
+      ++stats.fallbacksRun;
+      ++stats.tasksRun;
+      return;
+    }
+    if (!firstUnrecovered) firstUnrecovered = err;
+  };
 
   auto launchOne = [&] {
-    const GpuPatchTask& t = tasks[next++];
+    const std::size_t idx = next++;
+    const GpuPatchTask& t = tasks[idx];
     InFlight f;
     f.stream = device.createStream();
-    if (t.stage) t.stage(*f.stream);
-    if (t.kernel) f.stream->enqueueKernel(t.kernel);
-    if (t.finish) t.finish(*f.stream);
+    f.taskIdx = idx;
+    try {
+      if (t.stage) t.stage(*f.stream);
+      if (t.kernel) f.stream->enqueueKernel(t.kernel);
+      if (t.finish) t.finish(*f.stream);
+    } catch (...) {
+      drainQuietly(*f.stream);
+      handleFailure(idx, std::current_exception());
+      return;
+    }
     resident.push_back(std::move(f));
     stats.maxConcurrentResident =
         std::max(stats.maxConcurrentResident,
@@ -42,11 +82,17 @@ ExecutorStats runGpuTasks(GpuDevice& device,
     // Retire the oldest task (in-order retirement keeps the memory
     // accounting simple; younger streams keep running meanwhile).
     if (!resident.empty()) {
-      resident.front().stream->synchronize();
+      InFlight f = std::move(resident.front());
       resident.pop_front();
-      ++stats.tasksRun;
+      try {
+        f.stream->synchronize();
+        ++stats.tasksRun;
+      } catch (...) {
+        handleFailure(f.taskIdx, std::current_exception());
+      }
     }
   }
+  if (firstUnrecovered) std::rethrow_exception(firstUnrecovered);
   return stats;
 }
 

@@ -12,6 +12,13 @@
 /// RESIDENT tasks (those holding device memory) so the footprint stays
 /// within the device budget even with thousands of queued patches —
 /// the over-decomposition regime of the scaling studies.
+///
+/// Failure handling: a task whose stage throws (e.g. DeviceOutOfMemory)
+/// or whose stream reports a captured operation error at retirement is
+/// rerouted to its `fallback` callable when one is provided — the
+/// graceful-degradation hook the RMCRT component uses to run the CPU
+/// tracer for that patch. Without a fallback the error propagates to the
+/// caller after the remaining resident streams have drained.
 
 #include <functional>
 #include <memory>
@@ -24,17 +31,22 @@ namespace rmcrt::gpu {
 /// One patch task's callbacks. All three run on device workers via the
 /// task's stream, in order; `stage` typically uploads inputs and
 /// allocates outputs, `finish` downloads results and frees per-patch
-/// device memory.
+/// device memory. `fallback` (optional) runs on the calling thread when
+/// the device path failed; it must produce the same results by other
+/// means (e.g. the CPU tracer).
 struct GpuPatchTask {
   std::function<void(GpuStream&)> stage;
   std::function<void()> kernel;
   std::function<void(GpuStream&)> finish;
+  std::function<void()> fallback;
 };
 
 /// Execution statistics.
 struct ExecutorStats {
   int tasksRun = 0;
   int maxConcurrentResident = 0;
+  int deviceErrors = 0;   ///< tasks whose device path threw
+  int fallbacksRun = 0;   ///< of those, recovered via their fallback
 };
 
 /// Runs a batch of patch tasks with at most \p maxResident concurrently

@@ -1,8 +1,12 @@
 #include "runtime/scheduler.h"
 
 #include <cassert>
-#include <thread>
+#include <chrono>
+#include <sstream>
 #include <unordered_set>
+
+#include "util/backoff.h"
+#include "util/logger.h"
 
 namespace rmcrt::runtime {
 
@@ -60,17 +64,22 @@ struct Scheduler::PendingTask {
 Scheduler::Scheduler(std::shared_ptr<const grid::Grid> grid,
                      std::shared_ptr<const grid::LoadBalancer> lb,
                      comm::Communicator& world, int rank,
-                     RequestContainer container)
+                     RequestContainer container, SchedulerConfig config)
     : m_grid(std::move(grid)),
       m_lb(std::move(lb)),
       m_world(world),
       m_rank(rank),
+      m_config(config),
       m_oldDW(std::make_unique<DataWarehouse>()),
       m_newDW(std::make_unique<DataWarehouse>()),
       m_containerKind(container),
       m_lockedQueue(container == RequestContainer::LockedRacy
                         ? comm::LockedRequestQueue::Mode::Racy
-                        : comm::LockedRequestQueue::Mode::Serialized) {}
+                        : comm::LockedRequestQueue::Mode::Serialized) {
+  if (m_config.reliableComm)
+    m_channel = std::make_unique<comm::ReliableChannel>(m_world, m_rank,
+                                                        m_config.channel);
+}
 
 Scheduler::~Scheduler() = default;
 
@@ -202,11 +211,12 @@ void Scheduler::stageRequirement(
         const std::size_t bytes =
             static_cast<std::size_t>(e.overlap.volume()) * sizeof(T);
         auto buf = std::make_shared<comm::Buffer>(bytes);
+        const std::int64_t tag = messageTag(phaseIdx, reqIdx, e.srcPatchId,
+                                            static_cast<int>(seq));
         comm::Request r =
-            m_world.irecv(m_rank, owner,
-                          messageTag(phaseIdx, reqIdx, e.srcPatchId,
-                                     static_cast<int>(seq)),
-                          buf->data(), bytes);
+            m_channel
+                ? m_channel->postRecv(owner, tag, buf->data(), bytes)
+                : m_world.irecv(m_rank, owner, tag, buf->data(), bytes);
         auto* stagedPtr = &staged;
         auto remaining = s->remainingMsgs;
         auto waiters = s->waiters;  // copy: Stage dies before callbacks run
@@ -254,15 +264,48 @@ void Scheduler::postSendsFor(std::size_t phaseIdx, std::size_t reqIdx,
         comm::Buffer buf(n * sizeof(T));
         src.storage().packRegion(e.overlap,
                                  reinterpret_cast<T*>(buf.data()));
-        m_world.isend(m_rank, r,
-                      messageTag(phaseIdx, reqIdx, e.srcPatchId,
-                                 static_cast<int>(seq)),
-                      buf.data(), buf.size());
+        const std::int64_t tag = messageTag(phaseIdx, reqIdx, e.srcPatchId,
+                                            static_cast<int>(seq));
+        if (m_channel)
+          m_channel->send(r, tag, buf.data(), buf.size());
+        else
+          m_world.isend(m_rank, r, tag, buf.data(), buf.size());
         m_stats.messagesSent++;
         m_stats.bytesSent += buf.size();
       });
     }
   }
+}
+
+std::string Scheduler::stallDiagnostic(std::size_t phaseIdx,
+                                       std::size_t ranCount,
+                                       std::size_t totalTasks,
+                                       int strikes) const {
+  std::ostringstream os;
+  os << "rank " << m_rank << " stalled in phase " << phaseIdx << " ('"
+     << m_tasks[phaseIdx].name() << "'): " << ranCount << "/" << totalTasks
+     << " patch tasks run, " << containerPending()
+     << " requests outstanding, strike " << strikes << "/"
+     << m_config.watchdogMaxStrikes;
+  if (m_channel) {
+    os << "; channel unacked=" << m_channel->unackedCount();
+    const auto pendingRecvs = m_channel->pendingRecvs();
+    os << ", pending recvs=" << pendingRecvs.size() << " [";
+    std::size_t shown = 0;
+    for (const auto& [src, tag] : pendingRecvs) {
+      if (shown++ == 8) {
+        os << " ...";
+        break;
+      }
+      os << " (src " << src << ", tag " << tag << ")";
+    }
+    os << " ]";
+    const auto cs = m_channel->stats();
+    os << "; retransmits=" << cs.retransmits
+       << " dupsDiscarded=" << cs.duplicatesDiscarded
+       << " deadLinks=" << cs.deadLinks;
+  }
+  return os.str();
 }
 
 void Scheduler::runPhase(std::size_t phaseIdx) {
@@ -293,8 +336,17 @@ void Scheduler::runPhase(std::size_t phaseIdx) {
 
   // Execute patches as their inputs arrive, overlapping with completion
   // processing of the remaining messages.
+  const bool watchdogOn = m_config.watchdogDeadlineSeconds > 0;
+  const auto deadline = std::chrono::duration_cast<
+      std::chrono::steady_clock::duration>(std::chrono::duration<double>(
+      watchdogOn ? m_config.watchdogDeadlineSeconds : 0));
+  auto lastProgress = std::chrono::steady_clock::now();
+  int strikes = 0;
+  util::Backoff backoff;
   std::size_t ranCount = 0;
   while (ranCount < pending.size()) {
+    if (m_world.aborted()) throw comm::CommAborted(m_world.abortReason());
+    if (m_channel) m_channel->progress();
     int processed;
     {
       ScopedTimer timer(m_localCommAcc);
@@ -316,10 +368,29 @@ void Scheduler::runPhase(std::size_t phaseIdx) {
         progress = true;
       }
     }
-    if (!progress) {
-      ScopedTimer timer(m_waitAcc);
-      std::this_thread::yield();
+    if (progress) {
+      lastProgress = std::chrono::steady_clock::now();
+      backoff.reset();
+      continue;
     }
+    if (watchdogOn &&
+        std::chrono::steady_clock::now() - lastProgress > deadline) {
+      ++strikes;
+      ++m_stats.watchdogStrikes;
+      const std::string diag =
+          stallDiagnostic(phaseIdx, ranCount, pending.size(), strikes);
+      RMCRT_ERROR("watchdog: " << diag);
+      if (strikes >= m_config.watchdogMaxStrikes) {
+        m_world.abort(diag);
+        throw TimestepStalled(diag);
+      }
+      // Kick the recovery path before the next strike window.
+      if (m_channel) m_channel->forceRetransmit();
+      lastProgress = std::chrono::steady_clock::now();
+      continue;
+    }
+    ScopedTimer timer(m_waitAcc);
+    backoff.pause();
   }
 
   // Phase boundary: everyone's sends for this phase have been consumed
@@ -332,6 +403,12 @@ void Scheduler::executeTimestep() {
   m_stats.localCommSeconds = m_localCommAcc.seconds();
   m_stats.taskExecSeconds = m_taskExecAcc.seconds();
   m_stats.waitSeconds = m_waitAcc.seconds();
+  if (m_channel) {
+    const auto cs = m_channel->stats();
+    m_stats.retransmits = cs.retransmits;
+    m_stats.duplicatesDiscarded = cs.duplicatesDiscarded;
+    m_stats.maxBackoffMs = cs.maxBackoffMs;
+  }
 }
 
 void Scheduler::advanceDataWarehouses() {

@@ -18,14 +18,24 @@
 ///    carry-forward -> coarsen -> trace chain is a strict sequence.
 ///  * Staged ghost/region data lives in the DataWarehouse as region
 ///    variables, mirroring Uintah's getRegion "memory it does not own".
+///
+/// Resilience: dependency messages route through a ReliableChannel
+/// (sequence numbers + acks + retransmit) by default, so injected or real
+/// message loss is recovered transparently; a watchdog in the execute loop
+/// dumps a diagnostic snapshot, forces retransmission, and — after a
+/// configurable number of strikes — fails the timestep with a structured
+/// TimestepStalled error instead of hanging forever.
 
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "comm/communicator.h"
 #include "comm/locked_queue.h"
+#include "comm/reliable_channel.h"
 #include "comm/request_pool.h"
 #include "grid/grid.h"
 #include "grid/load_balancer.h"
@@ -42,6 +52,27 @@ enum class RequestContainer {
   LockedRacy,        ///< original defective design (leaks under threads)
 };
 
+/// Thrown by executeTimestep() when the watchdog declares the timestep
+/// dead: no request completed and no task became runnable within the
+/// configured deadline for the configured number of strikes.
+class TimestepStalled : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Resilience knobs for one scheduler.
+struct SchedulerConfig {
+  /// Route dependency messages through the ReliableChannel. When false,
+  /// messages go straight to the communicator (the pre-resilience path).
+  bool reliableComm = true;
+  comm::ReliableChannel::Config channel{};
+  /// Seconds without progress before a watchdog strike (diagnostic dump +
+  /// forced retransmission). <= 0 disables the watchdog.
+  double watchdogDeadlineSeconds = 60.0;
+  /// Strikes before the timestep fails with TimestepStalled.
+  int watchdogMaxStrikes = 3;
+};
+
 /// Wall-clock and traffic totals for one scheduler (one rank).
 struct SchedulerStats {
   double localCommSeconds = 0;  ///< posting sends/recvs + processing ready
@@ -52,6 +83,11 @@ struct SchedulerStats {
   std::uint64_t messagesReceived = 0;
   std::uint64_t bytesReceived = 0;
   std::uint64_t tasksExecuted = 0;
+  // Resilience counters (nonzero only with reliableComm):
+  std::uint64_t retransmits = 0;
+  std::uint64_t duplicatesDiscarded = 0;
+  double maxBackoffMs = 0.0;
+  std::uint64_t watchdogStrikes = 0;
 };
 
 /// One rank's scheduler. Construct one per rank over a shared Grid,
@@ -62,13 +98,15 @@ class Scheduler {
   Scheduler(std::shared_ptr<const grid::Grid> grid,
             std::shared_ptr<const grid::LoadBalancer> lb,
             comm::Communicator& world, int rank,
-            RequestContainer container = RequestContainer::WaitFreePool);
+            RequestContainer container = RequestContainer::WaitFreePool,
+            SchedulerConfig config = SchedulerConfig{});
 
   ~Scheduler();
 
   int rank() const { return m_rank; }
   const grid::Grid& grid() const { return *m_grid; }
   const grid::LoadBalancer& loadBalancer() const { return *m_lb; }
+  const SchedulerConfig& config() const { return m_config; }
 
   DataWarehouse& oldDW() { return *m_oldDW; }
   DataWarehouse& newDW() { return *m_newDW; }
@@ -78,7 +116,9 @@ class Scheduler {
   void clearTasks() { m_tasks.clear(); }
 
   /// Execute all task phases once. Blocking; involves collective
-  /// synchronization with the other ranks' schedulers.
+  /// synchronization with the other ranks' schedulers. Throws
+  /// TimestepStalled when the watchdog gives up, or comm::CommAborted when
+  /// another rank aborted the world.
   void executeTimestep();
 
   /// Swap old and new DataWarehouses and clear the new one.
@@ -91,6 +131,9 @@ class Scheduler {
     m_taskExecAcc.reset();
     m_waitAcc.reset();
   }
+
+  /// The reliability endpoint, when reliableComm is enabled.
+  const comm::ReliableChannel* channel() const { return m_channel.get(); }
 
   /// The region window a requirement resolves to for one task patch;
   /// exposed so task actions can call DataWarehouse::getRegion with the
@@ -114,6 +157,10 @@ class Scheduler {
   std::int64_t messageTag(std::size_t phaseIdx, std::size_t reqIdx,
                           int srcPatch, int dstPatch) const;
 
+  /// Describe the stalled phase for the watchdog log / TimestepStalled.
+  std::string stallDiagnostic(std::size_t phaseIdx, std::size_t ranCount,
+                              std::size_t totalTasks, int strikes) const;
+
   DataWarehouse& dwFor(const Requires& req) {
     return req.fromOldDW ? *m_oldDW : *m_newDW;
   }
@@ -122,6 +169,7 @@ class Scheduler {
   std::shared_ptr<const grid::LoadBalancer> m_lb;
   comm::Communicator& m_world;
   int m_rank;
+  SchedulerConfig m_config;
 
   std::unique_ptr<DataWarehouse> m_oldDW;
   std::unique_ptr<DataWarehouse> m_newDW;
@@ -130,6 +178,7 @@ class Scheduler {
   RequestContainer m_containerKind;
   comm::WaitFreeRequestPool m_pool;
   comm::LockedRequestQueue m_lockedQueue;
+  std::unique_ptr<comm::ReliableChannel> m_channel;
 
   /// Uniform view over the two container kinds.
   void containerAdd(comm::CommNode node);

@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file backoff.h
+/// Bounded spin-then-sleep backoff for polling loops. The first few
+/// iterations yield (cheap, keeps latency low when completion is
+/// imminent); after the spin budget the waiter sleeps with exponentially
+/// growing intervals up to a cap, so a stalled rank stops burning a core
+/// while still reacting within ~1 ms once traffic resumes.
+
+#include <chrono>
+#include <thread>
+
+namespace rmcrt::util {
+
+class Backoff {
+ public:
+  explicit Backoff(int spinLimit = 64,
+                   std::chrono::microseconds initialSleep =
+                       std::chrono::microseconds(50),
+                   std::chrono::microseconds maxSleep =
+                       std::chrono::microseconds(1000))
+      : m_spinLimit(spinLimit),
+        m_initialSleep(initialSleep),
+        m_maxSleep(maxSleep),
+        m_sleep(initialSleep) {}
+
+  /// Wait once: yield while within the spin budget, then sleep with
+  /// exponential growth capped at maxSleep.
+  void pause() {
+    if (m_spins < m_spinLimit) {
+      ++m_spins;
+      std::this_thread::yield();
+      return;
+    }
+    std::this_thread::sleep_for(m_sleep);
+    m_sleep = std::min(m_maxSleep, m_sleep * 2);
+  }
+
+  /// Call when progress was made so the next wait starts cheap again.
+  void reset() {
+    m_spins = 0;
+    m_sleep = m_initialSleep;
+  }
+
+ private:
+  int m_spinLimit;
+  std::chrono::microseconds m_initialSleep;
+  std::chrono::microseconds m_maxSleep;
+  int m_spins = 0;
+  std::chrono::microseconds m_sleep;
+};
+
+}  // namespace rmcrt::util

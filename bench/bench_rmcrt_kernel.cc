@@ -8,13 +8,21 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <fstream>
 #include <iomanip>
 #include <iostream>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "core/dom_solver.h"
 #include "core/problems.h"
 #include "core/rmcrt_component.h"
 #include "sim/calibration.h"
+#include "util/thread_pool.h"
+#include "util/timers.h"
 
 namespace {
 
@@ -71,6 +79,34 @@ BENCHMARK(BM_TraceSingleLevel)
     ->Args({32, 4})
     ->Unit(benchmark::kMillisecond);
 
+void BM_TraceSingleLevelThreaded(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int rays = static_cast<int>(state.range(1));
+  const int threads = static_cast<int>(state.range(2));
+  KernelFixture fx(n);
+  Tracer tracer = fx.tracer(rays);
+  ThreadPool pool(static_cast<std::size_t>(threads));
+  grid::CCVariable<double> divQ(fx.grid->fineLevel().cells(), 0.0);
+  for (auto _ : state) {
+    tracer.computeDivQ(fx.grid->fineLevel().cells(),
+                       MutableFieldView<double>::fromHost(divQ),
+                       threads > 1 ? &pool : nullptr);
+    benchmark::DoNotOptimize(divQ.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          fx.grid->fineLevel().numCells() * rays);
+  state.counters["Mseg/s"] = benchmark::Counter(
+      static_cast<double>(tracer.segmentCount()) / 1e6,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_TraceSingleLevelThreaded)
+    ->Args({32, 16, 1})
+    ->Args({32, 16, 2})
+    ->Args({32, 16, 4})
+    ->Args({32, 16, 8})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
 void BM_DomSolve(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   const int order = static_cast<int>(state.range(1));
@@ -104,6 +140,80 @@ void BM_BoundaryFlux(benchmark::State& state) {
 }
 BENCHMARK(BM_BoundaryFlux);
 
+/// Sweep thread counts over the Burns & Christon single-level trace and
+/// write a machine-readable baseline (BENCH_rmcrt_kernel.json) so later
+/// PRs have a perf trajectory to compare against. Also cross-checks that
+/// every threaded result is bitwise identical to the serial one.
+void writeThreadSweepJson(const std::string& path, bool smoke) {
+  const int n = smoke ? 16 : 32;
+  const int rays = smoke ? 4 : 16;
+  const int repeats = smoke ? 1 : 3;
+  KernelFixture fx(n);
+  Tracer tracer = fx.tracer(rays);
+  const CellRange cells = fx.grid->fineLevel().cells();
+
+  grid::CCVariable<double> serial(cells, 0.0);
+  tracer.computeDivQ(cells, MutableFieldView<double>::fromHost(serial));
+
+  struct Sample {
+    int threads;
+    double seconds;
+    double msegPerS;
+    double speedup;
+    bool bitwise;
+  };
+  std::vector<Sample> samples;
+  double serialSeconds = 0.0;
+  for (int threads : {1, 2, 4, 8}) {
+    ThreadPool pool(static_cast<std::size_t>(threads));
+    grid::CCVariable<double> divQ(cells, 0.0);
+    double best = std::numeric_limits<double>::infinity();
+    std::uint64_t segments = 0;
+    for (int rep = 0; rep < repeats; ++rep) {
+      tracer.resetSegmentCount();
+      Timer timer;
+      tracer.computeDivQ(cells, MutableFieldView<double>::fromHost(divQ),
+                         threads > 1 ? &pool : nullptr);
+      best = std::min(best, timer.seconds());
+      segments = tracer.segmentCount();
+    }
+    bool bitwise = true;
+    for (const auto& c : cells)
+      if (divQ[c] != serial[c]) bitwise = false;
+    if (threads == 1) serialSeconds = best;
+    samples.push_back(Sample{threads, best,
+                             static_cast<double>(segments) / best / 1e6,
+                             serialSeconds / best, bitwise});
+  }
+
+  std::ofstream out(path);
+  out << std::setprecision(6) << std::fixed;
+  out << "{\n"
+      << "  \"benchmark\": \"rmcrt_kernel_thread_sweep\",\n"
+      << "  \"problem\": \"burns_christon\",\n"
+      << "  \"patch\": " << n << ",\n"
+      << "  \"rays_per_cell\": " << rays << ",\n"
+      << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+      << "  \"hardware_threads\": "
+      << std::thread::hardware_concurrency() << ",\n"
+      << "  \"sweep\": [\n";
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const Sample& s = samples[i];
+    out << "    {\"threads\": " << s.threads << ", \"seconds\": "
+        << s.seconds << ", \"mseg_per_s\": " << s.msegPerS
+        << ", \"speedup_vs_serial\": " << s.speedup
+        << ", \"bitwise_match\": " << (s.bitwise ? "true" : "false") << "}"
+        << (i + 1 < samples.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::cout << "\nThread sweep baseline written to " << path << "\n";
+  for (const Sample& s : samples)
+    std::cout << "  threads=" << s.threads << "  " << std::setw(8)
+              << s.seconds * 1e3 << " ms  speedup=" << std::setprecision(2)
+              << s.speedup << std::setprecision(6)
+              << (s.bitwise ? "" : "  [BITWISE MISMATCH]") << "\n";
+}
+
 void printCalibrationTable() {
   using namespace rmcrt::sim;
   std::cout << "\n=== Kernel throughput per patch size (model calibration "
@@ -124,9 +234,31 @@ void printCalibrationTable() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Our flags, consumed before google-benchmark sees the command line:
+  //   --smoke        quick thread sweep + JSON only (CI smoke mode)
+  //   --json=<path>  baseline output path (default BENCH_rmcrt_kernel.json)
+  bool smoke = false;
+  std::string jsonPath = "BENCH_rmcrt_kernel.json";
+  int keep = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      jsonPath = argv[i] + 7;
+    } else {
+      argv[keep++] = argv[i];
+    }
+  }
+  argc = keep;
+
+  if (smoke) {
+    writeThreadSweepJson(jsonPath, /*smoke=*/true);
+    return 0;
+  }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  writeThreadSweepJson(jsonPath, /*smoke=*/false);
   printCalibrationTable();
   return 0;
 }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "util/thread_pool.h"
+
 namespace rmcrt::core {
 
 namespace {
@@ -14,8 +16,24 @@ double safeDiv(double num, double den) {
 
 }  // namespace
 
+std::vector<CellRange> tileCells(const CellRange& cells,
+                                 const IntVector& tileSize) {
+  const IntVector ts = max(tileSize, IntVector(1));
+  const IntVector lo = cells.low();
+  const IntVector hi = cells.high();
+  std::vector<CellRange> tiles;
+  for (int z = lo.z(); z < hi.z(); z += ts.z())
+    for (int y = lo.y(); y < hi.y(); y += ts.y())
+      for (int x = lo.x(); x < hi.x(); x += ts.x())
+        tiles.push_back(
+            CellRange(IntVector(x, y, z),
+                      min(IntVector(x + ts.x(), y + ts.y(), z + ts.z()), hi)));
+  return tiles;
+}
+
 bool Tracer::marchLevel(std::size_t li, Vector& pos, const Vector& dir,
-                        double& sumI, double& transmissivity) const {
+                        double& sumI, double& transmissivity,
+                        std::uint64_t& segments) const {
   const TraceLevel& L = m_levels[li];
   const LevelGeom& g = L.geom;
 
@@ -63,7 +81,7 @@ bool Tracer::marchLevel(std::size_t li, Vector& pos, const Vector& dir,
     const double expSeg = std::exp(-kappa * segLen);
     sumI += L.fields.sigmaT4OverPi[cur] * (1.0 - expSeg) * transmissivity;
     transmissivity *= expSeg;
-    m_segments.fetch_add(1, std::memory_order_relaxed);
+    ++segments;
 
     if (transmissivity < threshold) return true;  // extinguished
 
@@ -93,18 +111,27 @@ bool Tracer::marchLevel(std::size_t li, Vector& pos, const Vector& dir,
   }
 }
 
-double Tracer::traceRay(Vector origin, Vector dir,
-                        std::size_t startLevel) const {
+double Tracer::traceRay(Vector origin, Vector dir, std::size_t startLevel,
+                        std::uint64_t& segments) const {
   double sumI = 0.0;
   double transmissivity = 1.0;
   Vector pos = origin;
   for (std::size_t li = startLevel; li < m_levels.size(); ++li) {
-    if (marchLevel(li, pos, dir, sumI, transmissivity)) break;
+    if (marchLevel(li, pos, dir, sumI, transmissivity, segments)) break;
   }
   return sumI;
 }
 
-double Tracer::meanIncomingIntensity(const IntVector& cell) const {
+double Tracer::traceRay(Vector origin, Vector dir,
+                        std::size_t startLevel) const {
+  std::uint64_t segments = 0;
+  const double sumI = traceRay(origin, dir, startLevel, segments);
+  m_segments.fetch_add(segments, std::memory_order_relaxed);
+  return sumI;
+}
+
+double Tracer::meanIncomingIntensity(const IntVector& cell,
+                                     std::uint64_t& segments) const {
   const LevelGeom& g = m_levels.front().geom;
   double sum = 0.0;
   for (int r = 0; r < m_cfg.nDivQRays; ++r) {
@@ -119,22 +146,46 @@ double Tracer::meanIncomingIntensity(const IntVector& cell) const {
       origin = g.cellCenter(cell);
     }
     const Vector dir = isotropicDirection(rng);
-    sum += traceRay(origin, dir);
+    sum += traceRay(origin, dir, 0, segments);
   }
   return sum / static_cast<double>(m_cfg.nDivQRays);
 }
 
-void Tracer::computeDivQ(const CellRange& cells,
-                         MutableFieldView<double> divQ) const {
+double Tracer::meanIncomingIntensity(const IntVector& cell) const {
+  std::uint64_t segments = 0;
+  const double meanI = meanIncomingIntensity(cell, segments);
+  m_segments.fetch_add(segments, std::memory_order_relaxed);
+  return meanI;
+}
+
+void Tracer::computeDivQTile(const CellRange& tile,
+                             MutableFieldView<double> divQ) const {
   const RadiationFieldsView& f = m_levels.front().fields;
-  for (const IntVector& c : cells) {
-    const double meanI = meanIncomingIntensity(c);
+  std::uint64_t segments = 0;
+  for (const IntVector& c : tile) {
+    const double meanI = meanIncomingIntensity(c, segments);
     divQ[c] = 4.0 * M_PI * f.abskg[c] * (f.sigmaT4OverPi[c] - meanI);
   }
+  m_segments.fetch_add(segments, std::memory_order_relaxed);
+}
+
+void Tracer::computeDivQ(const CellRange& cells,
+                         MutableFieldView<double> divQ,
+                         ThreadPool* pool) const {
+  if (pool == nullptr || pool->size() <= 1) {
+    computeDivQTile(cells, divQ);
+    return;
+  }
+  const std::vector<CellRange> tiles = tileCells(cells, m_cfg.tileSize);
+  pool->parallelFor(0, static_cast<std::int64_t>(tiles.size()),
+                    [&](std::int64_t t) {
+                      computeDivQTile(tiles[static_cast<std::size_t>(t)],
+                                      divQ);
+                    });
 }
 
 double Tracer::boundaryFlux(const IntVector& cell, const IntVector& face,
-                            int nRays) const {
+                            int nRays, ThreadPool* pool) const {
   // Incident flux on the face = integral over the inward hemisphere of
   // I(s) |s . n| dOmega. Monte Carlo with directions sampled
   // cosine-weighted about the inward normal -> flux = pi * mean(I).
@@ -157,9 +208,17 @@ double Tracer::boundaryFlux(const IntVector& cell, const IntVector& face,
       g.cellCenter(cell) + Vector(face) * (g.dx * 0.5) -
       Vector(face) * (g.dx.minComponent() * 1e-9);
 
-  double sum = 0.0;
-  for (int r = 0; r < nRays; ++r) {
+  auto sampleRay = [&](int r, std::uint64_t& segments) {
     Rng rng(m_cfg.seed ^ 0xF00DULL, cell, static_cast<std::uint32_t>(r));
+    // Jitter the origin uniformly over the face — the cosine-weighted
+    // directions sample the hemisphere, the jitter samples the face area,
+    // matching the divQ estimator. The normal-axis coordinate stays on
+    // the (nudged) face plane.
+    Vector origin = faceCenter;
+    if (m_cfg.jitterRayOrigin) {
+      for (int i = 0; i < 3; ++i)
+        if (face[i] == 0) origin[i] += (rng.nextDouble() - 0.5) * g.dx[i];
+    }
     // Cosine-weighted hemisphere sample.
     const double r1 = rng.nextDouble(), r2 = rng.nextDouble();
     const double sinT = std::sqrt(r1);
@@ -168,7 +227,26 @@ double Tracer::boundaryFlux(const IntVector& cell, const IntVector& face,
     const Vector dir =
         u * (sinT * std::cos(phi)) + v * (sinT * std::sin(phi)) +
         inward * cosT;
-    sum += traceRay(faceCenter, dir);
+    return traceRay(origin, dir, 0, segments);
+  };
+
+  double sum = 0.0;
+  if (pool != nullptr && pool->size() > 1 && nRays > 1) {
+    // Per-ray intensities land in a vector and are reduced in ray order
+    // below, so the sum is bitwise identical to the serial loop.
+    std::vector<double> intensity(static_cast<std::size_t>(nRays), 0.0);
+    pool->parallelFor(0, nRays, [&](std::int64_t r) {
+      std::uint64_t segments = 0;
+      intensity[static_cast<std::size_t>(r)] =
+          sampleRay(static_cast<int>(r), segments);
+      m_segments.fetch_add(segments, std::memory_order_relaxed);
+    });
+    for (int r = 0; r < nRays; ++r)
+      sum += intensity[static_cast<std::size_t>(r)];
+  } else {
+    std::uint64_t segments = 0;
+    for (int r = 0; r < nRays; ++r) sum += sampleRay(r, segments);
+    m_segments.fetch_add(segments, std::memory_order_relaxed);
   }
   return M_PI * sum / static_cast<double>(nRays);
 }

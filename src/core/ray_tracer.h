@@ -28,6 +28,10 @@
 #include "grid/level.h"
 #include "util/rng.h"
 
+namespace rmcrt {
+class ThreadPool;
+}
+
 namespace rmcrt::core {
 
 /// Geometric description of one mesh level, detached from grid::Level so
@@ -72,8 +76,20 @@ struct TraceConfig {
   std::uint64_t seed = 0;
   /// Jitter ray origins uniformly within the cell (true, the Monte Carlo
   /// estimator) or emit from cell centers (deterministic debugging).
+  /// boundaryFlux likewise jitters its origins over the face.
   bool jitterRayOrigin = true;
+  /// Cells per tile (each axis) when computeDivQ fans out on a thread
+  /// pool. Tiles are the unit of work stealing AND of segment-counter
+  /// aggregation: one atomic add per tile, none in the march loop. The
+  /// default keeps a tile's field data within L1/L2 reach.
+  IntVector tileSize = IntVector(8, 8, 8);
 };
+
+/// Split \p cells into tiles of at most \p tileSize cells per axis
+/// (components clamped to >= 1). Tiles are emitted in z-major order and
+/// exactly partition the range.
+std::vector<CellRange> tileCells(const CellRange& cells,
+                                 const IntVector& tileSize);
 
 /// One level of marching state handed to the tracer.
 struct TraceLevel {
@@ -107,14 +123,27 @@ class Tracer {
   double meanIncomingIntensity(const IntVector& cell) const;
 
   /// Compute divQ for every cell in \p cells (cells of levels[0]).
-  void computeDivQ(const CellRange& cells,
-                   MutableFieldView<double> divQ) const;
+  ///
+  /// With a \p pool, the range is split into TraceConfig::tileSize tiles
+  /// run via ThreadPool::parallelFor. Because the RNG stream of every
+  /// (cell, ray) pair is fixed by (seed, cell, ray) alone and each cell is
+  /// written by exactly one tile, the result is bitwise identical to the
+  /// serial path for any thread count and tile shape. Segment counts
+  /// accumulate in per-tile locals and flush with one atomic add per
+  /// tile, so the march loop itself performs no atomic operations.
+  void computeDivQ(const CellRange& cells, MutableFieldView<double> divQ,
+                   ThreadPool* pool = nullptr) const;
 
   /// Incident radiative flux [W/m^2] through the domain-boundary face of
   /// \p cell whose outward normal is \p face (unit axis vector): traces
   /// nRays over the inward hemisphere — the boiler wall heat-flux QoI.
+  /// Origins are jittered uniformly over the face when
+  /// TraceConfig::jitterRayOrigin is set (matching the divQ estimator).
+  /// With a \p pool, rays fan out in parallel; per-ray intensities are
+  /// reduced in ray order, so the flux is bitwise identical to the serial
+  /// path.
   double boundaryFlux(const IntVector& cell, const IntVector& face,
-                      int nRays) const;
+                      int nRays, ThreadPool* pool = nullptr) const;
 
   /// Total cell crossings marched so far (thread-safe, relaxed) — the
   /// work metric the performance model is calibrated against.
@@ -127,11 +156,27 @@ class Tracer {
 
  private:
   /// March within level \p li from physical position \p pos; accumulates
-  /// into sumI/transmissivity; returns true if the ray is finished (wall,
+  /// into sumI/transmissivity and counts cell crossings into the caller's
+  /// local \p segments; returns true if the ray is finished (wall,
   /// threshold or domain exit), false if it left `allowed` and should
   /// continue on level li+1 at the updated \p pos.
   bool marchLevel(std::size_t li, Vector& pos, const Vector& dir,
-                  double& sumI, double& transmissivity) const;
+                  double& sumI, double& transmissivity,
+                  std::uint64_t& segments) const;
+
+  /// traceRay with the segment count going to a caller-owned local
+  /// instead of the shared atomic.
+  double traceRay(Vector origin, Vector dir, std::size_t startLevel,
+                  std::uint64_t& segments) const;
+
+  /// meanIncomingIntensity with a caller-owned segment counter.
+  double meanIncomingIntensity(const IntVector& cell,
+                               std::uint64_t& segments) const;
+
+  /// Serial divQ over one tile; flushes the tile's segment count with a
+  /// single atomic add.
+  void computeDivQTile(const CellRange& tile,
+                       MutableFieldView<double> divQ) const;
 
   std::vector<TraceLevel> m_levels;
   WallProperties m_walls;

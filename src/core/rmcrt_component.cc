@@ -5,6 +5,7 @@
 
 #include "grid/operators.h"
 #include "util/logger.h"
+#include "util/thread_pool.h"
 
 namespace rmcrt::core {
 
@@ -23,7 +24,14 @@ struct PipelineState {
   RadiationProblem problem;
   TraceConfig trace;
   int roiHalo;
+  ThreadPool* pool = nullptr;  ///< setup-supplied fallback tracing pool
 };
+
+/// The pool a trace task should tile on: the scheduler-provided one when
+/// present (bounds node-wide parallelism), else the setup's.
+ThreadPool* tracePool(const TaskContext& ctx, const PipelineState& st) {
+  return ctx.pool != nullptr ? ctx.pool : st.pool;
+}
 
 Task makeInitTask(std::shared_ptr<PipelineState> st, int fineLevel) {
   Task t("RMCRT::initProperties", fineLevel,
@@ -121,7 +129,8 @@ Task makeCpuTraceTask(std::shared_ptr<PipelineState> st, int fineLevel,
     auto& divQ =
         ctx.newDW->getModifiable<double>(RmcrtLabels::divQ, ctx.patch->id());
     tracer.computeDivQ(ctx.patch->cells(),
-                       MutableFieldView<double>::fromHost(divQ));
+                       MutableFieldView<double>::fromHost(divQ),
+                       tracePool(ctx, *st));
   });
   t.addRequires(Requires{RmcrtLabels::abskg, VarType::Double, fineLevel,
                          st->roiHalo, false});
@@ -167,7 +176,8 @@ Task makeSingleLevelTraceTask(std::shared_ptr<PipelineState> st,
            auto& divQ = ctx.newDW->getModifiable<double>(
                RmcrtLabels::divQ, ctx.patch->id());
            tracer.computeDivQ(ctx.patch->cells(),
-                              MutableFieldView<double>::fromHost(divQ));
+                              MutableFieldView<double>::fromHost(divQ),
+                              tracePool(ctx, *st));
          });
   t.addRequires(
       Requires{RmcrtLabels::abskg, VarType::Double, fineLevel, 0, true});
@@ -238,6 +248,8 @@ void runGpuTraceAttempt(const TaskContext& ctx, const PipelineState& st,
         coarseGeom.cells};
     Tracer tracer({fineTL, coarseTL}, walls, cfg);
     gpu::DeviceVar out = dDivQ;
+    // Serial inside the simulated kernel: the device executor's SM
+    // workers are the parallelism on this path.
     tracer.computeDivQ(patchCells,
                        MutableFieldView<double>::fromDevice(out));
   });
@@ -302,7 +314,8 @@ Task makeGpuTraceTask(std::shared_ptr<PipelineState> st, int fineLevel,
     auto& divQ =
         ctx.newDW->getModifiable<double>(RmcrtLabels::divQ, pid);
     tracer.computeDivQ(ctx.patch->cells(),
-                       MutableFieldView<double>::fromHost(divQ));
+                       MutableFieldView<double>::fromHost(divQ),
+                       tracePool(ctx, *st));
   });
   t.addRequires(Requires{RmcrtLabels::abskg, VarType::Double, fineLevel,
                          st->roiHalo, false});
@@ -323,7 +336,7 @@ Task makeGpuTraceTask(std::shared_ptr<PipelineState> st, int fineLevel,
 void RmcrtComponent::registerTwoLevelPipeline(runtime::Scheduler& sched,
                                               const RmcrtSetup& setup) {
   auto st = std::make_shared<PipelineState>(
-      PipelineState{setup.problem, setup.trace, setup.roiHalo});
+      PipelineState{setup.problem, setup.trace, setup.roiHalo, setup.pool});
   const int fineLevel = sched.grid().numLevels() - 1;
   sched.addTask(makeInitTask(st, fineLevel));
   sched.addTask(makeCoarsenTask(fineLevel));
@@ -333,7 +346,7 @@ void RmcrtComponent::registerTwoLevelPipeline(runtime::Scheduler& sched,
 void RmcrtComponent::registerSingleLevelPipeline(runtime::Scheduler& sched,
                                                  const RmcrtSetup& setup) {
   auto st = std::make_shared<PipelineState>(
-      PipelineState{setup.problem, setup.trace, setup.roiHalo});
+      PipelineState{setup.problem, setup.trace, setup.roiHalo, setup.pool});
   const int fineLevel = sched.grid().numLevels() - 1;
   sched.addTask(makeInitTask(st, fineLevel));
   sched.addTask(makeSingleLevelTraceTask(st, fineLevel));
@@ -343,7 +356,7 @@ void RmcrtComponent::registerTwoLevelGpuPipeline(
     runtime::Scheduler& sched, const RmcrtSetup& setup,
     gpu::GpuDataWarehouse& gdw) {
   auto st = std::make_shared<PipelineState>(
-      PipelineState{setup.problem, setup.trace, setup.roiHalo});
+      PipelineState{setup.problem, setup.trace, setup.roiHalo, setup.pool});
   const int fineLevel = sched.grid().numLevels() - 1;
   sched.addTask(makeInitTask(st, fineLevel));
   sched.addTask(makeCoarsenTask(fineLevel));
@@ -368,7 +381,7 @@ grid::CCVariable<double> RmcrtComponent::solveSerialSingleLevel(
   Tracer tracer({tl}, walls, setup.trace);
   grid::CCVariable<double> divQ(fine.cells(), 0.0);
   tracer.computeDivQ(fine.cells(),
-                     MutableFieldView<double>::fromHost(divQ));
+                     MutableFieldView<double>::fromHost(divQ), setup.pool);
   return divQ;
 }
 
@@ -410,7 +423,8 @@ grid::CCVariable<double> RmcrtComponent::solveSerialTwoLevel(
                             FieldView<CellType>::fromHost(cCt)},
                         coarse.cells()};
     Tracer tracer({fineTL, coarseTL}, walls, setup.trace);
-    tracer.computeDivQ(p.cells(), MutableFieldView<double>::fromHost(divQ));
+    tracer.computeDivQ(p.cells(), MutableFieldView<double>::fromHost(divQ),
+                       setup.pool);
   }
   return divQ;
 }

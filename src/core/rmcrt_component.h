@@ -45,6 +45,11 @@ struct RmcrtSetup {
   /// Fine-mesh halo (cells) around each patch forming the ray-tracing
   /// region of interest; beyond it rays march the coarse level.
   int roiHalo = 4;
+  /// Optional worker pool for tiled CPU tracing (non-owning; nullptr =
+  /// serial). Scheduler-driven pipelines prefer the pool the scheduler
+  /// hands tasks through TaskContext::pool; this one serves the serial
+  /// solve* entry points and schedulers configured without a pool.
+  ThreadPool* pool = nullptr;
 };
 
 /// Task-registration entry points. Call the same function on every rank's

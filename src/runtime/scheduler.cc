@@ -357,7 +357,7 @@ void Scheduler::runPhase(std::size_t phaseIdx) {
       if (!pt->ran &&
           pt->outstanding.load(std::memory_order_acquire) == 0) {
         TaskContext ctx{m_rank, m_grid.get(), pt->patch, m_oldDW.get(),
-                        m_newDW.get()};
+                        m_newDW.get(), m_config.taskPool};
         {
           ScopedTimer timer(m_taskExecAcc);
           task.action()(ctx);

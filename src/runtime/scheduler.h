@@ -43,6 +43,10 @@
 #include "runtime/task.h"
 #include "util/timers.h"
 
+namespace rmcrt {
+class ThreadPool;
+}
+
 namespace rmcrt::runtime {
 
 /// Which outstanding-request container the scheduler uses (paper §IV-A).
@@ -71,6 +75,13 @@ struct SchedulerConfig {
   double watchdogDeadlineSeconds = 60.0;
   /// Strikes before the timestep fails with TimestepStalled.
   int watchdogMaxStrikes = 3;
+  /// Worker pool handed to task actions (TaskContext::pool) for
+  /// intra-task tiled parallelism. Non-owning and may be shared by many
+  /// ranks' schedulers; tasks themselves still execute on the scheduler
+  /// thread, so one pool bounds the node's total trace parallelism (no
+  /// oversubscription when ranks and tiles compose). nullptr = serial
+  /// task actions.
+  ThreadPool* taskPool = nullptr;
 };
 
 /// Wall-clock and traffic totals for one scheduler (one rank).

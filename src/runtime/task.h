@@ -14,6 +14,10 @@
 #include "grid/grid.h"
 #include "runtime/data_warehouse.h"
 
+namespace rmcrt {
+class ThreadPool;
+}
+
 namespace rmcrt::runtime {
 
 /// Variable payload type, needed by the scheduler to pack/unpack messages.
@@ -50,6 +54,12 @@ struct TaskContext {
   const grid::Patch* patch;  ///< the patch to operate on
   DataWarehouse* oldDW;      ///< previous timestep state
   DataWarehouse* newDW;      ///< this timestep's results
+  /// Worker pool for intra-task parallelism (tiled tracing), when the
+  /// scheduler was configured with one. Task actions run on the scheduler
+  /// thread; only loops inside an action fan out here, so patch-level
+  /// execution and intra-patch tiles share one set of execution slots
+  /// without oversubscription. nullptr = run serially.
+  ThreadPool* pool = nullptr;
 
   /// Staged same-level data with \p numGhost ghost cells (window clipped
   /// to the level extent) — matches the scheduler's staging key for a

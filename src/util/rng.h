@@ -32,18 +32,34 @@ class Rng {
       : m_state(splitmix64(seed ^ 0xD1B54A32D192ED03ull)) {}
 
   /// Seed an independent stream for ray \p ray of cell \p cell in a
-  /// simulation seeded with \p domainSeed.
+  /// simulation seeded with \p domainSeed. Each component is absorbed by
+  /// its own full splitmix64 round (hash chaining). Packing the three
+  /// 32-bit coordinates into one word at bit offsets 0/21/42 — the
+  /// previous scheme — overlaps the fields, so cells with any coordinate
+  /// >= 2^21, and all negative coordinates (whose uint32 images set the
+  /// high bits), could collide into the same stream and correlate
+  /// neighboring cells' estimators.
   Rng(std::uint64_t domainSeed, const IntVector& cell, std::uint32_t ray)
-      : Rng(splitmix64(domainSeed) ^
-            splitmix64((static_cast<std::uint64_t>(
-                            static_cast<std::uint32_t>(cell.x())) |
-                        (static_cast<std::uint64_t>(
-                             static_cast<std::uint32_t>(cell.y()))
-                         << 21) |
-                        (static_cast<std::uint64_t>(
-                             static_cast<std::uint32_t>(cell.z()))
-                         << 42)) ^
-            (static_cast<std::uint64_t>(ray) * 0x9E3779B97F4A7C15ull))) {}
+      : Rng(streamSeed(domainSeed, cell, ray)) {}
+
+  /// The chained stream seed for (domainSeed, cell, ray); exposed for
+  /// collision tests.
+  static constexpr std::uint64_t streamSeed(std::uint64_t domainSeed,
+                                            const IntVector& cell,
+                                            std::uint32_t ray) {
+    auto absorb = [](std::uint64_t h, std::uint64_t v) {
+      return splitmix64(h ^ v);
+    };
+    std::uint64_t h = splitmix64(domainSeed);
+    h = absorb(h, static_cast<std::uint64_t>(
+                      static_cast<std::int64_t>(cell.x())));
+    h = absorb(h, static_cast<std::uint64_t>(
+                      static_cast<std::int64_t>(cell.y())));
+    h = absorb(h, static_cast<std::uint64_t>(
+                      static_cast<std::int64_t>(cell.z())));
+    h = absorb(h, static_cast<std::uint64_t>(ray));
+    return h;
+  }
 
   /// Next 64 uniformly distributed bits.
   constexpr std::uint64_t nextU64() {

@@ -14,6 +14,7 @@
 #include <deque>
 #include <functional>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -39,9 +40,13 @@ class ThreadPool {
   std::size_t size() const { return m_workers.size(); }
 
   /// Enqueue a task for execution by any worker.
+  /// \throws std::runtime_error after shutdown(): a task accepted then
+  /// would sit in the queue forever, which silently loses work.
   void submit(std::function<void()> fn) {
     {
       std::lock_guard<std::mutex> lk(m_mutex);
+      if (m_stop)
+        throw std::runtime_error("ThreadPool::submit after shutdown");
       m_queue.push_back(std::move(fn));
       m_pending.fetch_add(1, std::memory_order_relaxed);
     }
@@ -68,39 +73,61 @@ class ThreadPool {
       if (t.joinable()) t.join();
   }
 
+  /// True when the calling thread is one of this pool's workers.
+  bool onWorkerThread() const { return currentWorkerPool() == this; }
+
   /// Run fn(i) for i in [begin, end) across the pool, blocking the caller
   /// until complete. Static chunking: ~4 chunks per worker.
+  ///
+  /// Reentrancy: when called from one of this pool's own worker threads,
+  /// the loop runs inline on that worker. Blocking a worker slot on chunks
+  /// that only workers can drain would deadlock once every worker waits —
+  /// inline execution makes nested parallelism (e.g. a pool-executed task
+  /// that tiles its own inner loop) degrade to serial instead. Calling
+  /// from a worker of a *different* pool still blocks that worker; avoid
+  /// cyclic cross-pool nesting.
   void parallelFor(std::int64_t begin, std::int64_t end,
                    const std::function<void(std::int64_t)>& fn) {
     const std::int64_t n = end - begin;
     if (n <= 0) return;
+    if (onWorkerThread()) {
+      for (std::int64_t i = begin; i < end; ++i) fn(i);
+      return;
+    }
     const std::int64_t nChunks =
         std::min<std::int64_t>(n, static_cast<std::int64_t>(size()) * 4);
     const std::int64_t chunk = (n + nChunks - 1) / nChunks;
-    std::atomic<std::int64_t> done{0};
+    const std::int64_t launched = (n + chunk - 1) / chunk;
     std::mutex doneMutex;
     std::condition_variable doneCv;
-    std::int64_t launched = 0;
+    std::int64_t done = 0;  // guarded by doneMutex
     for (std::int64_t c = begin; c < end; c += chunk) {
       const std::int64_t lo = c;
       const std::int64_t hi = std::min(end, c + chunk);
-      ++launched;
-      submit([lo, hi, &fn, &done, &doneMutex, &doneCv] {
+      submit([lo, hi, &fn, &done, &doneMutex, &doneCv, launched] {
         for (std::int64_t i = lo; i < hi; ++i) fn(i);
-        if (done.fetch_add(1, std::memory_order_acq_rel) >= 0) {
-          std::lock_guard<std::mutex> lk(doneMutex);
-          doneCv.notify_all();
-        }
+        // Count and notify under the lock: the waiter may destroy the
+        // condition variable as soon as it can observe done == launched,
+        // so the final chunk must not touch it outside the critical
+        // section.
+        std::lock_guard<std::mutex> lk(doneMutex);
+        if (++done == launched) doneCv.notify_all();
       });
     }
     std::unique_lock<std::mutex> lk(doneMutex);
-    doneCv.wait(lk, [&] {
-      return done.load(std::memory_order_acquire) == launched;
-    });
+    doneCv.wait(lk, [&] { return done == launched; });
   }
 
  private:
+  /// The pool the calling thread works for, if any (nullptr outside
+  /// worker threads). Lets parallelFor detect reentrant calls.
+  static const ThreadPool*& currentWorkerPool() {
+    thread_local const ThreadPool* pool = nullptr;
+    return pool;
+  }
+
   void workerLoop(std::size_t /*workerId*/) {
+    currentWorkerPool() = this;
     for (;;) {
       std::function<void()> task;
       {

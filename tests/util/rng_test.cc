@@ -101,6 +101,45 @@ TEST(Rng, NextBelowInRange) {
   EXPECT_EQ(seen.size(), 10u);  // all 10 values hit in 1000 draws
 }
 
+TEST(Rng, NoStreamCollisionsAcrossLargeAndNegativeCoords) {
+  // Regression: the old seed packed the three 32-bit coordinates into one
+  // word at bit offsets 0/21/42. The fields overlap, so distinct cells
+  // with any coordinate >= 2^21 — e.g. (2^21, 0, 0) vs (0, 1, 0) — and
+  // all negative coordinates (whose uint32 images fill the high bits)
+  // could share a ray stream, correlating neighboring cells' estimators.
+  // With per-component hash chaining every (cell, ray) over a coordinate
+  // range spanning negatives and > 2^21 must seed a distinct stream.
+  const int coords[] = {-(1 << 21) - 3, -(1 << 13), -1, 0,
+                        1,              19,         (1 << 21), (1 << 21) + 1,
+                        (1 << 22) + 7};
+  std::set<std::uint64_t> seeds;
+  std::size_t streams = 0;
+  for (int x : coords)
+    for (int y : coords)
+      for (int z : coords)
+        for (std::uint32_t ray = 0; ray < 2; ++ray) {
+          seeds.insert(Rng::streamSeed(42, IntVector(x, y, z), ray));
+          ++streams;
+        }
+  EXPECT_EQ(seeds.size(), streams) << "colliding ray streams";
+}
+
+TEST(Rng, OldPackingCollisionPairsNowDistinct) {
+  // The concrete aliases of the packed layout: x's bit 21 vs y's bit 0,
+  // and y's bit 21 vs z's bit 0.
+  Rng a(7, IntVector(1 << 21, 0, 0), 0);
+  Rng b(7, IntVector(0, 1, 0), 0);
+  EXPECT_NE(a.nextU64(), b.nextU64());
+  Rng c(7, IntVector(0, 1 << 21, 0), 0);
+  Rng d(7, IntVector(0, 0, 1), 0);
+  EXPECT_NE(c.nextU64(), d.nextU64());
+  // Sign extension: a negative x used to smear ones across y's and z's
+  // fields; distinct negative cells must stay distinct.
+  Rng e(7, IntVector(-1, 0, 0), 0);
+  Rng f(7, IntVector(-1, -1, -1), 0);
+  EXPECT_NE(e.nextU64(), f.nextU64());
+}
+
 TEST(Splitmix64, KnownFixedPointFreeMixing) {
   // Bijectivity smoke test: no collisions among consecutive inputs.
   std::set<std::uint64_t> outs;

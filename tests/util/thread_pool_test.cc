@@ -4,6 +4,8 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
+#include <thread>
 #include <vector>
 
 namespace rmcrt {
@@ -72,6 +74,64 @@ TEST(ThreadPool, NestedSubmitFromWorker) {
   }
   pool.waitIdle();
   EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, SubmitAfterShutdownThrows) {
+  // Regression: submit() used to silently enqueue onto a dead pool — the
+  // task never ran and waitIdle() on the lost work hung forever.
+  ThreadPool pool(2);
+  pool.shutdown();
+  EXPECT_THROW(pool.submit([] {}), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForCompletionTracksLaunchedChunks) {
+  // Regression: the completion check compared `done.fetch_add(1) >= 0`
+  // (a tautology), so correctness leaned on every chunk notifying. Run
+  // many small parallelFors to exercise the last-chunk-signals path.
+  ThreadPool pool(4);
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<std::int64_t> sum{0};
+    pool.parallelFor(0, 37, [&](std::int64_t i) { sum.fetch_add(i); });
+    ASSERT_EQ(sum.load(), 36 * 37 / 2);
+  }
+}
+
+TEST(ThreadPool, NestedParallelForFromWorkerRunsInline) {
+  // A worker calling parallelFor on its own pool must not deadlock
+  // (blocking a worker slot on chunks only workers can run): the nested
+  // loop degrades to inline serial execution on that worker.
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> hits(64);
+  std::atomic<bool> nestedRan{false};
+  pool.parallelFor(0, 4, [&](std::int64_t outer) {
+    EXPECT_TRUE(pool.onWorkerThread());
+    pool.parallelFor(outer * 16, (outer + 1) * 16,
+                     [&](std::int64_t i) { hits[i].fetch_add(1); });
+    nestedRan.store(true);
+  });
+  EXPECT_TRUE(nestedRan.load());
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+  EXPECT_FALSE(pool.onWorkerThread());
+}
+
+TEST(ThreadPool, ConcurrentParallelForFromManyCallers) {
+  // Several external threads (rank schedulers) sharing one pool: each
+  // parallelFor call must complete independently and exactly cover its
+  // range.
+  ThreadPool pool(4);
+  constexpr int kCallers = 6, kN = 500;
+  std::vector<std::vector<std::atomic<int>>> hits(kCallers);
+  for (auto& h : hits) h = std::vector<std::atomic<int>>(kN);
+  std::vector<std::thread> callers;
+  for (int t = 0; t < kCallers; ++t) {
+    callers.emplace_back([&, t] {
+      pool.parallelFor(0, kN,
+                       [&, t](std::int64_t i) { hits[t][i].fetch_add(1); });
+    });
+  }
+  for (auto& c : callers) c.join();
+  for (int t = 0; t < kCallers; ++t)
+    for (int i = 0; i < kN; ++i) ASSERT_EQ(hits[t][i].load(), 1);
 }
 
 }  // namespace

@@ -20,7 +20,10 @@
 #include "core/dom_solver.h"
 #include "core/problems.h"
 #include "core/rmcrt_component.h"
+#include "grid/load_balancer.h"
+#include "mem/mmap_arena.h"
 #include "sim/calibration.h"
+#include "util/observability_cli.h"
 #include "util/thread_pool.h"
 #include "util/timers.h"
 
@@ -214,6 +217,61 @@ void writeThreadSweepJson(const std::string& path, bool smoke) {
               << (s.bitwise ? "" : "  [BITWISE MISMATCH]") << "\n";
 }
 
+/// Observability mode (--trace-out / --metrics-out): run one radiation
+/// timestep of the distributed two-level GPU pipeline on 2 simulated
+/// ranks with tracing enabled, so the emitted trace and metrics snapshot
+/// cover every instrumented subsystem — scheduler task lifecycle, comm
+/// channel, GPU staging/kernels, and the tracer's ray/segment counters.
+void runObservabilityPipeline() {
+  using runtime::Scheduler;
+
+  MetricsRegistry& reg = MetricsRegistry::global();
+  reg.reset();
+  TraceRecorder::global().clear();
+
+  auto grid = grid::Grid::makeTwoLevel(Vector(0.0), Vector(1.0),
+                                       IntVector(16), IntVector(4),
+                                       IntVector(4), IntVector(4));
+  RmcrtSetup setup;
+  setup.problem = burnsChriston();
+  setup.trace.nDivQRays = 8;
+  setup.trace.seed = 42;
+  setup.roiHalo = 3;
+
+  const int numRanks = 2;
+  auto lb = std::make_shared<grid::LoadBalancer>(*grid, numRanks);
+  comm::Communicator world(numRanks);
+  std::vector<std::unique_ptr<gpu::GpuDevice>> devices;
+  std::vector<std::unique_ptr<gpu::GpuDataWarehouse>> gdws;
+  std::vector<std::unique_ptr<Scheduler>> scheds;
+  for (int r = 0; r < numRanks; ++r) {
+    gpu::GpuDevice::Config cfg;
+    cfg.globalMemoryBytes = 256 << 20;
+    devices.push_back(std::make_unique<gpu::GpuDevice>(cfg));
+    gdws.push_back(std::make_unique<gpu::GpuDataWarehouse>(*devices.back()));
+    scheds.push_back(std::make_unique<Scheduler>(grid, lb, world, r));
+  }
+  std::vector<std::thread> threads;
+  for (int r = 0; r < numRanks; ++r) {
+    threads.emplace_back([&, r] {
+      core::RmcrtComponent::registerTwoLevelGpuPipeline(*scheds[r], setup,
+                                                        *gdws[r]);
+      scheds[r]->executeTimestep();
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  for (int r = 0; r < numRanks; ++r) {
+    const std::string rank = "rank" + std::to_string(r) + ".";
+    scheds[r]->exportMetrics(reg, "scheduler." + rank);
+    gpu::exportMetrics(devices[r]->stats(), reg, "gpu." + rank);
+  }
+  mem::exportMetrics(mem::MmapArena::stats(), reg, "mem.arena.");
+  reg.recordTimestep(0);
+  std::cout << "observability pipeline: 2 ranks, 16^3/4^3 two-level GPU "
+               "trace, 1 radiation timestep\n";
+}
+
 void printCalibrationTable() {
   using namespace rmcrt::sim;
   std::cout << "\n=== Kernel throughput per patch size (model calibration "
@@ -237,6 +295,10 @@ int main(int argc, char** argv) {
   // Our flags, consumed before google-benchmark sees the command line:
   //   --smoke        quick thread sweep + JSON only (CI smoke mode)
   //   --json=<path>  baseline output path (default BENCH_rmcrt_kernel.json)
+  //   --trace-out/--metrics-out  observability outputs (runs a dedicated
+  //       mini distributed pipeline instead of the benchmark suite)
+  const rmcrt::ObservabilityOptions obs =
+      rmcrt::parseObservabilityFlags(argc, argv);
   bool smoke = false;
   std::string jsonPath = "BENCH_rmcrt_kernel.json";
   int keep = 1;
@@ -251,6 +313,12 @@ int main(int argc, char** argv) {
   }
   argc = keep;
 
+  if (obs.any()) {
+    rmcrt::TraceRecorder::global().setEnabled(true);
+    runObservabilityPipeline();
+    rmcrt::writeObservabilityOutputs(obs);
+    return 0;
+  }
   if (smoke) {
     writeThreadSweepJson(jsonPath, /*smoke=*/true);
     return 0;

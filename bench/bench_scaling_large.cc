@@ -14,6 +14,7 @@
 #include "core/rmcrt_component.h"
 #include "sim/calibration.h"
 #include "sim/scaling_study.h"
+#include "util/observability_cli.h"
 
 namespace {
 
@@ -69,9 +70,12 @@ void printFigure3() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const rmcrt::ObservabilityOptions obs =
+      rmcrt::parseObservabilityFlags(argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   printFigure3();
+  rmcrt::writeObservabilityOutputs(obs);
   return 0;
 }

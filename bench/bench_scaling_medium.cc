@@ -22,6 +22,7 @@
 #include "runtime/scheduler.h"
 #include "sim/calibration.h"
 #include "sim/scaling_study.h"
+#include "util/observability_cli.h"
 
 namespace {
 
@@ -77,9 +78,12 @@ void printFigure2() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const rmcrt::ObservabilityOptions obs =
+      rmcrt::parseObservabilityFlags(argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   printFigure2();
+  rmcrt::writeObservabilityOutputs(obs);
   return 0;
 }

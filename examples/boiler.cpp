@@ -23,8 +23,11 @@
 #include "grid/regridder.h"
 #include "grid/vtk_writer.h"
 #include "runtime/scheduler.h"
+#include "util/observability_cli.h"
 
 int main(int argc, char** argv) {
+  const rmcrt::ObservabilityOptions obs =
+      rmcrt::parseObservabilityFlags(argc, argv);
   using namespace rmcrt;
   using namespace rmcrt::core;
 
@@ -185,5 +188,15 @@ int main(int argc, char** argv) {
               << " KiB, level-DB copies " << gdws[r]->numLevelVarCopies()
               << "\n";
   }
+  if (obs.any()) {
+    MetricsRegistry& reg = MetricsRegistry::global();
+    for (int r = 0; r < ranks; ++r) {
+      const std::string pfx = "rank" + std::to_string(r) + ".";
+      scheds[r]->exportMetrics(reg, "scheduler." + pfx);
+      gpu::exportMetrics(devices[r]->stats(), reg, "gpu." + pfx);
+    }
+    reg.recordTimestep(0);
+  }
+  rmcrt::writeObservabilityOutputs(obs);
   return 0;
 }

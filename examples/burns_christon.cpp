@@ -15,9 +15,12 @@
 
 #include "core/problems.h"
 #include "core/rmcrt_component.h"
+#include "util/observability_cli.h"
 #include "util/stats.h"
 
 int main(int argc, char** argv) {
+  const rmcrt::ObservabilityOptions obs =
+      rmcrt::parseObservabilityFlags(argc, argv);
   using namespace rmcrt;
   using namespace rmcrt::core;
 
@@ -90,5 +93,6 @@ int main(int argc, char** argv) {
   std::cout << "(deviation -> 0 as the ROI covers the level: the coarse "
                "continuation is the only approximation the AMR scheme "
                "introduces)\n";
+  rmcrt::writeObservabilityOutputs(obs);
   return 0;
 }

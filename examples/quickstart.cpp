@@ -13,8 +13,11 @@
 #include "core/dom_solver.h"
 #include "core/problems.h"
 #include "core/rmcrt_component.h"
+#include "util/observability_cli.h"
 
 int main(int argc, char** argv) {
+  const rmcrt::ObservabilityOptions obs =
+      rmcrt::parseObservabilityFlags(argc, argv);
   using namespace rmcrt;
   using namespace rmcrt::core;
 
@@ -71,5 +74,6 @@ int main(int argc, char** argv) {
                "Christon absorption coefficient (hence emission) peaks, "
                "with RMCRT and DOM tracking each other within a few "
                "percent plus Monte Carlo noise.\n";
+  rmcrt::writeObservabilityOutputs(obs);
   return 0;
 }

@@ -14,8 +14,11 @@
 #include "sim/calibration.h"
 #include "sim/csv_export.h"
 #include "sim/scaling_study.h"
+#include "util/observability_cli.h"
 
 int main(int argc, char** argv) {
+  const rmcrt::ObservabilityOptions obs =
+      rmcrt::parseObservabilityFlags(argc, argv);
   using namespace rmcrt::sim;
 
   MachineModel m = titan();
@@ -51,5 +54,6 @@ int main(int argc, char** argv) {
     std::cout << "\nwrote fig2_medium.csv, fig3_large.csv, "
                  "table1_comm.csv\n";
   }
+  rmcrt::writeObservabilityOutputs(obs);
   return 0;
 }

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "util/logger.h"
+#include "util/trace_recorder.h"
 
 namespace rmcrt::comm {
 
@@ -76,6 +77,7 @@ void ReliableChannel::backgroundLoop() {
 void ReliableChannel::send(int dst, std::int64_t tag, const void* data,
                            std::size_t bytes) {
   assert(tag != kAckTag && "tag collides with the reserved ack tag");
+  RMCRT_TRACE_SPAN("comm", "channel_send");
   std::lock_guard<std::mutex> lk(m_mutex);
   ensureBackgroundThreadLocked();
   postAckRecvLocked();
@@ -244,6 +246,7 @@ void ReliableChannel::progressLocked() {
       m_world.isend(m_rank, dst, u.tag, u.frame->data(), u.frame->size());
       ++u.retries;
       ++m_stats.retransmits;
+      RMCRT_TRACE_INSTANT("comm", "retransmit");
       u.backoffMs = std::min(m_cfg.maxBackoffMs, u.backoffMs * 2.0);
       m_stats.maxBackoffMs = std::max(m_stats.maxBackoffMs, u.backoffMs);
       u.deadline = now + std::chrono::microseconds(

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "comm/communicator.h"
+#include "util/metrics.h"
 
 namespace rmcrt::comm {
 
@@ -45,6 +46,24 @@ struct ReliableChannelStats {
   double maxBackoffMs = 0.0;
   std::uint64_t deadLinks = 0;  ///< links that exhausted the retry cap
 };
+
+/// Publish one endpoint's counters into \p reg as gauges under \p prefix
+/// (gauges because stats() is a running total the caller may sample
+/// repeatedly; see Scheduler::exportMetrics for the aggregation idiom).
+inline void exportMetrics(const ReliableChannelStats& s, MetricsRegistry& reg,
+                          const std::string& prefix) {
+  reg.setGauge(prefix + "data_sent", static_cast<double>(s.dataSent));
+  reg.setGauge(prefix + "data_delivered",
+               static_cast<double>(s.dataDelivered));
+  reg.setGauge(prefix + "retransmits", static_cast<double>(s.retransmits));
+  reg.setGauge(prefix + "duplicates_discarded",
+               static_cast<double>(s.duplicatesDiscarded));
+  reg.setGauge(prefix + "acks_sent", static_cast<double>(s.acksSent));
+  reg.setGauge(prefix + "acks_received",
+               static_cast<double>(s.acksReceived));
+  reg.setGauge(prefix + "max_backoff_ms", s.maxBackoffMs);
+  reg.setGauge(prefix + "dead_links", static_cast<double>(s.deadLinks));
+}
 
 class ReliableChannel {
  public:

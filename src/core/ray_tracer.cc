@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cassert>
 
+#include "util/metrics.h"
 #include "util/thread_pool.h"
+#include "util/trace_recorder.h"
 
 namespace rmcrt::core {
 
@@ -12,6 +14,18 @@ namespace {
 /// Infinity-safe division used to set up the DDA.
 double safeDiv(double num, double den) {
   return den == 0.0 ? std::numeric_limits<double>::infinity() : num / den;
+}
+
+/// Registry references resolved once; per-tile bumps are single relaxed
+/// atomic adds (same cost class as the existing m_segments flush).
+MetricsCounter& tracerSegmentsCounter() {
+  static MetricsCounter& c =
+      MetricsRegistry::global().counter("tracer.segments");
+  return c;
+}
+MetricsCounter& tracerRaysCounter() {
+  static MetricsCounter& c = MetricsRegistry::global().counter("tracer.rays");
+  return c;
 }
 
 }  // namespace
@@ -160,6 +174,7 @@ double Tracer::meanIncomingIntensity(const IntVector& cell) const {
 
 void Tracer::computeDivQTile(const CellRange& tile,
                              MutableFieldView<double> divQ) const {
+  RMCRT_TRACE_SPAN("tracer", "divQ_tile");
   const RadiationFieldsView& f = m_levels.front().fields;
   std::uint64_t segments = 0;
   for (const IntVector& c : tile) {
@@ -167,11 +182,15 @@ void Tracer::computeDivQTile(const CellRange& tile,
     divQ[c] = 4.0 * M_PI * f.abskg[c] * (f.sigmaT4OverPi[c] - meanI);
   }
   m_segments.fetch_add(segments, std::memory_order_relaxed);
+  tracerSegmentsCounter().add(segments);
+  tracerRaysCounter().add(static_cast<std::uint64_t>(tile.volume()) *
+                          static_cast<std::uint64_t>(m_cfg.nDivQRays));
 }
 
 void Tracer::computeDivQ(const CellRange& cells,
                          MutableFieldView<double> divQ,
                          ThreadPool* pool) const {
+  RMCRT_TRACE_SPAN("tracer", "computeDivQ");
   if (pool == nullptr || pool->size() <= 1) {
     computeDivQTile(cells, divQ);
     return;
@@ -186,6 +205,8 @@ void Tracer::computeDivQ(const CellRange& cells,
 
 double Tracer::boundaryFlux(const IntVector& cell, const IntVector& face,
                             int nRays, ThreadPool* pool) const {
+  RMCRT_TRACE_SPAN("tracer", "boundaryFlux");
+  tracerRaysCounter().add(static_cast<std::uint64_t>(nRays > 0 ? nRays : 0));
   // Incident flux on the face = integral over the inward hemisphere of
   // I(s) |s . n| dOmega. Monte Carlo with directions sampled
   // cosine-weighted about the inward normal -> flux = pi * mean(I).
@@ -240,6 +261,7 @@ double Tracer::boundaryFlux(const IntVector& cell, const IntVector& face,
       intensity[static_cast<std::size_t>(r)] =
           sampleRay(static_cast<int>(r), segments);
       m_segments.fetch_add(segments, std::memory_order_relaxed);
+      tracerSegmentsCounter().add(segments);
     });
     for (int r = 0; r < nRays; ++r)
       sum += intensity[static_cast<std::size_t>(r)];
@@ -247,6 +269,7 @@ double Tracer::boundaryFlux(const IntVector& cell, const IntVector& face,
     std::uint64_t segments = 0;
     for (int r = 0; r < nRays; ++r) sum += sampleRay(r, segments);
     m_segments.fetch_add(segments, std::memory_order_relaxed);
+    tracerSegmentsCounter().add(segments);
   }
   return M_PI * sum / static_cast<double>(nRays);
 }

@@ -6,6 +6,7 @@
 #include "grid/operators.h"
 #include "util/logger.h"
 #include "util/thread_pool.h"
+#include "util/trace_recorder.h"
 
 namespace rmcrt::core {
 
@@ -195,6 +196,7 @@ Task makeSingleLevelTraceTask(std::shared_ptr<PipelineState> st,
 /// drains it before the caller frees any device memory it references.
 void runGpuTraceAttempt(const TaskContext& ctx, const PipelineState& st,
                         int fineLevel, gpu::GpuDataWarehouse* gdw) {
+  RMCRT_TRACE_SPAN("gpu", "trace_attempt");
   const int pid = ctx.patch->id();
   auto stream = gdw->device().createStream();
 
@@ -257,7 +259,10 @@ void runGpuTraceAttempt(const TaskContext& ctx, const PipelineState& st,
   // D2H: the result.
   auto& divQ = ctx.newDW->getModifiable<double>(RmcrtLabels::divQ, pid);
   gdw->fetchPatchVar(RmcrtLabels::divQ, pid, divQ, stream.get());
-  stream->synchronize();
+  {
+    RMCRT_TRACE_SPAN("gpu", "stream_sync_wait");
+    stream->synchronize();
+  }
 
   // Free the per-patch device variables; the level database stays
   // resident for the next patch task.
@@ -289,6 +294,7 @@ Task makeGpuTraceTask(std::shared_ptr<PipelineState> st, int fineLevel,
         runGpuTraceAttempt(ctx, *st, fineLevel, gdw);
         return;
       } catch (const gpu::DeviceOutOfMemory& e) {
+        RMCRT_TRACE_INSTANT("gpu", "oom_retry");
         // The attempt's stream drained during unwinding, so freeing the
         // device memory its copies referenced is safe now.
         releasePatchDeviceVars(gdw, pid);

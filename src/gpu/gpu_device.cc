@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "util/logger.h"
+#include "util/trace_recorder.h"
 
 namespace rmcrt::gpu {
 
@@ -104,18 +105,29 @@ void GpuStream::enqueue(std::function<void()> op) {
   }
 }
 
+// The stream-op wrappers open trace spans INSIDE the queued operation, so
+// spans land on the device-worker thread that actually runs the copy or
+// kernel — the trace shows H2D/D2H engines and kernel execution as their
+// own rows, not the enqueuing thread's.
 void GpuStream::enqueueCopyToDevice(void* dst, const void* src,
                                     std::size_t bytes) {
-  enqueue([this, dst, src, bytes] { m_dev.copyToDevice(dst, src, bytes); });
+  enqueue([this, dst, src, bytes] {
+    RMCRT_TRACE_SPAN("gpu", "h2d_copy");
+    m_dev.copyToDevice(dst, src, bytes);
+  });
 }
 
 void GpuStream::enqueueCopyToHost(void* dst, const void* src,
                                   std::size_t bytes) {
-  enqueue([this, dst, src, bytes] { m_dev.copyToHost(dst, src, bytes); });
+  enqueue([this, dst, src, bytes] {
+    RMCRT_TRACE_SPAN("gpu", "d2h_copy");
+    m_dev.copyToHost(dst, src, bytes);
+  });
 }
 
 void GpuStream::enqueueKernel(std::function<void()> kernel) {
   enqueue([this, k = std::move(kernel)] {
+    RMCRT_TRACE_SPAN("gpu", "kernel");
     m_dev.noteKernel();
     k();
   });

@@ -23,6 +23,7 @@
 #include <stdexcept>
 
 #include "mem/mmap_arena.h"
+#include "util/metrics.h"
 #include "util/thread_pool.h"
 
 namespace rmcrt::gpu {
@@ -49,6 +50,27 @@ struct DeviceStats {
   std::uint64_t allocFailures = 0;
   std::uint64_t cpuFallbacks = 0;  ///< patches rerouted to the CPU tracer
 };
+
+/// Publish one device's counters into \p reg as gauges under \p prefix
+/// (e.g. "gpu.device."), for the unified per-timestep emission path.
+inline void exportMetrics(const DeviceStats& s, MetricsRegistry& reg,
+                          const std::string& prefix) {
+  reg.setGauge(prefix + "h2d_bytes", static_cast<double>(s.h2dBytes));
+  reg.setGauge(prefix + "d2h_bytes", static_cast<double>(s.d2hBytes));
+  reg.setGauge(prefix + "h2d_transfers",
+               static_cast<double>(s.h2dTransfers));
+  reg.setGauge(prefix + "d2h_transfers",
+               static_cast<double>(s.d2hTransfers));
+  reg.setGauge(prefix + "kernels_launched",
+               static_cast<double>(s.kernelsLaunched));
+  reg.setGauge(prefix + "bytes_in_use", static_cast<double>(s.bytesInUse));
+  reg.setGauge(prefix + "peak_bytes_in_use",
+               static_cast<double>(s.peakBytesInUse));
+  reg.setGauge(prefix + "alloc_failures",
+               static_cast<double>(s.allocFailures));
+  reg.setGauge(prefix + "cpu_fallbacks",
+               static_cast<double>(s.cpuFallbacks));
+}
 
 class GpuStream;
 

@@ -5,6 +5,7 @@
 #include <exception>
 
 #include "util/logger.h"
+#include "util/trace_recorder.h"
 
 namespace rmcrt::gpu {
 
@@ -42,8 +43,10 @@ ExecutorStats runGpuTasks(GpuDevice& device,
   // the error; the batch always drains before an error propagates.
   auto handleFailure = [&](std::size_t taskIdx, std::exception_ptr err) {
     ++stats.deviceErrors;
+    RMCRT_TRACE_INSTANT("gpu", "device_error");
     const GpuPatchTask& t = tasks[taskIdx];
     if (t.fallback) {
+      RMCRT_TRACE_SPAN("gpu", "cpu_fallback");
       t.fallback();
       ++stats.fallbacksRun;
       ++stats.tasksRun;
@@ -59,6 +62,7 @@ ExecutorStats runGpuTasks(GpuDevice& device,
     f.stream = device.createStream();
     f.taskIdx = idx;
     try {
+      RMCRT_TRACE_SPAN("gpu", "stage_enqueue");
       if (t.stage) t.stage(*f.stream);
       if (t.kernel) f.stream->enqueueKernel(t.kernel);
       if (t.finish) t.finish(*f.stream);
@@ -85,6 +89,7 @@ ExecutorStats runGpuTasks(GpuDevice& device,
       InFlight f = std::move(resident.front());
       resident.pop_front();
       try {
+        RMCRT_TRACE_SPAN("gpu", "retire_wait");
         f.stream->synchronize();
         ++stats.tasksRun;
       } catch (...) {

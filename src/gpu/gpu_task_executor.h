@@ -49,6 +49,16 @@ struct ExecutorStats {
   int fallbacksRun = 0;   ///< of those, recovered via their fallback
 };
 
+/// Publish one batch's executor stats into \p reg as gauges under
+/// \p prefix (e.g. "gpu.executor.").
+inline void exportMetrics(const ExecutorStats& s, MetricsRegistry& reg,
+                          const std::string& prefix) {
+  reg.setGauge(prefix + "tasks_run", s.tasksRun);
+  reg.setGauge(prefix + "max_concurrent_resident", s.maxConcurrentResident);
+  reg.setGauge(prefix + "device_errors", s.deviceErrors);
+  reg.setGauge(prefix + "fallbacks_run", s.fallbacksRun);
+}
+
 /// Runs a batch of patch tasks with at most \p maxResident concurrently
 /// holding device resources. Blocking call; returns when every task has
 /// finished.

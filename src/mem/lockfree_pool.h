@@ -34,6 +34,17 @@ struct PoolStats {
   std::uint64_t liveBlocks = 0;
 };
 
+/// Publish a pool snapshot into \p reg as gauges under \p prefix
+/// (e.g. "mem.pool.").
+inline void exportMetrics(const PoolStats& s, MetricsRegistry& reg,
+                          const std::string& prefix) {
+  reg.setGauge(prefix + "allocations", static_cast<double>(s.allocations));
+  reg.setGauge(prefix + "deallocations",
+               static_cast<double>(s.deallocations));
+  reg.setGauge(prefix + "slab_count", static_cast<double>(s.slabCount));
+  reg.setGauge(prefix + "live_blocks", static_cast<double>(s.liveBlocks));
+}
+
 /// Lock-free pool of equally-sized blocks.
 ///
 /// allocate()/deallocate() are lock-free in the steady state (every step,

@@ -13,6 +13,8 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "util/metrics.h"
+
 namespace rmcrt::mem {
 
 /// Aggregate counters for a mapping source; all methods thread-safe.
@@ -22,6 +24,18 @@ struct ArenaStats {
   std::uint64_t totalMapCalls = 0;
   std::uint64_t totalUnmapCalls = 0;
 };
+
+/// Publish an arena snapshot into \p reg as gauges under \p prefix
+/// (e.g. "mem.arena.").
+inline void exportMetrics(const ArenaStats& s, MetricsRegistry& reg,
+                          const std::string& prefix) {
+  reg.setGauge(prefix + "bytes_mapped", static_cast<double>(s.bytesMapped));
+  reg.setGauge(prefix + "peak_bytes_mapped",
+               static_cast<double>(s.peakBytesMapped));
+  reg.setGauge(prefix + "map_calls", static_cast<double>(s.totalMapCalls));
+  reg.setGauge(prefix + "unmap_calls",
+               static_cast<double>(s.totalUnmapCalls));
+}
 
 /// Anonymous-memory mapper with statistics. All functions are free of
 /// shared mutable state other than the atomic counters, hence fully

@@ -7,6 +7,7 @@
 
 #include "util/backoff.h"
 #include "util/logger.h"
+#include "util/trace_recorder.h"
 
 namespace rmcrt::runtime {
 
@@ -310,6 +311,7 @@ std::string Scheduler::stallDiagnostic(std::size_t phaseIdx,
 
 void Scheduler::runPhase(std::size_t phaseIdx) {
   const Task& task = m_tasks[phaseIdx];
+  RMCRT_TRACE_SPAN("sched", "phase:" + task.name());
   const std::vector<int> localPatches =
       m_lb->patchesOf(m_rank, *m_grid, task.level());
 
@@ -326,6 +328,7 @@ void Scheduler::runPhase(std::size_t phaseIdx) {
   // Post receives (staging) and sends — the paper's "local communication"
   // (time spent posting MPI messages).
   {
+    RMCRT_TRACE_SPAN("sched", "post_mpi");
     ScopedTimer timer(m_localCommAcc);
     for (std::size_t ri = 0; ri < task.requiresList().size(); ++ri)
       stageRequirement(phaseIdx, ri, task, task.requiresList()[ri],
@@ -359,6 +362,7 @@ void Scheduler::runPhase(std::size_t phaseIdx) {
         TaskContext ctx{m_rank, m_grid.get(), pt->patch, m_oldDW.get(),
                         m_newDW.get(), m_config.taskPool};
         {
+          RMCRT_TRACE_SPAN("sched", "exec:" + task.name());
           ScopedTimer timer(m_taskExecAcc);
           task.action()(ctx);
         }
@@ -377,6 +381,7 @@ void Scheduler::runPhase(std::size_t phaseIdx) {
         std::chrono::steady_clock::now() - lastProgress > deadline) {
       ++strikes;
       ++m_stats.watchdogStrikes;
+      RMCRT_TRACE_INSTANT("sched", "watchdog_strike");
       const std::string diag =
           stallDiagnostic(phaseIdx, ranCount, pending.size(), strikes);
       RMCRT_ERROR("watchdog: " << diag);
@@ -395,10 +400,20 @@ void Scheduler::runPhase(std::size_t phaseIdx) {
 
   // Phase boundary: everyone's sends for this phase have been consumed
   // before the next phase reuses tags.
-  m_world.barrier(m_rank);
+  {
+    RMCRT_TRACE_SPAN("sched", "barrier");
+    m_world.barrier(m_rank);
+  }
 }
 
 void Scheduler::executeTimestep() {
+  if (TraceRecorder::global().enabled()) {
+    // Group this rank's rows under its own pid in the trace viewer.
+    TraceRecorder::global().setThreadPid(m_rank);
+    TraceRecorder::global().setThreadName("rank" + std::to_string(m_rank) +
+                                          "/scheduler");
+  }
+  RMCRT_TRACE_SPAN("sched", "timestep");
   for (std::size_t i = 0; i < m_tasks.size(); ++i) runPhase(i);
   m_stats.localCommSeconds = m_localCommAcc.seconds();
   m_stats.taskExecSeconds = m_taskExecAcc.seconds();
@@ -409,6 +424,27 @@ void Scheduler::executeTimestep() {
     m_stats.duplicatesDiscarded = cs.duplicatesDiscarded;
     m_stats.maxBackoffMs = cs.maxBackoffMs;
   }
+}
+
+void Scheduler::exportMetrics(MetricsRegistry& reg,
+                              const std::string& prefix) const {
+  reg.setGauge(prefix + "local_comm_seconds", m_stats.localCommSeconds);
+  reg.setGauge(prefix + "task_exec_seconds", m_stats.taskExecSeconds);
+  reg.setGauge(prefix + "wait_seconds", m_stats.waitSeconds);
+  reg.setGauge(prefix + "messages_sent",
+               static_cast<double>(m_stats.messagesSent));
+  reg.setGauge(prefix + "bytes_sent",
+               static_cast<double>(m_stats.bytesSent));
+  reg.setGauge(prefix + "messages_received",
+               static_cast<double>(m_stats.messagesReceived));
+  reg.setGauge(prefix + "bytes_received",
+               static_cast<double>(m_stats.bytesReceived));
+  reg.setGauge(prefix + "tasks_executed",
+               static_cast<double>(m_stats.tasksExecuted));
+  reg.setGauge(prefix + "watchdog_strikes",
+               static_cast<double>(m_stats.watchdogStrikes));
+  if (m_channel)
+    comm::exportMetrics(m_channel->stats(), reg, prefix + "channel.");
 }
 
 void Scheduler::advanceDataWarehouses() {

@@ -41,6 +41,7 @@
 #include "grid/load_balancer.h"
 #include "runtime/data_warehouse.h"
 #include "runtime/task.h"
+#include "util/metrics.h"
 #include "util/timers.h"
 
 namespace rmcrt {
@@ -136,6 +137,14 @@ class Scheduler {
   void advanceDataWarehouses();
 
   const SchedulerStats& stats() const { return m_stats; }
+
+  /// Publish this rank's stats (plus its reliable channel's, when
+  /// enabled) into \p reg as gauges under \p prefix — e.g.
+  /// "scheduler.rank0.messages_sent". Gauges, not counters: resetStats()
+  /// restarts the underlying totals each timestep, so callers wanting a
+  /// monotone series accumulate snapshots across recordTimestep() calls.
+  void exportMetrics(MetricsRegistry& reg, const std::string& prefix) const;
+
   void resetStats() {
     m_stats = SchedulerStats{};
     m_localCommAcc.reset();

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "runtime/scheduler.h"
+#include "util/trace_recorder.h"
 
 namespace rmcrt::runtime {
 
@@ -45,6 +46,19 @@ class SimulationController {
   /// Radiation solve frequency: every k-th timestep (1 = every step).
   void setRadiationInterval(int k) { m_radiationInterval = k > 0 ? k : 1; }
 
+  /// Publish per-timestep scheduler stats into \p reg under
+  /// \p prefix (e.g. "scheduler.rank0.") after every step, and stamp a
+  /// timeline snapshot (MetricsRegistry::recordTimestep). Pass nullptr to
+  /// disable (the default). When several ranks share one registry, only
+  /// the rank whose controller was wired with \p ownsTimeline records the
+  /// timeline snapshot, so each step yields exactly one snapshot.
+  void setMetrics(MetricsRegistry* reg, std::string prefix,
+                  bool ownsTimeline = true) {
+    m_metrics = reg;
+    m_metricsPrefix = std::move(prefix);
+    m_ownsTimeline = ownsTimeline;
+  }
+
   /// Run \p numTimesteps; returns one record per step.
   std::vector<TimestepRecord> run(int numTimesteps) {
     std::vector<TimestepRecord> records;
@@ -54,6 +68,8 @@ class SimulationController {
       // final step's results stay readable in newDW after run() returns.
       if (step > 0) m_sched.advanceDataWarehouses();
       const bool radiation = (step % m_radiationInterval) == 0;
+      RMCRT_TRACE_SPAN("sim", radiation ? "timestep:radiation"
+                                        : "timestep:carry_forward");
       m_sched.clearTasks();
       if (radiation) {
         m_registerRadiation(m_sched);
@@ -69,6 +85,12 @@ class SimulationController {
       rec.seconds = timer.seconds();
       rec.stats = m_sched.stats();
       records.push_back(rec);
+      if (m_metrics) {
+        m_sched.exportMetrics(*m_metrics, m_metricsPrefix);
+        m_metrics->setGauge(m_metricsPrefix + "step_seconds", rec.seconds);
+        m_metrics->addCounter(m_metricsPrefix + "timesteps_completed", 1);
+        if (m_ownsTimeline) m_metrics->recordTimestep(step);
+      }
     }
     return records;
   }
@@ -78,6 +100,9 @@ class SimulationController {
   std::function<void(Scheduler&)> m_registerRadiation;
   std::function<void(Scheduler&)> m_registerCarryForward;
   int m_radiationInterval = 1;
+  MetricsRegistry* m_metrics = nullptr;
+  std::string m_metricsPrefix;
+  bool m_ownsTimeline = true;
 };
 
 /// The standard RMCRT carry-forward task: copy divQ (and the property

@@ -1,0 +1,114 @@
+#pragma once
+
+/// \file observability_cli.h
+/// Shared command-line wiring for the observability layer (DESIGN.md
+/// §10): every benchmark and example accepts
+///
+///   --trace-out <path>    write a Chrome trace-event JSON (open in
+///                         Perfetto / chrome://tracing) of the run
+///   --metrics-out <path>  write the MetricsRegistry snapshot (JSON, or
+///                         CSV when the path ends in ".csv")
+///
+/// Both forms `--flag path` and `--flag=path` are accepted. Flags are
+/// consumed from argv so downstream parsers (google-benchmark, positional
+/// arguments) never see them. Passing `--trace-out` enables the global
+/// TraceRecorder for the process; without it tracing stays off and costs
+/// one relaxed atomic load per would-be span.
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "util/metrics.h"
+#include "util/trace_recorder.h"
+
+namespace rmcrt {
+
+struct ObservabilityOptions {
+  std::string traceOut;
+  std::string metricsOut;
+
+  bool any() const { return !traceOut.empty() || !metricsOut.empty(); }
+};
+
+namespace detail {
+
+/// Match `--name=value` or `--name value`; on a match, stores the value
+/// and tells the caller how many argv slots were consumed (1 or 2).
+inline bool matchFlag(const char* name, int argc, char** argv, int i,
+                      std::string* value, int* consumed) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(argv[i], name, len) != 0) return false;
+  if (argv[i][len] == '=') {
+    *value = argv[i] + len + 1;
+    *consumed = 1;
+    return true;
+  }
+  if (argv[i][len] == '\0' && i + 1 < argc) {
+    *value = argv[i + 1];
+    *consumed = 2;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace detail
+
+/// Extract --trace-out/--metrics-out from the command line (compacting
+/// argv in place) and enable the global TraceRecorder when a trace path
+/// was requested.
+inline ObservabilityOptions parseObservabilityFlags(int& argc,
+                                                    char** argv) {
+  ObservabilityOptions opts;
+  int keep = 1;
+  for (int i = 1; i < argc;) {
+    int consumed = 0;
+    if (detail::matchFlag("--trace-out", argc, argv, i, &opts.traceOut,
+                          &consumed) ||
+        detail::matchFlag("--metrics-out", argc, argv, i, &opts.metricsOut,
+                          &consumed)) {
+      i += consumed;
+      continue;
+    }
+    argv[keep++] = argv[i++];
+  }
+  argc = keep;
+  if (!opts.traceOut.empty()) TraceRecorder::global().setEnabled(true);
+  return opts;
+}
+
+/// Write whatever the run accumulated: the trace buffer to
+/// opts.traceOut, the global MetricsRegistry to opts.metricsOut.
+/// Call once, at the end of main.
+inline void writeObservabilityOutputs(const ObservabilityOptions& opts) {
+  if (!opts.traceOut.empty()) {
+    std::ofstream out(opts.traceOut);
+    if (!out) {
+      std::cerr << "observability: cannot open " << opts.traceOut << "\n";
+    } else {
+      TraceRecorder::global().writeChromeTrace(out);
+      std::cout << "trace written to " << opts.traceOut << " ("
+                << TraceRecorder::global().snapshotEvents().size()
+                << " events)\n";
+    }
+  }
+  if (!opts.metricsOut.empty()) {
+    std::ofstream out(opts.metricsOut);
+    if (!out) {
+      std::cerr << "observability: cannot open " << opts.metricsOut
+                << "\n";
+      return;
+    }
+    const bool csv = opts.metricsOut.size() >= 4 &&
+                     opts.metricsOut.compare(opts.metricsOut.size() - 4, 4,
+                                             ".csv") == 0;
+    if (csv)
+      MetricsRegistry::global().writeCsv(out);
+    else
+      MetricsRegistry::global().writeJson(out);
+    std::cout << "metrics written to " << opts.metricsOut << "\n";
+  }
+}
+
+}  // namespace rmcrt

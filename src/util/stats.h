@@ -33,8 +33,14 @@ class RunningStats {
     return m_n > 1 ? m_m2 / static_cast<double>(m_n - 1) : 0.0;
   }
   double stddev() const { return std::sqrt(variance()); }
-  double min() const { return m_n ? m_min : 0.0; }
-  double max() const { return m_n ? m_max : 0.0; }
+  /// NaN for an empty accumulator — a 0.0 would read as a real sample in
+  /// metrics snapshots (and emission omits NaN-valued entries entirely).
+  double min() const {
+    return m_n ? m_min : std::numeric_limits<double>::quiet_NaN();
+  }
+  double max() const {
+    return m_n ? m_max : std::numeric_limits<double>::quiet_NaN();
+  }
 
  private:
   std::int64_t m_n = 0;

@@ -1,0 +1,338 @@
+#pragma once
+
+/// \file trace_recorder.h
+/// Lock-cheap timeline tracing (DESIGN.md §10): scoped spans and instant
+/// events recorded into per-thread ring buffers and emitted as Chrome
+/// trace-event JSON (load in Perfetto / chrome://tracing). Used to
+/// attribute per-timestep wall time to phases — MPI post/test, H2D/D2H
+/// staging, kernel execution, task execute — the quantity the paper's
+/// Figure 1 / Table I measure.
+///
+/// Cost model:
+///  * compiled out entirely with -DRMCRT_TRACING_DISABLED (the macros
+///    expand to nothing — a compile-time-checkable no-op path);
+///  * disabled at runtime (the default): one relaxed atomic load per
+///    RMCRT_TRACE_* site;
+///  * enabled: one steady_clock read at span entry, one at exit, and one
+///    append into the calling thread's own ring buffer. The buffer's
+///    mutex is only ever contended by a concurrent dump/clear, never by
+///    other recording threads.
+///
+/// Events carry a (pid, tid) pair like Chrome's: tid is a small integer
+/// assigned per OS thread in registration order; pid defaults to 0 and is
+/// settable per thread (the scheduler sets it to its MPI-style rank so
+/// Perfetto groups each rank's rows together). Ring buffers overwrite
+/// their oldest events when full; the dropped count is reported in the
+/// trace metadata rather than silently lost.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace rmcrt {
+
+/// One recorded event. Names/categories are copied (truncated) into
+/// fixed-size storage so callers may pass transient strings.
+struct TraceEvent {
+  static constexpr std::size_t kNameCap = 48;
+  static constexpr std::size_t kCatCap = 16;
+
+  char name[kNameCap] = {0};
+  char cat[kCatCap] = {0};
+  char phase = 'X';          ///< 'X' complete span, 'i' instant
+  std::int64_t tsNs = 0;     ///< start, ns since the recorder epoch
+  std::int64_t durNs = 0;    ///< span duration ('X' only)
+  std::uint32_t tid = 0;
+  std::int32_t pid = 0;
+};
+
+/// Process-wide trace-event recorder.
+class TraceRecorder {
+ public:
+  static TraceRecorder& global() {
+    static TraceRecorder g;
+    return g;
+  }
+
+  TraceRecorder() : m_epoch(std::chrono::steady_clock::now()) {}
+
+  /// Runtime switch. Enabling mid-run is fine; events recorded while
+  /// disabled are simply not recorded.
+  void setEnabled(bool on) {
+    m_enabled.store(on, std::memory_order_relaxed);
+  }
+  bool enabled() const {
+    return m_enabled.load(std::memory_order_relaxed);
+  }
+
+  /// Ring capacity for buffers created AFTER this call (events per
+  /// thread; existing buffers keep their capacity).
+  void setCapacityPerThread(std::size_t events) {
+    m_capacity.store(events ? events : 1, std::memory_order_relaxed);
+  }
+
+  /// Nanoseconds since the recorder epoch.
+  std::int64_t nowNs() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - m_epoch)
+        .count();
+  }
+
+  /// Record a complete span [tsNs, tsNs+durNs) on the calling thread.
+  void recordComplete(const char* cat, const char* name, std::int64_t tsNs,
+                      std::int64_t durNs) {
+    TraceEvent ev;
+    fill(ev, cat, name, 'X', tsNs, durNs);
+    threadBuffer().push(ev);
+  }
+
+  /// Record an instantaneous event at now() on the calling thread.
+  void recordInstant(const char* cat, const char* name) {
+    TraceEvent ev;
+    fill(ev, cat, name, 'i', nowNs(), 0);
+    threadBuffer().push(ev);
+  }
+
+  /// Label the calling thread's row in the trace viewer.
+  void setThreadName(const std::string& name) {
+    ThreadBuffer& b = threadBuffer();
+    std::lock_guard<std::mutex> lk(b.mutex);
+    b.threadName = name;
+  }
+
+  /// Group the calling thread's events under process id \p pid (the
+  /// scheduler uses its rank). Applies to events recorded afterwards.
+  void setThreadPid(int pid) {
+    threadBuffer().pid.store(pid, std::memory_order_relaxed);
+  }
+
+  /// All events recorded so far, across threads (tests / custom sinks).
+  std::vector<TraceEvent> snapshotEvents() const {
+    std::vector<TraceEvent> out;
+    std::lock_guard<std::mutex> lk(m_registryMutex);
+    for (const auto& b : m_buffers) {
+      std::lock_guard<std::mutex> blk(b->mutex);
+      b->appendTo(out);
+    }
+    return out;
+  }
+
+  /// Events overwritten because a ring filled, across threads.
+  std::uint64_t droppedEvents() const {
+    std::uint64_t n = 0;
+    std::lock_guard<std::mutex> lk(m_registryMutex);
+    for (const auto& b : m_buffers) {
+      std::lock_guard<std::mutex> blk(b->mutex);
+      n += b->dropped;
+    }
+    return n;
+  }
+
+  /// Discard all recorded events (buffers stay registered).
+  void clear() {
+    std::lock_guard<std::mutex> lk(m_registryMutex);
+    for (const auto& b : m_buffers) {
+      std::lock_guard<std::mutex> blk(b->mutex);
+      b->count = 0;
+      b->next = 0;
+      b->dropped = 0;
+    }
+  }
+
+  /// Emit the Chrome trace-event JSON object:
+  ///   {"traceEvents":[...], "displayTimeUnit":"ms", ...}
+  /// ts/dur are microseconds (fractional — ns precision survives).
+  void writeChromeTrace(std::ostream& os) const {
+    std::lock_guard<std::mutex> lk(m_registryMutex);
+    os << "{\n\"traceEvents\": [\n";
+    bool first = true;
+    std::uint64_t dropped = 0;
+    for (const auto& b : m_buffers) {
+      std::lock_guard<std::mutex> blk(b->mutex);
+      dropped += b->dropped;
+      if (!b->threadName.empty()) {
+        if (!first) os << ",\n";
+        first = false;
+        os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":"
+           << b->pid.load(std::memory_order_relaxed) << ",\"tid\":"
+           << b->tid << ",\"args\":{\"name\":\""
+           << escaped(b->threadName.c_str()) << "\"}}";
+      }
+      std::vector<TraceEvent> events;
+      b->appendTo(events);
+      for (const TraceEvent& ev : events) {
+        if (!first) os << ",\n";
+        first = false;
+        writeEvent(os, ev);
+      }
+    }
+    os << "\n],\n\"displayTimeUnit\": \"ms\",\n\"otherData\": "
+       << "{\"droppedEvents\": \"" << dropped << "\"}\n}\n";
+  }
+
+ private:
+  /// Fixed-capacity ring of one thread's events. Appends lock the
+  /// buffer's own mutex, which only a dump/clear ever contends.
+  struct ThreadBuffer {
+    explicit ThreadBuffer(std::uint32_t tidIn, std::size_t cap)
+        : tid(tidIn), ring(cap) {}
+
+    void push(const TraceEvent& ev) {
+      std::lock_guard<std::mutex> lk(mutex);
+      ring[next] = ev;
+      ring[next].tid = tid;
+      ring[next].pid = pid.load(std::memory_order_relaxed);
+      next = (next + 1) % ring.size();
+      if (count < ring.size())
+        ++count;
+      else
+        ++dropped;
+    }
+
+    /// Oldest-to-newest copy of the ring's live events (caller holds
+    /// mutex).
+    void appendTo(std::vector<TraceEvent>& out) const {
+      const std::size_t start = (next + ring.size() - count) % ring.size();
+      for (std::size_t i = 0; i < count; ++i)
+        out.push_back(ring[(start + i) % ring.size()]);
+    }
+
+    mutable std::mutex mutex;
+    const std::uint32_t tid;
+    std::atomic<std::int32_t> pid{0};
+    std::string threadName;
+    std::vector<TraceEvent> ring;
+    std::size_t next = 0;
+    std::size_t count = 0;
+    std::uint64_t dropped = 0;
+  };
+
+  static void copyTruncated(char* dst, std::size_t cap, const char* src) {
+    std::size_t i = 0;
+    for (; src[i] != '\0' && i + 1 < cap; ++i) dst[i] = src[i];
+    dst[i] = '\0';
+  }
+
+  void fill(TraceEvent& ev, const char* cat, const char* name, char phase,
+            std::int64_t tsNs, std::int64_t durNs) const {
+    copyTruncated(ev.name, TraceEvent::kNameCap, name);
+    copyTruncated(ev.cat, TraceEvent::kCatCap, cat);
+    ev.phase = phase;
+    ev.tsNs = tsNs;
+    ev.durNs = durNs;
+  }
+
+  ThreadBuffer& threadBuffer() {
+    thread_local std::shared_ptr<ThreadBuffer> tl = registerThread();
+    return *tl;
+  }
+
+  std::shared_ptr<ThreadBuffer> registerThread() {
+    std::lock_guard<std::mutex> lk(m_registryMutex);
+    auto b = std::make_shared<ThreadBuffer>(
+        static_cast<std::uint32_t>(m_buffers.size()),
+        m_capacity.load(std::memory_order_relaxed));
+    m_buffers.push_back(b);
+    return b;
+  }
+
+  /// JSON string escaping for names (names are short ASCII; anything
+  /// exotic is dropped to '?').
+  static std::string escaped(const char* s) {
+    std::string out;
+    for (; *s; ++s) {
+      const char c = *s;
+      if (c == '"' || c == '\\')
+        out += '\\', out += c;
+      else if (static_cast<unsigned char>(c) < 0x20)
+        out += '?';
+      else
+        out += c;
+    }
+    return out;
+  }
+
+  static void writeEvent(std::ostream& os, const TraceEvent& ev) {
+    os << "{\"name\":\"" << escaped(ev.name) << "\",\"cat\":\""
+       << escaped(ev.cat) << "\",\"ph\":\"" << ev.phase
+       << "\",\"ts\":" << static_cast<double>(ev.tsNs) / 1000.0
+       << ",\"pid\":" << ev.pid << ",\"tid\":" << ev.tid;
+    if (ev.phase == 'X')
+      os << ",\"dur\":" << static_cast<double>(ev.durNs) / 1000.0;
+    if (ev.phase == 'i') os << ",\"s\":\"t\"";
+    os << "}";
+  }
+
+  std::atomic<bool> m_enabled{false};
+  std::atomic<std::size_t> m_capacity{1 << 16};
+  const std::chrono::steady_clock::time_point m_epoch;
+  mutable std::mutex m_registryMutex;
+  std::vector<std::shared_ptr<ThreadBuffer>> m_buffers;
+};
+
+/// RAII span against the global recorder. The enabled check happens once
+/// at construction; a span that began enabled is recorded even if tracing
+/// is switched off before it closes (cheap, and keeps the JSON nested).
+class TraceSpan {
+ public:
+  TraceSpan(const char* cat, const char* name)
+      : m_live(TraceRecorder::global().enabled()) {
+    if (m_live) {
+      m_cat = cat;
+      m_name = name;
+      m_startNs = TraceRecorder::global().nowNs();
+    }
+  }
+  /// Span with a dynamically-built name (copied immediately).
+  TraceSpan(const char* cat, const std::string& name)
+      : m_live(TraceRecorder::global().enabled()) {
+    if (m_live) {
+      m_cat = cat;
+      m_nameCopy = name;
+      m_name = m_nameCopy.c_str();
+      m_startNs = TraceRecorder::global().nowNs();
+    }
+  }
+  ~TraceSpan() {
+    if (m_live) {
+      TraceRecorder& r = TraceRecorder::global();
+      r.recordComplete(m_cat, m_name, m_startNs, r.nowNs() - m_startNs);
+    }
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const bool m_live;
+  const char* m_cat = "";
+  const char* m_name = "";
+  std::string m_nameCopy;
+  std::int64_t m_startNs = 0;
+};
+
+#if defined(RMCRT_TRACING_DISABLED)
+#define RMCRT_TRACE_SPAN(cat, name) \
+  do {                              \
+  } while (0)
+#define RMCRT_TRACE_INSTANT(cat, name) \
+  do {                                 \
+  } while (0)
+#else
+#define RMCRT_TRACE_CONCAT2(a, b) a##b
+#define RMCRT_TRACE_CONCAT(a, b) RMCRT_TRACE_CONCAT2(a, b)
+#define RMCRT_TRACE_SPAN(cat, name) \
+  ::rmcrt::TraceSpan RMCRT_TRACE_CONCAT(rmcrtTraceSpan_, __LINE__)(cat, name)
+#define RMCRT_TRACE_INSTANT(cat, name)                   \
+  do {                                                   \
+    if (::rmcrt::TraceRecorder::global().enabled())      \
+      ::rmcrt::TraceRecorder::global().recordInstant(cat, name); \
+  } while (0)
+#endif
+
+}  // namespace rmcrt

@@ -1,0 +1,164 @@
+/// MetricsRegistry tests: counter monotonicity under concurrency (exact
+/// totals), NaN-gauge omission, stable references across reset, timeline
+/// snapshots, and JSON/CSV emission validated by parsing.
+
+#include "util/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mini_json.h"
+
+namespace rmcrt {
+namespace {
+
+TEST(Metrics, CounterAccumulatesAndResets) {
+  MetricsRegistry reg;
+  MetricsCounter& c = reg.counter("events");
+  c.add(5);
+  c.increment();
+  EXPECT_EQ(c.value(), 6u);
+  EXPECT_EQ(reg.counter("events").value(), 6u) << "same name, same counter";
+  reg.reset();
+  EXPECT_EQ(c.value(), 0u) << "reset zeroes but keeps the reference valid";
+  c.add(2);
+  EXPECT_EQ(reg.counter("events").value(), 2u);
+}
+
+TEST(Metrics, GaugeHoldsPointInTimeValue) {
+  MetricsRegistry reg;
+  reg.setGauge("queue_depth", 7.5);
+  reg.setGauge("queue_depth", 3.0);
+  const auto snap = reg.snapshot();
+  const auto* e = snap.find("queue_depth");
+  ASSERT_NE(e, nullptr);
+  EXPECT_DOUBLE_EQ(e->value, 3.0);
+  EXPECT_FALSE(e->isCounter);
+}
+
+TEST(Metrics, NanGaugeOmittedFromSnapshot) {
+  MetricsRegistry reg;
+  reg.setGauge("empty_min", std::numeric_limits<double>::quiet_NaN());
+  reg.setGauge("real", 1.0);
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(snap.find("empty_min"), nullptr)
+      << "NaN means 'no data': must be omitted, not emitted as 0";
+  ASSERT_NE(snap.find("real"), nullptr);
+
+  // And the JSON emission stays parseable (no bare 'nan' token).
+  reg.recordTimestep(0);
+  std::ostringstream os;
+  reg.writeJson(os);
+  EXPECT_NO_THROW(minijson::parse(os.str())) << os.str();
+  EXPECT_EQ(os.str().find("nan"), std::string::npos);
+}
+
+TEST(Metrics, SnapshotSortedByName) {
+  MetricsRegistry reg;
+  reg.addCounter("zebra", 1);
+  reg.setGauge("apple", 2.0);
+  reg.addCounter("mango", 3);
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.entries.size(), 3u);
+  for (std::size_t i = 1; i < snap.entries.size(); ++i)
+    EXPECT_LT(snap.entries[i - 1].name, snap.entries[i].name);
+}
+
+TEST(Metrics, ConcurrentCountersKeepExactTotals) {
+  MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg, t] {
+      // Half the threads cache the reference (the hot-path idiom), half
+      // go through the name lookup every time.
+      if (t % 2 == 0) {
+        MetricsCounter& c = reg.counter("shared");
+        for (int i = 0; i < kIters; ++i) c.increment();
+      } else {
+        for (int i = 0; i < kIters; ++i) reg.addCounter("shared", 1);
+      }
+      reg.addCounter("per_thread." + std::to_string(t), kIters);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(reg.counter("shared").value(),
+            static_cast<std::uint64_t>(kThreads) * kIters);
+  for (int t = 0; t < kThreads; ++t)
+    EXPECT_EQ(reg.counter("per_thread." + std::to_string(t)).value(),
+              static_cast<std::uint64_t>(kIters));
+}
+
+TEST(Metrics, TimelineSnapshotsAreLabeledAndMonotone) {
+  MetricsRegistry reg;
+  for (int step = 0; step < 5; ++step) {
+    reg.addCounter("work_items", static_cast<std::uint64_t>(step + 1));
+    reg.setGauge("step_seconds", 0.1 * (step + 1));
+    reg.recordTimestep(step);
+  }
+  const auto timeline = reg.timeline();
+  ASSERT_EQ(timeline.size(), 5u);
+  double prev = -1.0;
+  for (int step = 0; step < 5; ++step) {
+    EXPECT_EQ(timeline[step].timestep, step);
+    const auto* c = timeline[step].find("work_items");
+    ASSERT_NE(c, nullptr);
+    EXPECT_TRUE(c->isCounter);
+    EXPECT_GT(c->value, prev) << "counters must be monotone over time";
+    prev = c->value;
+  }
+}
+
+TEST(Metrics, WriteJsonParsesWithSnapshotsAndFinal) {
+  MetricsRegistry reg;
+  reg.addCounter("rays", 100);
+  reg.recordTimestep(0);
+  reg.addCounter("rays", 50);
+  reg.recordTimestep(1);
+  std::ostringstream os;
+  reg.writeJson(os);
+
+  minijson::Value doc;
+  ASSERT_NO_THROW(doc = minijson::parse(os.str())) << os.str();
+  const auto& snaps = doc.at("snapshots").array;
+  ASSERT_EQ(snaps.size(), 2u);
+  EXPECT_DOUBLE_EQ(snaps[0].at("timestep").number, 0.0);
+  EXPECT_DOUBLE_EQ(snaps[0].at("metrics").at("rays").number, 100.0);
+  EXPECT_DOUBLE_EQ(snaps[1].at("metrics").at("rays").number, 150.0);
+  EXPECT_DOUBLE_EQ(doc.at("final").at("rays").number, 150.0);
+}
+
+TEST(Metrics, WriteCsvUnionsNamesWithEmptyCells) {
+  MetricsRegistry reg;
+  reg.addCounter("alpha", 1);
+  reg.recordTimestep(0);
+  reg.setGauge("beta", 2.5);  // appears only from the second row on
+  reg.recordTimestep(1);
+  std::ostringstream os;
+  reg.writeCsv(os);
+
+  std::vector<std::string> lines;
+  std::istringstream is(os.str());
+  for (std::string line; std::getline(is, line);) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 4u);  // header + 2 timeline rows + final row
+  EXPECT_EQ(lines[0], "timestep,alpha,beta");
+  EXPECT_EQ(lines[1], "0,1,") << "metric absent at step 0 -> empty cell";
+  EXPECT_EQ(lines[2], "1,1,2.5");
+  EXPECT_EQ(lines[3].substr(0, 3), "-1,") << "final state rides as row -1";
+}
+
+TEST(Metrics, GlobalRegistryIsAProcessSingleton) {
+  MetricsRegistry& a = MetricsRegistry::global();
+  MetricsRegistry& b = MetricsRegistry::global();
+  EXPECT_EQ(&a, &b);
+}
+
+}  // namespace
+}  // namespace rmcrt

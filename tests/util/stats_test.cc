@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 namespace rmcrt {
 namespace {
 
@@ -39,6 +41,18 @@ TEST(RunningStats, NegativeValues) {
   s.add(3.0);
   EXPECT_DOUBLE_EQ(s.mean(), 0.0);
   EXPECT_DOUBLE_EQ(s.min(), -3.0);
+}
+
+TEST(RunningStats, EmptyMinMaxAreNaNNotZero) {
+  // Regression: an empty accumulator used to report min()/max() == 0.0,
+  // indistinguishable from a real measured zero. NaN is the registry-wide
+  // "no data" convention (metrics emission omits NaN gauges).
+  RunningStats s;
+  EXPECT_TRUE(std::isnan(s.min()));
+  EXPECT_TRUE(std::isnan(s.max()));
+  s.add(4.0);
+  EXPECT_DOUBLE_EQ(s.min(), 4.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
 }
 
 TEST(ErrorNorms, RelativeL2) {

@@ -1,0 +1,231 @@
+/// Trace-recorder schema tests: the emitted Chrome trace-event JSON must
+/// parse, spans on one thread must nest properly, tids/pids/timestamps
+/// must be valid, ring overflow must drop (and report) rather than grow,
+/// and with tracing disabled the macros must record nothing.
+
+#include "util/trace_recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mini_json.h"
+
+namespace rmcrt {
+namespace {
+
+/// Every test runs against the global recorder (that is what the macros
+/// target); this fixture leaves it disabled and empty on both sides.
+class TraceRecorderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TraceRecorder::global().setEnabled(false);
+    TraceRecorder::global().clear();
+  }
+  void TearDown() override {
+    TraceRecorder::global().setEnabled(false);
+    TraceRecorder::global().clear();
+  }
+};
+
+TEST_F(TraceRecorderTest, DisabledRecordsNothing) {
+  {
+    RMCRT_TRACE_SPAN("test", "should_not_appear");
+    RMCRT_TRACE_INSTANT("test", "also_not");
+  }
+  EXPECT_TRUE(TraceRecorder::global().snapshotEvents().empty());
+}
+
+TEST_F(TraceRecorderTest, SpanRecordsCompleteEvent) {
+  TraceRecorder::global().setEnabled(true);
+  { RMCRT_TRACE_SPAN("test", "unit_span"); }
+  const auto events = TraceRecorder::global().snapshotEvents();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "unit_span");
+  EXPECT_STREQ(events[0].cat, "test");
+  EXPECT_EQ(events[0].phase, 'X');
+  EXPECT_GE(events[0].tsNs, 0);
+  EXPECT_GE(events[0].durNs, 0);
+}
+
+TEST_F(TraceRecorderTest, InstantEventHasNoDuration) {
+  TraceRecorder::global().setEnabled(true);
+  RMCRT_TRACE_INSTANT("test", "tick");
+  const auto events = TraceRecorder::global().snapshotEvents();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].phase, 'i');
+  EXPECT_EQ(events[0].durNs, 0);
+}
+
+TEST_F(TraceRecorderTest, DynamicNamesAreCopiedAndTruncated) {
+  TraceRecorder::global().setEnabled(true);
+  {
+    std::string name(100, 'x');  // longer than TraceEvent::kNameCap
+    TraceSpan span("test", name);
+  }
+  const auto events = TraceRecorder::global().snapshotEvents();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(std::string(events[0].name).size(),
+            TraceEvent::kNameCap - 1);  // truncated, NUL-terminated
+}
+
+TEST_F(TraceRecorderTest, SpansNestProperlyPerThread) {
+  TraceRecorder::global().setEnabled(true);
+  {
+    RMCRT_TRACE_SPAN("test", "outer");
+    {
+      RMCRT_TRACE_SPAN("test", "mid");
+      { RMCRT_TRACE_SPAN("test", "inner"); }
+      { RMCRT_TRACE_SPAN("test", "inner2"); }
+    }
+  }
+  auto events = TraceRecorder::global().snapshotEvents();
+  ASSERT_EQ(events.size(), 4u);
+  for (const auto& e : events) EXPECT_EQ(e.tid, events[0].tid);
+
+  // Validate nesting: sweep spans by start time and keep a stack of open
+  // intervals — every span must lie entirely within the enclosing one
+  // (same-thread spans from scoped RAII can never partially overlap).
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.tsNs != b.tsNs) return a.tsNs < b.tsNs;
+              return a.durNs > b.durNs;  // parent first on equal start
+            });
+  std::vector<const TraceEvent*> open;
+  for (const auto& e : events) {
+    while (!open.empty() &&
+           e.tsNs >= open.back()->tsNs + open.back()->durNs)
+      open.pop_back();
+    if (!open.empty()) {
+      EXPECT_GE(e.tsNs, open.back()->tsNs);
+      EXPECT_LE(e.tsNs + e.durNs, open.back()->tsNs + open.back()->durNs)
+          << e.name << " escapes " << open.back()->name;
+    }
+    open.push_back(&e);
+  }
+  // "outer" must be the root: it contains all other spans.
+  const auto outer =
+      std::find_if(events.begin(), events.end(), [](const TraceEvent& e) {
+        return std::string(e.name) == "outer";
+      });
+  ASSERT_NE(outer, events.end());
+  for (const auto& e : events) {
+    EXPECT_GE(e.tsNs, outer->tsNs);
+    EXPECT_LE(e.tsNs + e.durNs, outer->tsNs + outer->durNs);
+  }
+}
+
+TEST_F(TraceRecorderTest, ThreadsGetDistinctTidsAndAllEventsSurvive) {
+  TraceRecorder::global().setEnabled(true);
+  constexpr int kThreads = 8;
+  constexpr int kEventsPerThread = 50;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kEventsPerThread; ++i)
+        RMCRT_TRACE_INSTANT("test", "mt");
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto events = TraceRecorder::global().snapshotEvents();
+  ASSERT_EQ(events.size(),
+            static_cast<std::size_t>(kThreads * kEventsPerThread));
+  std::vector<std::uint32_t> tids;
+  for (const auto& e : events) tids.push_back(e.tid);
+  std::sort(tids.begin(), tids.end());
+  tids.erase(std::unique(tids.begin(), tids.end()), tids.end());
+  EXPECT_EQ(tids.size(), static_cast<std::size_t>(kThreads));
+  EXPECT_EQ(TraceRecorder::global().droppedEvents(), 0u);
+}
+
+TEST_F(TraceRecorderTest, RingOverflowDropsOldestAndCounts) {
+  // A private recorder instance so the capacity override cannot leak into
+  // other tests; the buffer is created on a fresh thread, after the
+  // capacity is set, so the small ring actually applies.
+  TraceRecorder rec;
+  rec.setEnabled(true);
+  rec.setCapacityPerThread(8);
+  std::thread writer([&rec] {
+    for (int i = 0; i < 20; ++i)
+      rec.recordInstant("test", ("ev" + std::to_string(i)).c_str());
+  });
+  writer.join();
+  const auto events = rec.snapshotEvents();
+  ASSERT_EQ(events.size(), 8u);
+  EXPECT_EQ(rec.droppedEvents(), 12u);
+  // Oldest-first emission of the survivors: ev12..ev19.
+  EXPECT_STREQ(events.front().name, "ev12");
+  EXPECT_STREQ(events.back().name, "ev19");
+}
+
+TEST_F(TraceRecorderTest, ChromeTraceJsonParsesWithValidFields) {
+  TraceRecorder::global().setEnabled(true);
+  TraceRecorder::global().setThreadName("main-thread");
+  TraceRecorder::global().setThreadPid(3);
+  { RMCRT_TRACE_SPAN("cat_a", "span_a"); }
+  RMCRT_TRACE_INSTANT("cat_b", "mark \"quoted\"");
+  std::thread([&] {
+    TraceRecorder::global().setThreadPid(4);
+    RMCRT_TRACE_SPAN("cat_c", "other_thread");
+  }).join();
+
+  std::ostringstream os;
+  TraceRecorder::global().writeChromeTrace(os);
+  minijson::Value doc;
+  ASSERT_NO_THROW(doc = minijson::parse(os.str())) << os.str();
+
+  ASSERT_TRUE(doc.has("traceEvents"));
+  const auto& events = doc.at("traceEvents").array;
+  ASSERT_GE(events.size(), 3u);
+  bool sawMeta = false, sawSpan = false, sawInstant = false;
+  for (const auto& e : events) {
+    const std::string ph = e.at("ph").str;
+    ASSERT_TRUE(e.has("pid"));
+    ASSERT_TRUE(e.has("tid"));
+    if (ph == "M") {
+      sawMeta = true;
+      EXPECT_EQ(e.at("name").str, "thread_name");
+      EXPECT_EQ(e.at("args").at("name").str, "main-thread");
+      continue;
+    }
+    EXPECT_GE(e.at("ts").number, 0.0);
+    if (ph == "X") {
+      sawSpan = true;
+      EXPECT_GE(e.at("dur").number, 0.0);
+    }
+    if (ph == "i") sawInstant = true;
+  }
+  EXPECT_TRUE(sawMeta);
+  EXPECT_TRUE(sawSpan);
+  EXPECT_TRUE(sawInstant);
+  EXPECT_EQ(doc.at("displayTimeUnit").str, "ms");
+  EXPECT_EQ(doc.at("otherData").at("droppedEvents").str, "0");
+
+  // The per-thread pids survived into the right events.
+  bool sawPid3 = false, sawPid4 = false;
+  for (const auto& e : events) {
+    if (e.at("ph").str == "M") continue;
+    if (e.at("pid").number == 3.0) sawPid3 = true;
+    if (e.at("pid").number == 4.0) sawPid4 = true;
+  }
+  EXPECT_TRUE(sawPid3);
+  EXPECT_TRUE(sawPid4);
+}
+
+TEST_F(TraceRecorderTest, EnableMidRunOnlyRecordsWhileEnabled) {
+  RMCRT_TRACE_INSTANT("test", "before");
+  TraceRecorder::global().setEnabled(true);
+  RMCRT_TRACE_INSTANT("test", "during");
+  TraceRecorder::global().setEnabled(false);
+  RMCRT_TRACE_INSTANT("test", "after");
+  const auto events = TraceRecorder::global().snapshotEvents();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "during");
+}
+
+}  // namespace
+}  // namespace rmcrt

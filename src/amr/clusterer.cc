@@ -1,0 +1,220 @@
+#include "amr/clusterer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace rmcrt::amr {
+
+namespace {
+
+/// Flagged-cell counts per lattice tile, plus the tile->cell mapping.
+struct TileGrid {
+  CellRange extent;     ///< cell extent being clustered
+  int pitch = 1;        ///< lattice pitch (minPatchSize)
+  IntVector tiles{0};   ///< lattice dimensions
+  std::vector<std::int64_t> counts;  ///< flagged cells per tile
+
+  std::int64_t& count(const IntVector& t) {
+    return counts[static_cast<std::size_t>(
+        t.x() + tiles.x() * (static_cast<std::int64_t>(t.y()) +
+                             static_cast<std::int64_t>(tiles.y()) * t.z()))];
+  }
+  std::int64_t count(const IntVector& t) const {
+    return counts[static_cast<std::size_t>(
+        t.x() + tiles.x() * (static_cast<std::int64_t>(t.y()) +
+                             static_cast<std::int64_t>(tiles.y()) * t.z()))];
+  }
+
+  /// Cells covered by a tile-coordinate box (clipped to the extent).
+  CellRange cellsOf(const CellRange& tileBox) const {
+    const IntVector lo = extent.low() + tileBox.low() * IntVector(pitch);
+    const IntVector hi = extent.low() + tileBox.high() * IntVector(pitch);
+    return CellRange(lo, min(hi, extent.high()));
+  }
+};
+
+TileGrid buildTileGrid(const FlagField& flags, const CellRange& extent,
+                       int pitch) {
+  TileGrid tg;
+  tg.extent = extent;
+  tg.pitch = pitch;
+  const IntVector n = extent.size();
+  tg.tiles = IntVector((n.x() + pitch - 1) / pitch,
+                       (n.y() + pitch - 1) / pitch,
+                       (n.z() + pitch - 1) / pitch);
+  tg.counts.assign(static_cast<std::size_t>(tg.tiles.volume()), 0);
+  for (const IntVector& c : extent) {
+    if (!flags[c]) continue;
+    const IntVector rel = c - extent.low();
+    ++tg.count(IntVector(rel.x() / pitch, rel.y() / pitch, rel.z() / pitch));
+  }
+  return tg;
+}
+
+/// Shrink a tile box to the bounding box of its flagged tiles; empty
+/// CellRange when none are flagged.
+CellRange shrinkToFlagged(const TileGrid& tg, const CellRange& box) {
+  IntVector lo = box.high();
+  IntVector hi = box.low();
+  for (const IntVector& t : box) {
+    if (tg.count(t) <= 0) continue;
+    lo = min(lo, t);
+    hi = max(hi, t + IntVector(1));
+  }
+  return lo.x() < hi.x() ? CellRange(lo, hi) : CellRange();
+}
+
+std::int64_t flaggedCellsIn(const TileGrid& tg, const CellRange& box) {
+  std::int64_t n = 0;
+  for (const IntVector& t : box) n += tg.count(t);
+  return n;
+}
+
+/// Flagged-tile-count signature along \p axis (sums over the
+/// perpendicular planes), indexed from box.low()[axis].
+std::vector<std::int64_t> signature(const TileGrid& tg, const CellRange& box,
+                                    int axis) {
+  std::vector<std::int64_t> sig(
+      static_cast<std::size_t>(box.size()[axis]), 0);
+  for (const IntVector& t : box)
+    sig[static_cast<std::size_t>(t[axis] - box.low()[axis])] += tg.count(t);
+  return sig;
+}
+
+/// Berger–Rigoutsos split position along \p axis, as an offset in
+/// (0, len): prefer the signature hole nearest the center, else the
+/// strongest Laplacian inflection, else the midpoint. Returns 0 when the
+/// axis cannot split (len < 2).
+int splitOffset(const std::vector<std::int64_t>& sig) {
+  const int len = static_cast<int>(sig.size());
+  if (len < 2) return 0;
+  // Holes: a zero plane splits cleanly (the halves then shrink away
+  // from it). Choose the one nearest the center.
+  int bestHole = -1;
+  for (int i = 1; i < len - 1; ++i) {
+    if (sig[static_cast<std::size_t>(i)] != 0) continue;
+    if (bestHole < 0 ||
+        std::abs(2 * i - len) < std::abs(2 * bestHole - len))
+      bestHole = i;
+  }
+  if (bestHole > 0) return bestHole;
+  // Inflections of the discrete Laplacian D[i] = s[i-1] - 2 s[i] + s[i+1]:
+  // split where D changes sign with the largest jump.
+  int best = 0;
+  std::int64_t bestJump = -1;
+  auto lap = [&sig](int i) {
+    return sig[static_cast<std::size_t>(i - 1)] -
+           2 * sig[static_cast<std::size_t>(i)] +
+           sig[static_cast<std::size_t>(i + 1)];
+  };
+  for (int i = 2; i < len - 1; ++i) {
+    const std::int64_t a = lap(i - 1);
+    const std::int64_t b = lap(i);
+    if ((a < 0) == (b < 0)) continue;
+    const std::int64_t jump = std::abs(a - b);
+    if (jump > bestJump) {
+      bestJump = jump;
+      best = i;
+    }
+  }
+  if (best > 0) return best;
+  return len / 2;
+}
+
+void cluster(const TileGrid& tg, const CellRange& rawBox, double fillRatio,
+             std::vector<CellRange>& out) {
+  const CellRange box = shrinkToFlagged(tg, rawBox);
+  if (box.empty()) return;
+
+  const CellRange cellBox = tg.cellsOf(box);
+  const std::int64_t flagged = flaggedCellsIn(tg, box);
+  const IntVector len = box.size();
+  const bool splittable = len.x() > 1 || len.y() > 1 || len.z() > 1;
+  if (!splittable ||
+      static_cast<double>(flagged) >=
+          fillRatio * static_cast<double>(cellBox.volume())) {
+    out.push_back(cellBox);
+    return;
+  }
+
+  // Try axes longest-first so splits keep boxes chunky.
+  int axes[3] = {0, 1, 2};
+  std::sort(axes, axes + 3,
+            [&len](int a, int b) { return len[a] > len[b]; });
+  for (int axis : axes) {
+    if (len[axis] < 2) continue;
+    const int off = splitOffset(signature(tg, box, axis));
+    if (off <= 0 || off >= len[axis]) continue;
+    IntVector midHigh = box.high();
+    midHigh[axis] = box.low()[axis] + off;
+    IntVector midLow = box.low();
+    midLow[axis] = box.low()[axis] + off;
+    cluster(tg, CellRange(box.low(), midHigh), fillRatio, out);
+    cluster(tg, CellRange(midLow, box.high()), fillRatio, out);
+    return;
+  }
+  out.push_back(cellBox);  // unreachable in practice; defensive
+}
+
+/// Chop an accepted tile box into chunks of at most \p maxTiles tiles per
+/// axis (maxPatchSize enforcement).
+void chopBox(const TileGrid& tg, const CellRange& tileBox, int maxTiles,
+             std::vector<CellRange>& out) {
+  const IntVector len = tileBox.size();
+  const IntVector nChunks((len.x() + maxTiles - 1) / maxTiles,
+                          (len.y() + maxTiles - 1) / maxTiles,
+                          (len.z() + maxTiles - 1) / maxTiles);
+  for (int cz = 0; cz < nChunks.z(); ++cz) {
+    for (int cy = 0; cy < nChunks.y(); ++cy) {
+      for (int cx = 0; cx < nChunks.x(); ++cx) {
+        const IntVector lo =
+            tileBox.low() + IntVector(cx, cy, cz) * IntVector(maxTiles);
+        const IntVector hi =
+            min(lo + IntVector(maxTiles), tileBox.high());
+        out.push_back(tg.cellsOf(CellRange(lo, hi)));
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<CellRange> clusterFlags(const FlagField& flags,
+                                    const CellRange& extent,
+                                    const ClusterConfig& cfg) {
+  assert(flags.window().contains(extent) &&
+         "flags must cover the clustered extent");
+  const int pitch = std::max(1, cfg.minPatchSize);
+  const TileGrid tg = buildTileGrid(flags, extent, pitch);
+
+  std::vector<CellRange> accepted;
+  cluster(tg, CellRange(IntVector(0), tg.tiles), cfg.fillRatio, accepted);
+
+  std::vector<CellRange> boxes;
+  if (cfg.maxPatchSize > 0) {
+    const int maxTiles = std::max(1, cfg.maxPatchSize / pitch);
+    for (const CellRange& cellBox : accepted) {
+      // Back to tile coordinates for lattice-aligned chopping.
+      const IntVector rel = cellBox.low() - extent.low();
+      const IntVector tLo(rel.x() / pitch, rel.y() / pitch, rel.z() / pitch);
+      const IntVector relHi = cellBox.high() - extent.low();
+      const IntVector tHi((relHi.x() + pitch - 1) / pitch,
+                          (relHi.y() + pitch - 1) / pitch,
+                          (relHi.z() + pitch - 1) / pitch);
+      chopBox(tg, CellRange(tLo, tHi), maxTiles, boxes);
+    }
+  } else {
+    boxes = std::move(accepted);
+  }
+
+  std::sort(boxes.begin(), boxes.end(),
+            [](const CellRange& a, const CellRange& b) {
+              if (a.low().z() != b.low().z()) return a.low().z() < b.low().z();
+              if (a.low().y() != b.low().y()) return a.low().y() < b.low().y();
+              return a.low().x() < b.low().x();
+            });
+  return boxes;
+}
+
+}  // namespace rmcrt::amr

@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file clusterer.h
+/// Berger–Rigoutsos-style patch clustering: box flagged cells into a set
+/// of rectangular fine-patch candidates. Operates on a tile lattice of
+/// minPatchSize cells so every emitted box is a union of whole tiles —
+/// guaranteeing the minimum patch edge and (when the refinement ratio
+/// divides minPatchSize footprints) refinement-ratio alignment of the
+/// fine patches built from the boxes.
+///
+/// Guarantees on the output:
+///  * every flagged cell lies inside exactly one box (coverage),
+///  * boxes are pairwise disjoint,
+///  * every box edge is at least minPatchSize cells (except where the
+///    domain boundary clips the last tile of a non-divisible extent),
+///  * when maxPatchSize > 0, no box edge exceeds it,
+///  * the box list is sorted canonically (z, y, x of the low corner), so
+///    identical flags produce the identical grid on every rank.
+
+#include <vector>
+
+#include "amr/error_estimator.h"
+#include "util/range.h"
+
+namespace rmcrt::amr {
+
+struct ClusterConfig {
+  /// Minimum patch edge in cells; also the clustering lattice pitch.
+  int minPatchSize = 4;
+  /// Maximum patch edge in cells (0 = unbounded). Oversized accepted
+  /// boxes are chopped into lattice-aligned chunks, which keeps enough
+  /// patches for over-decomposition across ranks.
+  int maxPatchSize = 0;
+  /// Accept a box once flaggedCells / boxCells reaches this ratio;
+  /// below it the box is split at a signature hole or inflection.
+  double fillRatio = 0.7;
+};
+
+/// Cluster the flagged cells of \p flags (whose window must contain
+/// \p extent) into boxes within \p extent. Returns an empty vector when
+/// nothing is flagged.
+std::vector<CellRange> clusterFlags(const FlagField& flags,
+                                    const CellRange& extent,
+                                    const ClusterConfig& cfg);
+
+}  // namespace rmcrt::amr

@@ -1,0 +1,146 @@
+#pragma once
+
+/// \file cost_model.h
+/// Measured per-patch cost tracking for dynamic load balancing. Trace
+/// tasks record the traced-segment count of each fine patch (the actual
+/// work metric: ray path length, not cell count); the model smooths the
+/// samples with an exponentially weighted moving average and predicts
+/// costs for a regridded patch set by mapping the measured cost *density*
+/// (cost per cell) through the spatial overlap of old and new patches.
+///
+/// Thread-safe: trace tasks on many rank threads record concurrently.
+/// The EWMA is keyed by patch id, and per-patch totals are
+/// decomposition-independent (the counter-based RNG fixes every ray by
+/// (seed, cell, ray)), so every rank reconstructs the identical model —
+/// rebalance decisions need no communication.
+
+#include <algorithm>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "grid/grid.h"
+
+namespace rmcrt::amr {
+
+class CostModel {
+ public:
+  /// \param alpha EWMA weight of the newest sample in (0, 1].
+  explicit CostModel(double alpha = 0.5) : m_alpha(alpha) {}
+
+  /// Record one measured cost sample (e.g. Tracer::segmentCount()) for a
+  /// patch. EWMA: cost <- alpha * sample + (1 - alpha) * cost.
+  void record(int patchId, double sample) {
+    std::lock_guard<std::mutex> lk(m_mutex);
+    auto it = m_ewma.find(patchId);
+    if (it == m_ewma.end())
+      m_ewma.emplace(patchId, sample);
+    else
+      it->second = m_alpha * sample + (1.0 - m_alpha) * it->second;
+  }
+
+  bool has(int patchId) const {
+    std::lock_guard<std::mutex> lk(m_mutex);
+    return m_ewma.count(patchId) > 0;
+  }
+
+  /// Smoothed cost of a patch (0 when never recorded).
+  double cost(int patchId) const {
+    std::lock_guard<std::mutex> lk(m_mutex);
+    auto it = m_ewma.find(patchId);
+    return it != m_ewma.end() ? it->second : 0.0;
+  }
+
+  std::size_t numRecorded() const {
+    std::lock_guard<std::mutex> lk(m_mutex);
+    return m_ewma.size();
+  }
+
+  /// Measured costs for every patch of \p grid, by patch id. Patches
+  /// without a recorded sample get their cell count times the mean
+  /// recorded cost density of their level (falling back to a density of
+  /// 1 per cell, which reduces the whole vector to cell counts when
+  /// nothing has been recorded yet).
+  std::vector<double> measuredCosts(const grid::Grid& grid) const {
+    std::lock_guard<std::mutex> lk(m_mutex);
+    std::vector<double> out(static_cast<std::size_t>(grid.numPatches()), 0.0);
+    for (int l = 0; l < grid.numLevels(); ++l) {
+      const grid::Level& level = grid.level(l);
+      const double fallback = meanDensityLocked(level);
+      for (const grid::Patch& p : level.patches()) {
+        auto it = m_ewma.find(p.id());
+        out[static_cast<std::size_t>(p.id())] =
+            it != m_ewma.end()
+                ? it->second
+                : fallback * static_cast<double>(p.numCells());
+      }
+    }
+    return out;
+  }
+
+  /// Predicted costs for every patch of \p newGrid, by new patch id:
+  /// integrate the old grid's measured cost density over each new
+  /// patch's footprint (same level), using the mean recorded density for
+  /// regions the old patch set did not cover.
+  std::vector<double> predictCosts(const grid::Grid& newGrid,
+                                   const grid::Grid& oldGrid) const {
+    std::lock_guard<std::mutex> lk(m_mutex);
+    std::vector<double> out(static_cast<std::size_t>(newGrid.numPatches()),
+                            0.0);
+    for (int l = 0; l < newGrid.numLevels(); ++l) {
+      if (l >= oldGrid.numLevels()) break;
+      const grid::Level& oldLevel = oldGrid.level(l);
+      const double fallback = meanDensityLocked(oldLevel);
+      for (const grid::Patch& p : newGrid.level(l).patches()) {
+        double cost = 0.0;
+        std::int64_t covered = 0;
+        for (const auto& o : oldLevel.patchesIntersecting(p.cells())) {
+          auto it = m_ewma.find(o.patch->id());
+          const double density =
+              it != m_ewma.end()
+                  ? it->second / static_cast<double>(o.patch->numCells())
+                  : fallback;
+          cost += density * static_cast<double>(o.region.volume());
+          covered += o.region.volume();
+        }
+        cost += fallback * static_cast<double>(p.numCells() - covered);
+        out[static_cast<std::size_t>(p.id())] = cost;
+      }
+    }
+    return out;
+  }
+
+  /// Re-key the model onto a regridded patch set: seed each new patch's
+  /// EWMA with its predicted cost so smoothing continues across the
+  /// regrid instead of restarting cold.
+  void remapAfterRegrid(const grid::Grid& oldGrid,
+                        const grid::Grid& newGrid) {
+    const std::vector<double> predicted = predictCosts(newGrid, oldGrid);
+    std::lock_guard<std::mutex> lk(m_mutex);
+    m_ewma.clear();
+    for (int id = 0; id < newGrid.numPatches(); ++id)
+      m_ewma.emplace(id, predicted[static_cast<std::size_t>(id)]);
+  }
+
+ private:
+  /// Mean recorded cost density (cost per cell) over \p level's recorded
+  /// patches; 1.0 when none are recorded. Caller holds m_mutex.
+  double meanDensityLocked(const grid::Level& level) const {
+    double density = 0.0;
+    int n = 0;
+    for (const grid::Patch& p : level.patches()) {
+      auto it = m_ewma.find(p.id());
+      if (it == m_ewma.end()) continue;
+      density += it->second / static_cast<double>(p.numCells());
+      ++n;
+    }
+    return n > 0 ? density / n : 1.0;
+  }
+
+  double m_alpha;
+  mutable std::mutex m_mutex;
+  std::unordered_map<int, double> m_ewma;
+};
+
+}  // namespace rmcrt::amr

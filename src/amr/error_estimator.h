@@ -1,0 +1,96 @@
+#pragma once
+
+/// \file error_estimator.h
+/// Refinement-flag generation for the adaptive regridding engine: mark
+/// the coarse cells whose radiative state varies fast enough that the
+/// coarse radiation mesh under-resolves it. The indicator is the
+/// normalized one-sided gradient of sigmaT4/pi and of the absorption
+/// coefficient (the two fields the RMCRT integral consumes), optionally
+/// biased by a measured per-cell cost density so regions that dominate
+/// traced-segment counts refine earlier — the feedback loop from the
+/// per-patch ray/segment counters into the mesh.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "grid/level.h"
+#include "grid/variable.h"
+
+namespace rmcrt::amr {
+
+/// Per-cell refinement flags on one level (1 = refine candidate).
+using FlagField = grid::CCVariable<std::uint8_t>;
+
+struct EstimatorConfig {
+  /// Flag a cell when its normalized gradient indicator exceeds this
+  /// (the --regrid-threshold knob; lower = more refinement).
+  double refineThreshold = 0.15;
+  /// Cost feedback strength: where the measured cost density is d times
+  /// the mean, the effective threshold divides by (1 + costBias * d).
+  /// 0 disables the feedback (pure gradient flagging).
+  double costBias = 0.0;
+};
+
+/// Flag cells of \p level (typically the coarse radiation level) from the
+/// given property fields. Both variables must cover level.cells();
+/// \p costDensity, when non-null, is a per-cell measured cost density
+/// over the same window.
+inline FlagField estimateRefinementFlags(
+    const grid::Level& level, const grid::CCVariable<double>& abskg,
+    const grid::CCVariable<double>& sigmaT4, const EstimatorConfig& cfg,
+    const grid::CCVariable<double>* costDensity = nullptr) {
+  const grid::CellRange& cells = level.cells();
+  FlagField flags(cells, std::uint8_t{0});
+
+  // Global field scales so the indicator is dimensionless and one
+  // threshold serves both fields.
+  auto scaleOf = [&cells](const grid::CCVariable<double>& v) {
+    double s = 0.0;
+    for (const IntVector& c : cells) s = std::max(s, std::abs(v[c]));
+    return s > 0.0 ? s : 1.0;
+  };
+  const double absScale = scaleOf(abskg);
+  const double sigScale = scaleOf(sigmaT4);
+
+  double meanDensity = 0.0;
+  if (costDensity) {
+    std::int64_t n = 0;
+    for (const IntVector& c : cells) {
+      if ((*costDensity)[c] > 0.0) {
+        meanDensity += (*costDensity)[c];
+        ++n;
+      }
+    }
+    meanDensity = n > 0 ? meanDensity / static_cast<double>(n) : 0.0;
+  }
+
+  auto indicator = [&cells](const grid::CCVariable<double>& v,
+                            const IntVector& c, double scale) {
+    double g = 0.0;
+    for (int axis = 0; axis < 3; ++axis) {
+      IntVector e(0);
+      e[axis] = 1;
+      const IntVector hi = c + e;
+      const IntVector lo = c - e;
+      if (cells.contains(hi)) g = std::max(g, std::abs(v[hi] - v[c]));
+      if (cells.contains(lo)) g = std::max(g, std::abs(v[c] - v[lo]));
+    }
+    return g / scale;
+  };
+
+  for (const IntVector& c : cells) {
+    double threshold = cfg.refineThreshold;
+    if (costDensity && cfg.costBias > 0.0 && meanDensity > 0.0) {
+      const double d = (*costDensity)[c] / meanDensity;
+      if (d > 0.0) threshold /= 1.0 + cfg.costBias * d;
+    }
+    const double ind = std::max(indicator(abskg, c, absScale),
+                                indicator(sigmaT4, c, sigScale));
+    if (ind > threshold) flags[c] = 1;
+  }
+  return flags;
+}
+
+}  // namespace rmcrt::amr

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <thread>
 
+#include "amr/migrator.h"
 #include "grid/operators.h"
 #include "util/logger.h"
 #include "util/thread_pool.h"
@@ -84,6 +85,50 @@ Task makeCoarsenTask(int fineLevel) {
   return t;
 }
 
+/// Coarse radiation properties on an adaptive grid: sample the analytic
+/// problem over the whole coarse patch (so unrefined regions carry real
+/// coarse data, not zeros), then overlay averaged fine data wherever
+/// fine patches cover. Fine patch boxes are rr-aligned in coarse space
+/// (the clusterer works on a coarse-cell lattice), so the overlay
+/// regions coarsen exactly.
+Task makeUpdateCoarseTask(std::shared_ptr<PipelineState> st, int fineLevel) {
+  Task t("RMCRT::updateCoarseProperties", /*level=*/0,
+         [st, fineLevel](const TaskContext& ctx) {
+           const grid::Level& coarse = ctx.grid->level(0);
+           const grid::Level& fine = ctx.grid->level(fineLevel);
+           const IntVector rr = fine.refinementRatio();
+           auto& cAbs = ctx.newDW->getModifiable<double>(
+               RmcrtLabels::abskg, ctx.patch->id());
+           auto& cSig = ctx.newDW->getModifiable<double>(
+               RmcrtLabels::sigmaT4, ctx.patch->id());
+           auto& cCt = ctx.newDW->getModifiable<CellType>(
+               RmcrtLabels::cellType, ctx.patch->id());
+           initializeProperties(coarse, st->problem, cAbs, cSig, cCt);
+
+           const auto& fAbs = ctx.getFineRegion<double>(
+               RmcrtLabels::abskg, fineLevel);
+           const auto& fSig = ctx.getFineRegion<double>(
+               RmcrtLabels::sigmaT4, fineLevel);
+           const auto& fCt = ctx.getFineRegion<CellType>(
+               RmcrtLabels::cellType, fineLevel);
+           const CellRange refined = ctx.patch->cells().refined(rr);
+           for (const auto& o : fine.patchesIntersecting(refined)) {
+             const CellRange cRegion = o.region.coarsened(rr);
+             grid::coarsenAverage(fAbs, rr, cAbs, cRegion);
+             grid::coarsenAverage(fSig, rr, cSig, cRegion);
+             grid::coarsenCellType(fCt, rr, cCt, cRegion);
+           }
+         });
+  t.addRequires(Requires{RmcrtLabels::abskg, VarType::Double, fineLevel});
+  t.addRequires(Requires{RmcrtLabels::sigmaT4, VarType::Double, fineLevel});
+  t.addRequires(
+      Requires{RmcrtLabels::cellType, VarType::CellTypeVar, fineLevel});
+  t.addComputes(Computes{RmcrtLabels::abskg, VarType::Double, 0});
+  t.addComputes(Computes{RmcrtLabels::sigmaT4, VarType::Double, 0});
+  t.addComputes(Computes{RmcrtLabels::cellType, VarType::CellTypeVar, 0});
+  return t;
+}
+
 /// Assemble the fine-level (ROI) and coarse-level (whole domain) trace
 /// inputs from the staged DataWarehouse regions.
 std::vector<TraceLevel> buildTraceLevels(const TaskContext& ctx,
@@ -147,6 +192,65 @@ Task makeCpuTraceTask(std::shared_ptr<PipelineState> st, int fineLevel,
     t.addRequires(
         Requires{RmcrtLabels::cellType, VarType::CellTypeVar, 0, 0, true});
   }
+  t.addComputes(Computes{RmcrtLabels::divQ, VarType::Double, 0});
+  return t;
+}
+
+/// Adaptive trace: like the two-level CPU trace, but the staged ROI
+/// window may contain cells no fine patch covers (the fine level is
+/// irregular). Those cells arrive zero-filled from staging; prolong the
+/// coarse radiation properties into them before marching so rays never
+/// cross transparent space. The in-place fill is safe — task actions run
+/// sequentially on the scheduler thread and the fill is deterministic
+/// and idempotent — and each patch's traced-segment count feeds the
+/// measured-cost model when one is supplied.
+Task makeAdaptiveTraceTask(std::shared_ptr<PipelineState> st, int fineLevel,
+                           amr::CostModel* costs) {
+  Task t("RMCRT::rayTraceAdaptive", fineLevel,
+         [st, fineLevel, costs](const TaskContext& ctx) {
+           const grid::Level& fine = ctx.grid->level(fineLevel);
+           const CellRange roi =
+               ctx.patch->ghostWindow(st->roiHalo).intersect(fine.cells());
+           const auto& cAbs =
+               ctx.getWholeLevel<double>(RmcrtLabels::abskg, 0);
+           const auto& cSig =
+               ctx.getWholeLevel<double>(RmcrtLabels::sigmaT4, 0);
+           const auto& cCt =
+               ctx.getWholeLevel<CellType>(RmcrtLabels::cellType, 0);
+           auto& fAbs = ctx.newDW->getRegionModifiable<double>(
+               RmcrtLabels::abskg, fineLevel, roi);
+           auto& fSig = ctx.newDW->getRegionModifiable<double>(
+               RmcrtLabels::sigmaT4, fineLevel, roi);
+           auto& fCt = ctx.newDW->getRegionModifiable<CellType>(
+               RmcrtLabels::cellType, fineLevel, roi);
+           amr::fillUncoveredFromCoarser(fAbs, roi, fine, cAbs);
+           amr::fillUncoveredFromCoarser(fSig, roi, fine, cSig);
+           amr::fillUncoveredFromCoarser(fCt, roi, fine, cCt);
+
+           auto levels = buildTraceLevels(ctx, fineLevel, st->roiHalo,
+                                          /*twoLevel=*/true);
+           const WallProperties walls{st->problem.wallSigmaT4OverPi,
+                                      st->problem.wallEmissivity};
+           Tracer tracer(std::move(levels), walls, st->trace);
+           auto& divQ = ctx.newDW->getModifiable<double>(
+               RmcrtLabels::divQ, ctx.patch->id());
+           tracer.computeDivQ(ctx.patch->cells(),
+                              MutableFieldView<double>::fromHost(divQ),
+                              tracePool(ctx, *st));
+           if (costs)
+             costs->record(ctx.patch->id(),
+                           static_cast<double>(tracer.segmentCount()));
+         });
+  t.addRequires(Requires{RmcrtLabels::abskg, VarType::Double, fineLevel,
+                         st->roiHalo, false});
+  t.addRequires(Requires{RmcrtLabels::sigmaT4, VarType::Double, fineLevel,
+                         st->roiHalo, false});
+  t.addRequires(Requires{RmcrtLabels::cellType, VarType::CellTypeVar,
+                         fineLevel, st->roiHalo, false});
+  t.addRequires(Requires{RmcrtLabels::abskg, VarType::Double, 0, 0, true});
+  t.addRequires(Requires{RmcrtLabels::sigmaT4, VarType::Double, 0, 0, true});
+  t.addRequires(
+      Requires{RmcrtLabels::cellType, VarType::CellTypeVar, 0, 0, true});
   t.addComputes(Computes{RmcrtLabels::divQ, VarType::Double, 0});
   return t;
 }
@@ -347,6 +451,27 @@ void RmcrtComponent::registerTwoLevelPipeline(runtime::Scheduler& sched,
   sched.addTask(makeInitTask(st, fineLevel));
   sched.addTask(makeCoarsenTask(fineLevel));
   sched.addTask(makeCpuTraceTask(st, fineLevel, /*twoLevel=*/true));
+}
+
+void RmcrtComponent::registerAdaptivePipeline(runtime::Scheduler& sched,
+                                              const RmcrtSetup& setup,
+                                              amr::CostModel* costs) {
+  auto st = std::make_shared<PipelineState>(
+      PipelineState{setup.problem, setup.trace, setup.roiHalo, setup.pool});
+  const int fineLevel = sched.grid().numLevels() - 1;
+  sched.addTask(makeInitTask(st, fineLevel));
+  sched.addTask(makeUpdateCoarseTask(st, fineLevel));
+  sched.addTask(makeAdaptiveTraceTask(st, fineLevel, costs));
+}
+
+amr::AmrEngine::PropertySampler RmcrtComponent::makePropertySampler(
+    RadiationProblem problem) {
+  return [problem = std::move(problem)](
+             const grid::Level& level, grid::CCVariable<double>& abskg,
+             grid::CCVariable<double>& sigmaT4) {
+    grid::CCVariable<CellType> ct(abskg.window(), CellType::Flow);
+    initializeProperties(level, problem, abskg, sigmaT4, ct);
+  };
 }
 
 void RmcrtComponent::registerSingleLevelPipeline(runtime::Scheduler& sched,

@@ -23,6 +23,7 @@
 
 #include <memory>
 
+#include "amr/amr_engine.h"
 #include "core/problems.h"
 #include "core/ray_tracer.h"
 #include "gpu/gpu_data_warehouse.h"
@@ -65,6 +66,28 @@ class RmcrtComponent {
   /// AMR scheme improves on (paper Section III-C).
   static void registerSingleLevelPipeline(runtime::Scheduler& sched,
                                           const RmcrtSetup& setup);
+
+  /// The adaptive (AMR) variant of the 2-level pipeline, for grids whose
+  /// fine level is irregular (Grid::makeAdaptive): fine properties
+  /// initialize per fine patch as usual; the coarse radiation mesh is
+  /// sampled analytically everywhere and then overlaid with averaged
+  /// fine data wherever fine patches cover; the trace task prolongs
+  /// coarse properties into the uncovered parts of each ROI window
+  /// before marching, so rays crossing unrefined space see
+  /// coarse-accurate (never zero) radiative properties. When \p costs is
+  /// given, each patch's traced-segment count is recorded into it — the
+  /// AmrEngine's measured-cost input for dynamic rebalancing. Also valid
+  /// on uniformly tiled grids (the fills degenerate to no-ops).
+  static void registerAdaptivePipeline(runtime::Scheduler& sched,
+                                       const RmcrtSetup& setup,
+                                       amr::CostModel* costs = nullptr);
+
+  /// The AmrEngine-facing property sampler backed by the analytic
+  /// problem definition (samples abskg/sigmaT4 at cell centers) — wire
+  /// it via AmrEngine::setPropertySampler so the error estimator flags
+  /// from the same fields the pipeline traces.
+  static amr::AmrEngine::PropertySampler makePropertySampler(
+      RadiationProblem problem);
 
   /// 2-level pipeline whose trace task runs on the simulated GPU: fine
   /// patch data H2D per task, coarse properties through the shared level

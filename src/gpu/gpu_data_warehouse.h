@@ -190,6 +190,32 @@ class GpuDataWarehouse {
     return freed;
   }
 
+  /// Evict the level-database entries of one level, returning the bytes
+  /// freed. The regrid path calls this after migrating host data: the
+  /// device copies of coarse properties describe the old grid and must
+  /// rebuild (re-upload on the next getOrUploadLevelVar) against the new
+  /// one. Covers PerPatchCopies-mode keys too (label@L<i>@p<id>).
+  std::size_t invalidateLevel(int levelIndex) {
+    std::lock_guard<std::mutex> lk(m_mutex);
+    const std::string tag = "@L" + std::to_string(levelIndex);
+    std::size_t freed = 0;
+    for (auto it = m_levelVars.begin(); it != m_levelVars.end();) {
+      const std::string& k = it->first;
+      const std::size_t pos = k.find(tag);
+      const bool match =
+          pos != std::string::npos &&
+          (pos + tag.size() == k.size() || k[pos + tag.size()] == '@');
+      if (match) {
+        m_dev.free(it->second.devPtr, it->second.bytes);
+        freed += it->second.bytes;
+        it = m_levelVars.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    return freed;
+  }
+
   /// Free every device variable.
   void clear() {
     std::lock_guard<std::mutex> lk(m_mutex);

@@ -1,6 +1,8 @@
 #include "grid/grid.h"
 
 #include <cassert>
+#include <stdexcept>
+#include <string>
 
 namespace rmcrt::grid {
 
@@ -57,6 +59,80 @@ std::shared_ptr<Grid> Grid::makeMultiLevel(
     nextPatchId += static_cast<int>(g->m_levels.back()->numPatches());
   }
   return g;
+}
+
+std::shared_ptr<Grid> Grid::makeFromSpec(const Vector& physLow,
+                                         const Vector& physHigh,
+                                         const std::vector<LevelSpec>& specs) {
+  if (specs.empty())
+    throw std::invalid_argument("Grid::makeFromSpec: no levels given");
+  auto g = std::shared_ptr<Grid>(new Grid(physLow, physHigh));
+  int nextPatchId = 0;
+  for (std::size_t l = 0; l < specs.size(); ++l) {
+    const LevelSpec& s = specs[l];
+    if (s.extent.empty())
+      throw std::invalid_argument("Grid::makeFromSpec: level " +
+                                  std::to_string(l) + " has an empty extent");
+    if (l > 0) {
+      const IntVector coarser = specs[l - 1].extent.size();
+      const IntVector expect = coarser * s.refinementRatio;
+      if (s.extent.size() != expect)
+        throw std::invalid_argument(
+            "Grid::makeFromSpec: level " + std::to_string(l) +
+            " extent does not equal the coarser extent times the "
+            "refinement ratio");
+    }
+    const Vector dx = (physHigh - physLow) / Vector(s.extent.size());
+    const IntVector rr = (l == 0) ? IntVector(1) : s.refinementRatio;
+    if (s.irregular) {
+      g->m_levels.push_back(std::make_unique<Level>(
+          static_cast<int>(l), s.extent, physLow, dx, s.patchBoxes, rr,
+          nextPatchId));
+    } else {
+      const IntVector ext = s.extent.size();
+      if (s.patchSize.x() <= 0 || s.patchSize.y() <= 0 ||
+          s.patchSize.z() <= 0 || ext.x() % s.patchSize.x() != 0 ||
+          ext.y() % s.patchSize.y() != 0 || ext.z() % s.patchSize.z() != 0)
+        throw std::invalid_argument(
+            "Grid::makeFromSpec: level " + std::to_string(l) +
+            " patch size (" + std::to_string(s.patchSize.x()) + "," +
+            std::to_string(s.patchSize.y()) + "," +
+            std::to_string(s.patchSize.z()) +
+            ") must be positive and divide the level extent (" +
+            std::to_string(ext.x()) + "," + std::to_string(ext.y()) + "," +
+            std::to_string(ext.z()) + ")");
+      g->m_levels.push_back(std::make_unique<Level>(
+          static_cast<int>(l), s.extent, physLow, dx, s.patchSize, rr,
+          nextPatchId));
+    }
+    nextPatchId += static_cast<int>(g->m_levels.back()->numPatches());
+  }
+  return g;
+}
+
+std::shared_ptr<Grid> Grid::makeAdaptive(
+    const Vector& physLow, const Vector& physHigh,
+    const IntVector& coarseCells, const IntVector& coarsePatchSize,
+    const IntVector& refinementRatio,
+    const std::vector<CellRange>& fineBoxesCoarse) {
+  const CellRange coarseExtent(IntVector(0), coarseCells);
+  std::vector<CellRange> fineBoxes;
+  fineBoxes.reserve(fineBoxesCoarse.size());
+  for (const CellRange& b : fineBoxesCoarse) {
+    if (b.empty() || !coarseExtent.contains(b))
+      throw std::invalid_argument(
+          "Grid::makeAdaptive: refinement box outside the coarse extent");
+    fineBoxes.push_back(b.refined(refinementRatio));
+  }
+  LevelSpec coarse;
+  coarse.extent = coarseExtent;
+  coarse.patchSize = coarsePatchSize;
+  LevelSpec fine;
+  fine.extent = CellRange(IntVector(0), coarseCells * refinementRatio);
+  fine.refinementRatio = refinementRatio;
+  fine.irregular = true;
+  fine.patchBoxes = std::move(fineBoxes);
+  return makeFromSpec(physLow, physHigh, {coarse, fine});
 }
 
 int Grid::numPatches() const {

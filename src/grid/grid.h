@@ -45,6 +45,38 @@ class Grid {
       const IntVector& fineCells, const IntVector& refinementRatio,
       const std::vector<IntVector>& patchSizes);
 
+  /// Description of one level for makeFromSpec: either a uniform tiling
+  /// (patchBoxes empty, patchSize used) or an explicit irregular patch
+  /// set (patchBoxes non-empty, patchSize ignored). Extents are explicit
+  /// so adaptive and checkpoint-restored hierarchies round-trip exactly.
+  struct LevelSpec {
+    CellRange extent;                  ///< cell extent (low typically 0)
+    IntVector refinementRatio{1};      ///< to the next coarser level
+    IntVector patchSize{0};            ///< uniform tiling edge
+    bool irregular = false;            ///< use patchBoxes, not patchSize
+    std::vector<CellRange> patchBoxes; ///< irregular patches (may be empty)
+  };
+
+  /// Build a grid from explicit per-level specs (0 = coarsest). Validates
+  /// extent/refinement consistency and patch-box legality, throwing
+  /// std::invalid_argument with a description of the offending level.
+  static std::shared_ptr<Grid> makeFromSpec(const Vector& physLow,
+                                            const Vector& physHigh,
+                                            const std::vector<LevelSpec>& specs);
+
+  /// Build the adaptive 2-level RMCRT configuration emitted by the
+  /// regridding engine: a uniform coarse radiation level over the whole
+  /// domain plus a fine level whose patches are \p fineBoxesCoarse
+  /// (boxes in *coarse* cell coordinates, refined by \p refinementRatio).
+  /// The fine level's extent is the whole refined domain, so geometry
+  /// (dx, cell centers) matches the static two-level setup; the boxes may
+  /// cover any subset of it — including none.
+  static std::shared_ptr<Grid> makeAdaptive(
+      const Vector& physLow, const Vector& physHigh,
+      const IntVector& coarseCells, const IntVector& coarsePatchSize,
+      const IntVector& refinementRatio,
+      const std::vector<CellRange>& fineBoxesCoarse);
+
   int numLevels() const { return static_cast<int>(m_levels.size()); }
   const Level& level(int i) const { return *m_levels[static_cast<std::size_t>(i)]; }
   /// The finest level (highest index).

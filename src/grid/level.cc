@@ -2,8 +2,20 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
+#include <stdexcept>
 
 namespace rmcrt::grid {
+
+namespace {
+std::string describe(const CellRange& r) {
+  std::ostringstream os;
+  os << "[(" << r.low().x() << "," << r.low().y() << "," << r.low().z()
+     << ")..(" << r.high().x() << "," << r.high().y() << "," << r.high().z()
+     << "))";
+  return os.str();
+}
+}  // namespace
 
 Level::Level(int index, const CellRange& cells, const Vector& physLow,
              const Vector& dx, const IntVector& patchSize,
@@ -35,6 +47,47 @@ Level::Level(int index, const CellRange& cells, const Vector& physLow,
   }
 }
 
+Level::Level(int index, const CellRange& cells, const Vector& physLow,
+             const Vector& dx, const std::vector<CellRange>& patchBoxes,
+             const IntVector& refinementRatio, int firstPatchId)
+    : m_index(index),
+      m_cells(cells),
+      m_physLow(physLow),
+      m_dx(dx),
+      m_patchSize(IntVector(0)),
+      m_patchLayout(IntVector(0)),
+      m_refinementRatio(refinementRatio),
+      m_uniform(false) {
+  for (std::size_t i = 0; i < patchBoxes.size(); ++i) {
+    const CellRange& b = patchBoxes[i];
+    if (b.empty())
+      throw std::invalid_argument("Level: patch box " + std::to_string(i) +
+                                  " " + describe(b) + " is empty");
+    if (!cells.contains(b.low()) ||
+        !cells.contains(b.high() - IntVector(1)))
+      throw std::invalid_argument(
+          "Level: patch box " + std::to_string(i) + " " + describe(b) +
+          " extends outside the level extent " + describe(cells));
+    for (std::size_t j = 0; j < i; ++j) {
+      if (!b.intersect(patchBoxes[j]).empty())
+        throw std::invalid_argument(
+            "Level: patch boxes " + std::to_string(j) + " " +
+            describe(patchBoxes[j]) + " and " + std::to_string(i) + " " +
+            describe(b) + " overlap");
+    }
+  }
+  m_patches.reserve(patchBoxes.size());
+  int id = firstPatchId;
+  for (const CellRange& b : patchBoxes) m_patches.emplace_back(id++, index, b);
+}
+
+std::int64_t Level::coveredCells() const {
+  if (m_uniform) return numCells();
+  std::int64_t n = 0;
+  for (const Patch& p : m_patches) n += p.numCells();
+  return n;
+}
+
 IntVector Level::cellAtPosition(const Vector& p) const {
   const Vector rel = (p - m_physLow) / m_dx;
   IntVector c(static_cast<int>(std::floor(rel.x())),
@@ -49,6 +102,11 @@ IntVector Level::cellAtPosition(const Vector& p) const {
 
 const Patch* Level::patchContaining(const IntVector& cell) const {
   if (!m_cells.contains(cell)) return nullptr;
+  if (!m_uniform) {
+    for (const Patch& p : m_patches)
+      if (p.cells().contains(cell)) return &p;
+    return nullptr;
+  }
   const IntVector rel = cell - m_cells.low();
   const IntVector pc(rel.x() / m_patchSize.x(), rel.y() / m_patchSize.y(),
                      rel.z() / m_patchSize.z());
@@ -65,6 +123,15 @@ std::vector<Level::Overlap> Level::patchesIntersecting(
   std::vector<Overlap> out;
   const CellRange clipped = range.intersect(m_cells);
   if (clipped.empty()) return out;
+  if (!m_uniform) {
+    // Irregular levels have no tiling arithmetic: scan the patch list
+    // (adaptive fine levels hold tens of patches, so this stays cheap).
+    for (const Patch& p : m_patches) {
+      const CellRange overlap = p.cells().intersect(clipped);
+      if (!overlap.empty()) out.push_back(Overlap{&p, overlap});
+    }
+    return out;
+  }
   // Patch-coordinate bounding box of the clipped range.
   const IntVector relLo = clipped.low() - m_cells.low();
   const IntVector relHi = clipped.high() - m_cells.low() - IntVector(1);

@@ -7,7 +7,11 @@
 /// radiation level spans the *entire* domain while the fine CFD level also
 /// spans the whole domain at `refinementRatio` times the resolution
 /// (paper Section III-B: "each coarse level spans the entire domain").
-/// Levels are tiled by equally-sized patches.
+/// Levels are either tiled uniformly by equally-sized patches (the static
+/// configurations) or carry an explicit, possibly partial, set of
+/// rectangular patch boxes (adaptive levels produced by the regridding
+/// engine in src/amr/ — the clusterer's fine patches need not cover the
+/// whole extent, and need not share one edge length).
 
 #include <cassert>
 #include <cstdint>
@@ -34,6 +38,14 @@ class Level {
         const Vector& dx, const IntVector& patchSize,
         const IntVector& refinementRatio, int firstPatchId);
 
+  /// Irregular (adaptive) level: patches are the given explicit boxes,
+  /// which must be non-empty, pairwise disjoint, and contained in
+  /// \p cells; they need not cover the extent. Throws
+  /// std::invalid_argument on a malformed box set.
+  Level(int index, const CellRange& cells, const Vector& physLow,
+        const Vector& dx, const std::vector<CellRange>& patchBoxes,
+        const IntVector& refinementRatio, int firstPatchId);
+
   int index() const { return m_index; }
   const CellRange& cells() const { return m_cells; }
   const Vector& dx() const { return m_dx; }
@@ -42,11 +54,20 @@ class Level {
     return m_physLow + Vector(m_cells.size()) * m_dx;
   }
   const IntVector& refinementRatio() const { return m_refinementRatio; }
+  /// Patch edge lengths for uniformly tiled levels; IntVector(0) for
+  /// irregular (adaptive) levels.
   const IntVector& patchSize() const { return m_patchSize; }
-  /// Patch counts per dimension.
+  /// Patch counts per dimension (IntVector(0) for irregular levels).
   const IntVector& patchLayout() const { return m_patchLayout; }
+  /// True when the level is a uniform tiling of equally-sized patches
+  /// (every static factory); false for adaptive levels with explicit
+  /// patch boxes.
+  bool uniformlyTiled() const { return m_uniform; }
 
   std::int64_t numCells() const { return m_cells.volume(); }
+  /// Cells actually covered by patches: numCells() for uniformly tiled
+  /// levels, the sum of patch volumes for irregular ones.
+  std::int64_t coveredCells() const;
   std::size_t numPatches() const { return m_patches.size(); }
   const std::vector<Patch>& patches() const { return m_patches; }
   const Patch& patch(std::size_t i) const { return m_patches[i]; }
@@ -99,6 +120,7 @@ class Level {
   IntVector m_patchSize;
   IntVector m_patchLayout;
   IntVector m_refinementRatio;
+  bool m_uniform = true;
   std::vector<Patch> m_patches;
 };
 

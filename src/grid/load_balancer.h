@@ -46,6 +46,16 @@ class LoadBalancer {
   LoadBalancer(const Grid& grid, int numRanks,
                LbStrategy strategy = LbStrategy::Morton);
 
+  /// Measured-cost distribution: partition each level's Morton (or id)
+  /// order into contiguous runs whose *costs* — not cell counts — are
+  /// balanced. \p patchCosts is indexed by patch id over the whole grid;
+  /// non-positive entries are treated as free. This is the dynamic
+  /// rebalancing path: the amr:: engine feeds EWMA-smoothed traced-segment
+  /// counts per patch so hot patches spread over ranks.
+  LoadBalancer(const Grid& grid, int numRanks,
+               const std::vector<double>& patchCosts,
+               LbStrategy strategy = LbStrategy::Morton);
+
   int numRanks() const { return m_numRanks; }
 
   /// Owning rank of a patch id.
@@ -71,7 +81,17 @@ class LoadBalancer {
   /// Max/min owned fine-cell imbalance across ranks (1.0 = perfect).
   double imbalance(const Grid& grid) const;
 
+  /// Measured-cost imbalance: max over ranks of total owned cost divided
+  /// by the mean rank cost (1.0 = perfect). Uses max/mean rather than
+  /// max/min so a single idle rank does not blow the metric up; this is
+  /// the value exported as the `rmcrt.lb.imbalance` gauge.
+  double imbalance(const Grid& grid, const std::vector<double>& costs) const;
+
  private:
+  void distributeLevel(const Grid& grid, const Level& level,
+                       LbStrategy strategy,
+                       const std::vector<double>* costs);
+
   int m_numRanks;
   std::vector<int> m_rankOf;                // by patch id
   std::vector<std::vector<int>> m_patchesOf;  // by rank
@@ -82,43 +102,92 @@ inline LoadBalancer::LoadBalancer(const Grid& grid, int numRanks,
     : m_numRanks(numRanks),
       m_rankOf(static_cast<std::size_t>(grid.numPatches()), 0),
       m_patchesOf(static_cast<std::size_t>(numRanks)) {
-  for (int l = 0; l < grid.numLevels(); ++l) {
-    const Level& level = grid.level(l);
-    std::vector<int> order;
-    order.reserve(level.numPatches());
-    for (const Patch& p : level.patches()) order.push_back(p.id());
+  for (int l = 0; l < grid.numLevels(); ++l)
+    distributeLevel(grid, grid.level(l), strategy, nullptr);
+  for (auto& v : m_patchesOf) std::sort(v.begin(), v.end());
+}
 
-    if (strategy == LbStrategy::Morton) {
-      std::sort(order.begin(), order.end(), [&](int a, int b) {
-        const Patch* pa = grid.patchById(a);
-        const Patch* pb = grid.patchById(b);
-        const IntVector ca = pa->low() - level.cells().low();
-        const IntVector cb = pb->low() - level.cells().low();
-        const std::uint64_t ma =
-            mortonEncode(static_cast<std::uint32_t>(ca.x()),
-                         static_cast<std::uint32_t>(ca.y()),
-                         static_cast<std::uint32_t>(ca.z()));
-        const std::uint64_t mb =
-            mortonEncode(static_cast<std::uint32_t>(cb.x()),
-                         static_cast<std::uint32_t>(cb.y()),
-                         static_cast<std::uint32_t>(cb.z()));
-        return ma != mb ? ma < mb : a < b;
-      });
+inline LoadBalancer::LoadBalancer(const Grid& grid, int numRanks,
+                                  const std::vector<double>& patchCosts,
+                                  LbStrategy strategy)
+    : m_numRanks(numRanks),
+      m_rankOf(static_cast<std::size_t>(grid.numPatches()), 0),
+      m_patchesOf(static_cast<std::size_t>(numRanks)) {
+  for (int l = 0; l < grid.numLevels(); ++l)
+    distributeLevel(grid, grid.level(l), strategy, &patchCosts);
+  for (auto& v : m_patchesOf) std::sort(v.begin(), v.end());
+}
+
+inline void LoadBalancer::distributeLevel(const Grid& grid,
+                                          const Level& level,
+                                          LbStrategy strategy,
+                                          const std::vector<double>* costs) {
+  std::vector<int> order;
+  order.reserve(level.numPatches());
+  for (const Patch& p : level.patches()) order.push_back(p.id());
+
+  if (strategy == LbStrategy::Morton) {
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+      const Patch* pa = grid.patchById(a);
+      const Patch* pb = grid.patchById(b);
+      const IntVector ca = pa->low() - level.cells().low();
+      const IntVector cb = pb->low() - level.cells().low();
+      const std::uint64_t ma =
+          mortonEncode(static_cast<std::uint32_t>(ca.x()),
+                       static_cast<std::uint32_t>(ca.y()),
+                       static_cast<std::uint32_t>(ca.z()));
+      const std::uint64_t mb =
+          mortonEncode(static_cast<std::uint32_t>(cb.x()),
+                       static_cast<std::uint32_t>(cb.y()),
+                       static_cast<std::uint32_t>(cb.z()));
+      return ma != mb ? ma < mb : a < b;
+    });
+  }
+
+  const std::size_t n = order.size();
+  if (n == 0) return;
+
+  if (costs) {
+    // Cost-weighted contiguous partition of the (Morton) order: patch i
+    // goes to the rank whose ideal cost interval contains the midpoint of
+    // i's cumulative-cost span. Monotone in i, so each rank still gets a
+    // contiguous SFC run (locality preserved); falls back to the uniform
+    // split when no patch on this level carries cost.
+    double total = 0.0;
+    std::vector<double> c(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto id = static_cast<std::size_t>(order[i]);
+      const double v = id < costs->size() ? (*costs)[id] : 0.0;
+      c[i] = v > 0.0 ? v : 0.0;
+      total += c[i];
     }
-
-    const std::size_t n = order.size();
+    double cum = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
       int rank;
-      if (strategy == LbStrategy::RoundRobin) {
-        rank = static_cast<int>(i) % numRanks;
-      } else {  // Block and Morton both take contiguous runs of the order
-        rank = static_cast<int>(i * static_cast<std::size_t>(numRanks) / n);
+      if (total > 0.0) {
+        rank = static_cast<int>((cum + 0.5 * c[i]) *
+                                static_cast<double>(m_numRanks) / total);
+        rank = std::min(rank, m_numRanks - 1);
+      } else {
+        rank = static_cast<int>(i * static_cast<std::size_t>(m_numRanks) / n);
       }
+      cum += c[i];
       m_rankOf[static_cast<std::size_t>(order[i])] = rank;
       m_patchesOf[static_cast<std::size_t>(rank)].push_back(order[i]);
     }
+    return;
   }
-  for (auto& v : m_patchesOf) std::sort(v.begin(), v.end());
+
+  for (std::size_t i = 0; i < n; ++i) {
+    int rank;
+    if (strategy == LbStrategy::RoundRobin) {
+      rank = static_cast<int>(i) % m_numRanks;
+    } else {  // Block and Morton both take contiguous runs of the order
+      rank = static_cast<int>(i * static_cast<std::size_t>(m_numRanks) / n);
+    }
+    m_rankOf[static_cast<std::size_t>(order[i])] = rank;
+    m_patchesOf[static_cast<std::size_t>(rank)].push_back(order[i]);
+  }
 }
 
 inline double LoadBalancer::imbalance(const Grid& grid) const {
@@ -129,6 +198,22 @@ inline double LoadBalancer::imbalance(const Grid& grid) const {
   const auto [mn, mx] = std::minmax_element(cells.begin(), cells.end());
   return *mn > 0 ? static_cast<double>(*mx) / static_cast<double>(*mn)
                  : static_cast<double>(*mx);
+}
+
+inline double LoadBalancer::imbalance(const Grid& grid,
+                                      const std::vector<double>& costs) const {
+  std::vector<double> rankCost(static_cast<std::size_t>(m_numRanks), 0.0);
+  double total = 0.0;
+  for (int id = 0; id < grid.numPatches(); ++id) {
+    const auto i = static_cast<std::size_t>(id);
+    const double c = i < costs.size() && costs[i] > 0.0 ? costs[i] : 0.0;
+    rankCost[static_cast<std::size_t>(rankOf(id))] += c;
+    total += c;
+  }
+  if (total <= 0.0) return 1.0;
+  const double mean = total / static_cast<double>(m_numRanks);
+  const double mx = *std::max_element(rankCost.begin(), rankCost.end());
+  return mx / mean;
 }
 
 }  // namespace rmcrt::grid

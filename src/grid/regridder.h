@@ -9,6 +9,8 @@
 /// decomposition-independent, so migration is windowed copying.
 
 #include <memory>
+#include <stdexcept>
+#include <string>
 
 #include "grid/grid.h"
 #include "grid/variable.h"
@@ -16,10 +18,30 @@
 namespace rmcrt::grid {
 
 /// Build a grid identical to \p old but with fine patch edge
-/// \p newFinePatchSize (must divide the fine extent). Coarser levels
+/// \p newFinePatchSize. Throws std::invalid_argument when the new patch
+/// edge is non-positive or does not divide the fine extent, or when any
+/// level of \p old is not uniformly tiled (adaptive grids are rebuilt by
+/// the amr:: engine, not by patch-size reconfiguration). Coarser levels
 /// keep their patch sizes.
 inline std::shared_ptr<Grid> regridWithPatchSize(const Grid& old,
                                                  int newFinePatchSize) {
+  for (int l = 0; l < old.numLevels(); ++l)
+    if (!old.level(l).uniformlyTiled())
+      throw std::invalid_argument(
+          "regridWithPatchSize: level " + std::to_string(l) +
+          " is not uniformly tiled; adaptive grids must be regridded "
+          "through amr::AmrEngine");
+  const IntVector fineExtent = old.fineLevel().cells().size();
+  if (newFinePatchSize <= 0 || fineExtent.x() % newFinePatchSize != 0 ||
+      fineExtent.y() % newFinePatchSize != 0 ||
+      fineExtent.z() % newFinePatchSize != 0)
+    throw std::invalid_argument(
+        "regridWithPatchSize: new fine patch edge " +
+        std::to_string(newFinePatchSize) +
+        " must be positive and divide the fine extent (" +
+        std::to_string(fineExtent.x()) + "," +
+        std::to_string(fineExtent.y()) + "," +
+        std::to_string(fineExtent.z()) + ")");
   std::vector<IntVector> patchSizes;
   for (int l = 0; l < old.numLevels(); ++l)
     patchSizes.push_back(old.level(l).patchSize());

@@ -45,4 +45,38 @@ inline bool writeVtkLevel(
   return static_cast<bool>(os);
 }
 
+/// Patch->rank ownership as a cell field on \p level: every cell of a
+/// patch carries the owning rank from \p lb; cells no patch covers (the
+/// unrefined remainder of an adaptive fine level) carry -1. Write it
+/// through writeVtkLevel to color a ParaView view by rank and inspect
+/// rebalance decisions.
+template <typename RankOf>
+CCVariable<double> ownershipFieldBy(const Level& level, RankOf&& rankOf) {
+  CCVariable<double> field(level.cells(), -1.0);
+  for (const Patch& p : level.patches()) {
+    const double rank = static_cast<double>(rankOf(p.id()));
+    for (const IntVector& c : p.cells()) field[c] = rank;
+  }
+  return field;
+}
+
+template <typename Lb>
+CCVariable<double> ownershipField(const Level& level, const Lb& lb) {
+  return ownershipFieldBy(level, [&lb](int id) { return lb.rankOf(id); });
+}
+
+/// Refinement flags as a coarse-level cell field: 1 where the fine level
+/// refines the coarse cell, 0 elsewhere. \p fine is the next finer level
+/// (its refinementRatio maps fine boxes back to coarse cells).
+inline CCVariable<double> refinementFlagField(const Level& coarse,
+                                              const Level& fine) {
+  CCVariable<double> field(coarse.cells(), 0.0);
+  for (const Patch& p : fine.patches()) {
+    const CellRange covered =
+        p.cells().coarsened(fine.refinementRatio()).intersect(coarse.cells());
+    for (const IntVector& c : covered) field[c] = 1.0;
+  }
+  return field;
+}
+
 }  // namespace rmcrt::grid

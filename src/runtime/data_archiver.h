@@ -8,9 +8,11 @@
 /// index (variable name, patch id, element kind, window) plus one raw
 /// binary blob per variable.
 
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "grid/grid.h"
 #include "runtime/data_warehouse.h"
 #include "runtime/task.h"
 
@@ -42,6 +44,20 @@ class DataArchiver {
 
   /// List the entries recorded in a checkpoint's index.
   static std::vector<ArchiveEntry> index(const std::string& directory);
+
+  /// Record the grid structure alongside the data: physical bounds and,
+  /// per level, the cell extent, refinement ratio, and either the uniform
+  /// patch size or (for adaptive levels) every patch box. A checkpoint
+  /// taken after a regrid restores onto the regridded patch set, not the
+  /// input-file grid — patch ids in the data index are only meaningful
+  /// against this structure.
+  static bool checkpointGrid(const std::string& directory,
+                             const grid::Grid& grid);
+
+  /// Rebuild the archived grid (Grid::makeFromSpec); nullptr if the
+  /// directory has no grid record or it is corrupt.
+  static std::shared_ptr<const grid::Grid> restoreGrid(
+      const std::string& directory);
 };
 
 }  // namespace rmcrt::runtime

@@ -126,6 +126,22 @@ class Scheduler {
   /// Append a task phase. Must be called identically on every rank.
   void addTask(Task task) { m_tasks.push_back(std::move(task)); }
   void clearTasks() { m_tasks.clear(); }
+  /// The registered task phases, in declaration order — exposed so the
+  /// regrid path can recompile a TaskGraph over the re-registered
+  /// pipeline and validate it against the new grid.
+  const std::vector<Task>& tasks() const { return m_tasks; }
+
+  /// Rewire this rank's scheduler onto a regridded grid and its new
+  /// load balance. Must be called between timesteps (never while
+  /// executeTimestep is running), identically on every rank, before the
+  /// next registration pass. Registered tasks are cleared: the old
+  /// declarations reference patches that no longer exist.
+  void setGrid(std::shared_ptr<const grid::Grid> grid,
+               std::shared_ptr<const grid::LoadBalancer> lb) {
+    m_grid = std::move(grid);
+    m_lb = std::move(lb);
+    m_tasks.clear();
+  }
 
   /// Execute all task phases once. Blocking; involves collective
   /// synchronization with the other ranks' schedulers. Throws

@@ -1,6 +1,26 @@
 #include "runtime/simulation_controller.h"
 
+#include <stdexcept>
+
+#include "runtime/task_graph.h"
+
 namespace rmcrt::runtime {
+
+void SimulationController::validateRecompiledGraph() {
+  TaskGraph graph(m_sched.tasks());
+  if (!graph.valid() || !graph.declaredOrderIsValid()) {
+    std::string detail;
+    for (const GraphDiagnostic& d : graph.diagnostics()) {
+      if (!detail.empty()) detail += "; ";
+      detail += d.detail;
+    }
+    if (detail.empty()) detail = "declared phase order violates dependencies";
+    throw std::runtime_error(
+        "SimulationController: task graph invalid after regrid: " + detail);
+  }
+  if (m_metrics)
+    m_metrics->addCounter(m_metricsPrefix + "graph_recompiles", 1);
+}
 
 Task makeCarryForwardTask(const std::vector<std::string>& doubleLabels,
                           int level) {

@@ -23,6 +23,7 @@ namespace rmcrt::runtime {
 struct TimestepRecord {
   int step = 0;
   bool radiationStep = false;
+  bool regridded = false;  ///< the regrid hook changed grid or balance
   double seconds = 0.0;
   SchedulerStats stats;
 };
@@ -46,6 +47,16 @@ class SimulationController {
   /// Radiation solve frequency: every k-th timestep (1 = every step).
   void setRadiationInterval(int k) { m_radiationInterval = k > 0 ? k : 1; }
 
+  /// Adaptive-regrid hook (the amr::AmrEngine entry point). Called once
+  /// per timestep, after the DataWarehouse rollover and before task
+  /// registration; returns true when it changed the scheduler's grid or
+  /// load balance. On a regrid step the controller recompiles a TaskGraph
+  /// over the re-registered pipeline and throws std::runtime_error if the
+  /// declarations no longer form a valid DAG on the new grid.
+  void setRegridHook(std::function<bool(int)> hook) {
+    m_regridHook = std::move(hook);
+  }
+
   /// Publish per-timestep scheduler stats into \p reg under
   /// \p prefix (e.g. "scheduler.rank0.") after every step, and stamp a
   /// timeline snapshot (MetricsRegistry::recordTimestep). Pass nullptr to
@@ -67,6 +78,7 @@ class SimulationController {
       // Roll the DataWarehouses BETWEEN steps (not after the last) so the
       // final step's results stay readable in newDW after run() returns.
       if (step > 0) m_sched.advanceDataWarehouses();
+      const bool regridded = m_regridHook && m_regridHook(step);
       const bool radiation = (step % m_radiationInterval) == 0;
       RMCRT_TRACE_SPAN("sim", radiation ? "timestep:radiation"
                                         : "timestep:carry_forward");
@@ -76,12 +88,14 @@ class SimulationController {
       } else if (m_registerCarryForward) {
         m_registerCarryForward(m_sched);
       }
+      if (regridded) validateRecompiledGraph();
       m_sched.resetStats();
       Timer timer;
       m_sched.executeTimestep();
       TimestepRecord rec;
       rec.step = step;
       rec.radiationStep = radiation;
+      rec.regridded = regridded;
       rec.seconds = timer.seconds();
       rec.stats = m_sched.stats();
       records.push_back(rec);
@@ -96,9 +110,14 @@ class SimulationController {
   }
 
  private:
+  /// Recompile the task graph after a regrid and reject an invalid
+  /// re-registration before it reaches the scheduler.
+  void validateRecompiledGraph();
+
   Scheduler& m_sched;
   std::function<void(Scheduler&)> m_registerRadiation;
   std::function<void(Scheduler&)> m_registerCarryForward;
+  std::function<bool(int)> m_regridHook;
   int m_radiationInterval = 1;
   MetricsRegistry* m_metrics = nullptr;
   std::string m_metricsPrefix;

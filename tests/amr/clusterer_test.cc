@@ -1,0 +1,185 @@
+/// Property tests for the Berger–Rigoutsos-style clusterer: coverage of
+/// every flagged cell, pairwise disjointness, the min/max patch-size
+/// bounds, and cross-call determinism (the canonical ordering every rank
+/// relies on to build the identical grid without communication).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "amr/clusterer.h"
+#include "amr/error_estimator.h"
+
+namespace rmcrt::amr {
+namespace {
+
+FlagField makeFlags(const CellRange& extent) {
+  return FlagField(extent, std::uint8_t{0});
+}
+
+bool inAnyBox(const std::vector<CellRange>& boxes, const IntVector& c) {
+  for (const CellRange& b : boxes)
+    if (b.contains(c)) return true;
+  return false;
+}
+
+int boxesContaining(const std::vector<CellRange>& boxes, const IntVector& c) {
+  int n = 0;
+  for (const CellRange& b : boxes)
+    if (b.contains(c)) ++n;
+  return n;
+}
+
+/// A deterministic scattered flag pattern: two blobs plus a stripe.
+FlagField scatteredFlags(const CellRange& extent) {
+  FlagField flags = makeFlags(extent);
+  for (const IntVector& c : CellRange(IntVector(1), IntVector(5)))
+    flags[c] = 1;
+  for (const IntVector& c : CellRange(IntVector(10, 10, 10), IntVector(14)))
+    if (extent.contains(c)) flags[c] = 1;
+  for (int x = 0; x < extent.high().x(); ++x)
+    flags[IntVector(x, 7, 2)] = 1;
+  return flags;
+}
+
+TEST(Clusterer, EmptyFlagsYieldNoBoxes) {
+  const CellRange extent(IntVector(0), IntVector(16));
+  EXPECT_TRUE(clusterFlags(makeFlags(extent), extent, {}).empty());
+}
+
+TEST(Clusterer, CoversEveryFlaggedCellExactlyOnce) {
+  const CellRange extent(IntVector(0), IntVector(16));
+  const FlagField flags = scatteredFlags(extent);
+  ClusterConfig cfg;
+  cfg.minPatchSize = 4;
+  cfg.fillRatio = 0.5;
+  const auto boxes = clusterFlags(flags, extent, cfg);
+  ASSERT_FALSE(boxes.empty());
+  for (const IntVector& c : extent) {
+    if (flags[c]) {
+      EXPECT_TRUE(inAnyBox(boxes, c)) << "flagged cell " << c << " uncovered";
+    }
+    EXPECT_LE(boxesContaining(boxes, c), 1)
+        << "cell " << c << " in overlapping boxes";
+  }
+}
+
+TEST(Clusterer, BoxesStayWithinExtentAndRespectMinSize) {
+  const CellRange extent(IntVector(0), IntVector(16));
+  ClusterConfig cfg;
+  cfg.minPatchSize = 4;
+  const auto boxes = clusterFlags(scatteredFlags(extent), extent, cfg);
+  for (const CellRange& b : boxes) {
+    EXPECT_TRUE(extent.contains(b));
+    for (int axis = 0; axis < 3; ++axis) {
+      // Full min edge except where the domain boundary clips a tile.
+      EXPECT_TRUE(b.size()[axis] >= cfg.minPatchSize ||
+                  b.high()[axis] == extent.high()[axis])
+          << "box " << b << " axis " << axis;
+    }
+  }
+}
+
+TEST(Clusterer, MaxPatchSizeBoundsEveryEdge) {
+  const CellRange extent(IntVector(0), IntVector(16));
+  FlagField flags = makeFlags(extent);
+  for (const IntVector& c : extent) flags[c] = 1;  // everything flagged
+  ClusterConfig cfg;
+  cfg.minPatchSize = 4;
+  cfg.maxPatchSize = 8;
+  const auto boxes = clusterFlags(flags, extent, cfg);
+  ASSERT_GE(boxes.size(), 8u);  // 16^3 fully flagged, <=8^3 boxes
+  std::int64_t covered = 0;
+  for (const CellRange& b : boxes) {
+    for (int axis = 0; axis < 3; ++axis)
+      EXPECT_LE(b.size()[axis], cfg.maxPatchSize);
+    covered += b.volume();
+  }
+  EXPECT_EQ(covered, extent.volume());
+}
+
+TEST(Clusterer, SingleFlaggedCellGetsOneMinSizeBox) {
+  const CellRange extent(IntVector(0), IntVector(16));
+  FlagField flags = makeFlags(extent);
+  flags[IntVector(9, 9, 9)] = 1;
+  ClusterConfig cfg;
+  cfg.minPatchSize = 4;
+  const auto boxes = clusterFlags(flags, extent, cfg);
+  ASSERT_EQ(boxes.size(), 1u);
+  EXPECT_TRUE(boxes[0].contains(IntVector(9, 9, 9)));
+  EXPECT_EQ(boxes[0].volume(), 64);
+}
+
+TEST(Clusterer, DeterministicAcrossCalls) {
+  const CellRange extent(IntVector(0), IntVector(16));
+  const FlagField flags = scatteredFlags(extent);
+  ClusterConfig cfg;
+  cfg.minPatchSize = 4;
+  cfg.maxPatchSize = 8;
+  const auto a = clusterFlags(flags, extent, cfg);
+  const auto b = clusterFlags(flags, extent, cfg);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_TRUE(a[i] == b[i]);
+  // Canonical (z, y, x) ordering of low corners.
+  for (std::size_t i = 1; i < a.size(); ++i) {
+    const IntVector p = a[i - 1].low();
+    const IntVector q = a[i].low();
+    EXPECT_TRUE(p.z() < q.z() || (p.z() == q.z() && p.y() < q.y()) ||
+                (p.z() == q.z() && p.y() == q.y() && p.x() < q.x()));
+  }
+}
+
+TEST(ErrorEstimator, FlagsSteepGradientsOnly) {
+  // A sharp step in sigmaT4 at x=8 flags cells around the step and
+  // leaves the flat far field unflagged.
+  auto level = grid::Level(0, CellRange(IntVector(0), IntVector(16)),
+                           Vector(0.0), Vector(1.0 / 16.0), IntVector(8),
+                           IntVector(1), 0);
+  grid::CCVariable<double> abskg(level.cells(), 1.0);
+  grid::CCVariable<double> sig(level.cells(), 0.0);
+  for (const IntVector& c : level.cells())
+    sig[c] = c.x() < 8 ? 10.0 : 1.0;
+  EstimatorConfig cfg;
+  cfg.refineThreshold = 0.15;
+  const FlagField flags = estimateRefinementFlags(level, abskg, sig, cfg);
+  for (const IntVector& c : level.cells()) {
+    const bool nearStep = c.x() == 7 || c.x() == 8;
+    EXPECT_EQ(flags[c] != 0, nearStep) << "cell " << c;
+  }
+}
+
+TEST(ErrorEstimator, CostBiasLowersThresholdWhereCostIsHigh) {
+  auto level = grid::Level(0, CellRange(IntVector(0), IntVector(16)),
+                           Vector(0.0), Vector(1.0 / 16.0), IntVector(8),
+                           IntVector(1), 0);
+  grid::CCVariable<double> abskg(level.cells(), 1.0);
+  grid::CCVariable<double> sig(level.cells(), 0.0);
+  // A mild ramp that stays just under the threshold on its own.
+  for (const IntVector& c : level.cells())
+    sig[c] = 1.0 + 0.12 * c.x();
+  EstimatorConfig cfg;
+  cfg.refineThreshold = 0.05;
+  const FlagField unbiased = estimateRefinementFlags(level, abskg, sig, cfg);
+
+  grid::CCVariable<double> density(level.cells(), 1.0);
+  for (const IntVector& c : level.cells())
+    if (c.z() >= 8) density[c] = 50.0;  // hot half
+  cfg.costBias = 1.0;
+  const FlagField biased =
+      estimateRefinementFlags(level, abskg, sig, cfg, &density);
+  int extra = 0;
+  for (const IntVector& c : level.cells()) {
+    if (unbiased[c]) {
+      EXPECT_TRUE(biased[c]) << c;  // bias only adds flags
+    }
+    if (biased[c] && !unbiased[c]) {
+      ++extra;
+      EXPECT_GE(c.z(), 8) << "extra flag outside the hot half at " << c;
+    }
+  }
+  EXPECT_GT(extra, 0) << "cost feedback should flag extra hot cells";
+}
+
+}  // namespace
+}  // namespace rmcrt::amr

@@ -1,0 +1,154 @@
+/// Satellites around the regrid lifecycle: regridWithPatchSize input
+/// validation (S1), VTK refinement-flag / patch-ownership cell fields
+/// (S4), and grid-structure checkpoints that survive a regrid (S3).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "amr/migrator.h"
+#include "grid/grid.h"
+#include "grid/load_balancer.h"
+#include "grid/regridder.h"
+#include "grid/vtk_writer.h"
+#include "runtime/data_archiver.h"
+#include "runtime/data_warehouse.h"
+
+namespace rmcrt::grid {
+namespace {
+
+std::shared_ptr<Grid> adaptiveGrid() {
+  return Grid::makeAdaptive(
+      Vector(0.0), Vector(1.0), IntVector(8), IntVector(4), IntVector(2),
+      {CellRange(IntVector(0), IntVector(4)),
+       CellRange(IntVector(4, 4, 4), IntVector(8))});
+}
+
+TEST(Regridder, RejectsAdaptiveGrids) {
+  auto grid = adaptiveGrid();
+  try {
+    regridWithPatchSize(*grid, 4);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("AmrEngine"), std::string::npos)
+        << "error should point at the adaptive regrid path: " << e.what();
+  }
+}
+
+TEST(Regridder, RejectsNonDividingPatchSizeWithDescriptiveError) {
+  auto grid = Grid::makeTwoLevel(Vector(0.0), Vector(1.0), IntVector(16),
+                                 IntVector(2), IntVector(4), IntVector(4));
+  try {
+    regridWithPatchSize(*grid, 5);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("5"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("16"), std::string::npos) << msg;
+  }
+  EXPECT_THROW(regridWithPatchSize(*grid, 0), std::invalid_argument);
+}
+
+TEST(VtkWriter, RefinementFlagFieldMarksCoveredCoarseCells) {
+  auto grid = adaptiveGrid();
+  const auto field =
+      refinementFlagField(grid->coarseLevel(), grid->fineLevel());
+  for (const IntVector& c : grid->coarseLevel().cells()) {
+    const bool covered = CellRange(IntVector(0), IntVector(4)).contains(c) ||
+                         CellRange(IntVector(4), IntVector(8)).contains(c);
+    EXPECT_DOUBLE_EQ(field[c], covered ? 1.0 : 0.0) << "cell " << c;
+  }
+}
+
+TEST(VtkWriter, OwnershipFieldTracksLoadBalancerRanks) {
+  auto grid = adaptiveGrid();
+  LoadBalancer lb(*grid, 2);
+  const auto field = ownershipField(grid->fineLevel(), lb);
+  for (const auto& p : grid->fineLevel().patches())
+    for (const IntVector& c : p.cells())
+      EXPECT_DOUBLE_EQ(field[c], static_cast<double>(lb.rankOf(p.id())));
+  // Cells outside every fine patch carry the -1 sentinel.
+  EXPECT_DOUBLE_EQ(field[IntVector(0, 0, 15)], -1.0);
+}
+
+TEST(DataArchiver, GridRoundTripsThroughCheckpoint) {
+  const std::string dir = "amr_ckpt_grid_test";
+  auto grid = adaptiveGrid();
+  ASSERT_TRUE(runtime::DataArchiver::checkpointGrid(dir, *grid));
+  auto restored = runtime::DataArchiver::restoreGrid(dir);
+  ASSERT_NE(restored, nullptr);
+  ASSERT_EQ(restored->numLevels(), grid->numLevels());
+  for (int l = 0; l < grid->numLevels(); ++l) {
+    const Level& a = grid->level(l);
+    const Level& b = restored->level(l);
+    EXPECT_TRUE(a.cells() == b.cells());
+    EXPECT_EQ(a.uniformlyTiled(), b.uniformlyTiled());
+    EXPECT_TRUE(a.refinementRatio() == b.refinementRatio());
+    ASSERT_EQ(a.numPatches(), b.numPatches());
+    for (std::size_t i = 0; i < a.numPatches(); ++i) {
+      EXPECT_TRUE(a.patch(i).cells() == b.patch(i).cells());
+      EXPECT_EQ(a.patch(i).id(), b.patch(i).id());
+    }
+    EXPECT_DOUBLE_EQ(a.dx().x(), b.dx().x());
+  }
+  std::remove((dir + "/grid.txt").c_str());
+  std::remove(dir.c_str());
+}
+
+TEST(DataArchiver, CheckpointRestoreSurvivesARegrid) {
+  // Simulate a regrid mid-run: write data + grid on the regridded patch
+  // set, restore both into a fresh warehouse, and verify values land on
+  // the restored grid's patches exactly.
+  const std::string dir = "amr_ckpt_regrid_test";
+  auto before = Grid::makeTwoLevel(Vector(0.0), Vector(1.0), IntVector(16),
+                                   IntVector(2), IntVector(8), IntVector(4));
+  auto after = adaptiveGrid();  // "the grid the engine emitted"
+
+  // Data produced on the old grid migrates onto the new one, then gets
+  // checkpointed against the new grid's structure.
+  runtime::DataWarehouse oldDW;
+  for (const auto& p : before->fineLevel().patches()) {
+    CCVariable<double> v(p, 0, 0.0);
+    for (const IntVector& c : p.cells())
+      v[c] = 1.0 + c.x() + 100.0 * c.y() + 10000.0 * c.z();
+    oldDW.put("divQ", p.id(), std::move(v));
+  }
+  amr::Migrator mig(*before, *after);
+  std::vector<int> ids;
+  for (const auto& p : after->fineLevel().patches()) ids.push_back(p.id());
+  auto migrated = mig.migratePatchVar<double>("divQ", 1, oldDW, ids);
+  runtime::DataWarehouse dw;
+  for (std::size_t i = 0; i < ids.size(); ++i)
+    dw.put("divQ", ids[i], std::move(migrated[i]));
+
+  ASSERT_TRUE(runtime::DataArchiver::checkpointGrid(dir, *after));
+  ASSERT_TRUE(runtime::DataArchiver::checkpoint(dir, dw, {"divQ"}, ids));
+
+  auto restoredGrid = runtime::DataArchiver::restoreGrid(dir);
+  ASSERT_NE(restoredGrid, nullptr);
+  EXPECT_FALSE(restoredGrid->fineLevel().uniformlyTiled());
+  runtime::DataWarehouse restoredDW;
+  ASSERT_TRUE(runtime::DataArchiver::restore(dir, restoredDW));
+  for (const auto& p : restoredGrid->fineLevel().patches()) {
+    ASSERT_TRUE(restoredDW.exists("divQ", p.id()));
+    const auto& v = restoredDW.get<double>("divQ", p.id());
+    EXPECT_TRUE(v.window() == p.cells());
+    for (const IntVector& c : p.cells())
+      ASSERT_DOUBLE_EQ(v[c], 1.0 + c.x() + 100.0 * c.y() + 10000.0 * c.z());
+  }
+  for (const auto& e : runtime::DataArchiver::index(dir))
+    std::remove((dir + "/" + e.label + ".p" + std::to_string(e.patchId) +
+                 ".bin").c_str());
+  std::remove((dir + "/index.txt").c_str());
+  std::remove((dir + "/grid.txt").c_str());
+  std::remove(dir.c_str());
+}
+
+TEST(DataArchiver, RestoreGridRejectsMissingOrCorruptRecord) {
+  EXPECT_EQ(runtime::DataArchiver::restoreGrid("no_such_dir"), nullptr);
+}
+
+}  // namespace
+}  // namespace rmcrt::grid

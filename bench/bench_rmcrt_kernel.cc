@@ -35,6 +35,10 @@ namespace {
 using namespace rmcrt;
 using namespace rmcrt::core;
 
+/// --packed / --unpacked: which kernel data layout the google-benchmark
+/// suite runs (the JSON baseline always measures both).
+bool g_packedLayout = true;
+
 struct KernelFixture {
   std::shared_ptr<grid::Grid> grid;
   grid::CCVariable<double> abskg, sig;
@@ -49,7 +53,7 @@ struct KernelFixture {
     initializeProperties(grid->fineLevel(), burnsChriston(), abskg, sig, ct);
   }
 
-  Tracer tracer(int rays) const {
+  Tracer tracer(int rays, bool packed = g_packedLayout) const {
     TraceLevel tl{LevelGeom::from(grid->fineLevel()),
                   RadiationFieldsView{FieldView<double>::fromHost(abskg),
                                       FieldView<double>::fromHost(sig),
@@ -57,6 +61,7 @@ struct KernelFixture {
                   grid->fineLevel().cells()};
     TraceConfig cfg;
     cfg.nDivQRays = rays;
+    cfg.usePackedFields = packed;
     return Tracer({tl}, WallProperties{0.0, 1.0}, cfg);
   }
 };
@@ -146,14 +151,100 @@ void BM_BoundaryFlux(benchmark::State& state) {
 }
 BENCHMARK(BM_BoundaryFlux);
 
+/// A/B of the two kernel data layouts on the same fixture, single
+/// thread: the full divQ solve, and a segment microbench that times a
+/// fixed deterministic ray bundle through Tracer::traceRay — the march
+/// loop with everything but cell crossings stripped away. Both layouts
+/// must agree bitwise.
+struct LayoutReport {
+  double packedMsegPerS = 0.0;
+  double unpackedMsegPerS = 0.0;
+  double divqSpeedup = 0.0;
+  bool divqBitwise = true;
+  double segPackedMsegPerS = 0.0;
+  double segUnpackedMsegPerS = 0.0;
+  double segSpeedup = 0.0;
+  bool segBitwise = true;
+};
+
+LayoutReport measureLayoutAB(bool smoke) {
+  const int n = smoke ? 16 : 32;
+  const int rays = smoke ? 4 : 16;
+  const int repeats = smoke ? 3 : 5;
+  KernelFixture fx(n);
+  Tracer packed = fx.tracer(rays, /*packed=*/true);
+  Tracer legacy = fx.tracer(rays, /*packed=*/false);
+  const CellRange cells = fx.grid->fineLevel().cells();
+  LayoutReport rep;
+
+  // Full divQ solve, serial, best-of-N per layout.
+  grid::CCVariable<double> divQPacked(cells, 0.0), divQLegacy(cells, 0.0);
+  const auto timeDivQ = [&](Tracer& t, grid::CCVariable<double>& out) {
+    double best = std::numeric_limits<double>::infinity();
+    std::uint64_t segments = 0;
+    for (int r = 0; r < repeats; ++r) {
+      t.resetSegmentCount();
+      Timer timer;
+      t.computeDivQ(cells, MutableFieldView<double>::fromHost(out));
+      best = std::min(best, timer.seconds());
+      segments = t.segmentCount();
+    }
+    return static_cast<double>(segments) / best / 1e6;
+  };
+  rep.packedMsegPerS = timeDivQ(packed, divQPacked);
+  rep.unpackedMsegPerS = timeDivQ(legacy, divQLegacy);
+  rep.divqSpeedup = rep.packedMsegPerS / rep.unpackedMsegPerS;
+  for (const auto& c : cells)
+    if (divQPacked[c] != divQLegacy[c]) rep.divqBitwise = false;
+
+  // Segment microbench: the same deterministic ray bundle (seeded by
+  // (bundle, ray) alone) through both layouts.
+  const int nRays = smoke ? 20000 : 100000;
+  const Vector center = fx.grid->fineLevel().physLow() +
+                        (fx.grid->fineLevel().physHigh() -
+                         fx.grid->fineLevel().physLow()) *
+                            Vector(0.5);
+  const auto timeBundle = [&](Tracer& t, double& sumI) {
+    double best = std::numeric_limits<double>::infinity();
+    std::uint64_t segments = 0;
+    for (int r = 0; r < repeats; ++r) {
+      t.resetSegmentCount();
+      double acc = 0.0;
+      Timer timer;
+      for (int i = 0; i < nRays; ++i) {
+        Rng rng(/*domainSeed=*/97, IntVector(i, 0, 0), /*ray=*/0);
+        const Vector dir = isotropicDirection(rng);
+        acc += t.traceRay(center, dir);
+      }
+      best = std::min(best, timer.seconds());
+      segments = t.segmentCount();
+      sumI = acc;
+    }
+    return static_cast<double>(segments) / best / 1e6;
+  };
+  double sumPacked = 0.0, sumLegacy = 0.0;
+  rep.segPackedMsegPerS = timeBundle(packed, sumPacked);
+  rep.segUnpackedMsegPerS = timeBundle(legacy, sumLegacy);
+  rep.segSpeedup = rep.segPackedMsegPerS / rep.segUnpackedMsegPerS;
+  rep.segBitwise = sumPacked == sumLegacy;
+  return rep;
+}
+
 /// Sweep thread counts over the Burns & Christon single-level trace and
 /// write a machine-readable baseline (BENCH_rmcrt_kernel.json) so later
 /// PRs have a perf trajectory to compare against. Also cross-checks that
-/// every threaded result is bitwise identical to the serial one.
+/// every threaded result is bitwise identical to the serial one, and
+/// appends the packed-vs-unpacked layout A/B plus the segment
+/// microbench.
 void writeThreadSweepJson(const std::string& path, bool smoke) {
-  const int n = smoke ? 16 : 32;
-  const int rays = smoke ? 4 : 16;
-  const int repeats = smoke ? 1 : 3;
+  // The sweep fixture is identical in smoke and full mode so a CI smoke
+  // run is directly comparable to the committed full-mode baseline (the
+  // perf gate divides one by the other; a smaller smoke problem would
+  // shift the per-ray-setup/per-segment cost ratio and skew Mseg/s).
+  // Smoke saves its time by measuring fewer repeats and thread counts.
+  const int n = 32;
+  const int rays = 16;
+  const int repeats = smoke ? 2 : 5;
   KernelFixture fx(n);
   Tracer tracer = fx.tracer(rays);
   const CellRange cells = fx.grid->fineLevel().cells();
@@ -170,7 +261,9 @@ void writeThreadSweepJson(const std::string& path, bool smoke) {
   };
   std::vector<Sample> samples;
   double serialSeconds = 0.0;
-  for (int threads : {1, 2, 4, 8}) {
+  const std::vector<int> threadCounts =
+      smoke ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 4, 8};
+  for (int threads : threadCounts) {
     ThreadPool pool(static_cast<std::size_t>(threads));
     grid::CCVariable<double> divQ(cells, 0.0);
     double best = std::numeric_limits<double>::infinity();
@@ -192,6 +285,8 @@ void writeThreadSweepJson(const std::string& path, bool smoke) {
                              serialSeconds / best, bitwise});
   }
 
+  const LayoutReport layout = measureLayoutAB(smoke);
+
   std::ofstream out(path);
   out << std::setprecision(6) << std::fixed;
   out << "{\n"
@@ -211,13 +306,33 @@ void writeThreadSweepJson(const std::string& path, bool smoke) {
         << ", \"bitwise_match\": " << (s.bitwise ? "true" : "false") << "}"
         << (i + 1 < samples.size() ? "," : "") << "\n";
   }
-  out << "  ]\n}\n";
+  out << "  ],\n"
+      << "  \"layout\": {\"packed_mseg_per_s\": " << layout.packedMsegPerS
+      << ", \"unpacked_mseg_per_s\": " << layout.unpackedMsegPerS
+      << ", \"speedup\": " << layout.divqSpeedup << ", \"bitwise_match\": "
+      << (layout.divqBitwise ? "true" : "false") << "},\n"
+      << "  \"segment_microbench\": {\"packed_mseg_per_s\": "
+      << layout.segPackedMsegPerS << ", \"unpacked_mseg_per_s\": "
+      << layout.segUnpackedMsegPerS << ", \"speedup\": "
+      << layout.segSpeedup << ", \"bitwise_match\": "
+      << (layout.segBitwise ? "true" : "false") << "}\n";
+  out << "}\n";
   std::cout << "\nThread sweep baseline written to " << path << "\n";
   for (const Sample& s : samples)
     std::cout << "  threads=" << s.threads << "  " << std::setw(8)
               << s.seconds * 1e3 << " ms  speedup=" << std::setprecision(2)
               << s.speedup << std::setprecision(6)
               << (s.bitwise ? "" : "  [BITWISE MISMATCH]") << "\n";
+  std::cout << "  layout A/B (1 thread): packed " << std::setprecision(2)
+            << layout.packedMsegPerS << " Mseg/s vs unpacked "
+            << layout.unpackedMsegPerS << " Mseg/s ("
+            << layout.divqSpeedup << "x)"
+            << (layout.divqBitwise ? "" : "  [BITWISE MISMATCH]") << "\n"
+            << "  segment microbench: packed " << layout.segPackedMsegPerS
+            << " Mseg/s vs unpacked " << layout.segUnpackedMsegPerS
+            << " Mseg/s (" << layout.segSpeedup << "x)"
+            << std::setprecision(6)
+            << (layout.segBitwise ? "" : "  [BITWISE MISMATCH]") << "\n";
 }
 
 /// Observability mode (--trace-out / --metrics-out): run one radiation
@@ -320,10 +435,14 @@ void runAdaptivePipeline(int regridEvery, double threshold) {
   for (int r = 0; r < numRanks; ++r) {
     threads.emplace_back([&, r] {
       Scheduler& sched = *scheds[r];
+      // Per-rank coarse-record cache: re-registration each radiation
+      // step repacks only regrid-migrated coverage, not the whole level.
+      RmcrtSetup rankSetup = setup;
+      rankSetup.packedCache = std::make_shared<PackedLevelCache>();
       SimulationController ctl(
           sched,
-          [&](Scheduler& s) {
-            RmcrtComponent::registerAdaptivePipeline(s, setup,
+          [&, rankSetup](Scheduler& s) {
+            RmcrtComponent::registerAdaptivePipeline(s, rankSetup,
                                                      &engine->costModel());
           },
           [&](Scheduler& s) {
@@ -378,6 +497,8 @@ void printCalibrationTable() {
 int main(int argc, char** argv) {
   // Our flags, consumed before google-benchmark sees the command line:
   //   --smoke        quick thread sweep + JSON only (CI smoke mode)
+  //   --packed / --unpacked  kernel data layout for the google-benchmark
+  //       suite (the JSON baseline always measures both; default packed)
   //   --json=<path>  baseline output path (default BENCH_rmcrt_kernel.json)
   //   --trace-out/--metrics-out  observability outputs (runs a dedicated
   //       mini distributed pipeline instead of the benchmark suite)
@@ -393,6 +514,10 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (std::strcmp(argv[i], "--packed") == 0) {
+      g_packedLayout = true;
+    } else if (std::strcmp(argv[i], "--unpacked") == 0) {
+      g_packedLayout = false;
     } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
       jsonPath = argv[i] + 7;
     } else if (std::strncmp(argv[i], "--regrid-every=", 15) == 0) {

@@ -158,11 +158,15 @@ int main(int argc, char** argv) {
     for (int r = 0; r < numRanks; ++r) {
       threads.emplace_back([&, r] {
         Scheduler& sched = *scheds[r];
+        // Per-rank coarse-record cache: each radiation step's
+        // re-registration repacks only regrid-migrated coverage.
+        RmcrtSetup rankSetup = setup;
+        rankSetup.packedCache = std::make_shared<PackedLevelCache>();
         SimulationController ctl(
             sched,
-            [&](Scheduler& s) {
+            [&, rankSetup](Scheduler& s) {
               RmcrtComponent::registerAdaptivePipeline(
-                  s, setup, &engine->costModel());
+                  s, rankSetup, &engine->costModel());
             },
             [&](Scheduler& s) {
               s.addTask(runtime::makeCarryForwardTask(

@@ -1,0 +1,167 @@
+#pragma once
+
+/// \file packed_field.h
+/// The kernel data layout of the ray-march hot path (DESIGN.md §12): the
+/// three radiative-property fields the marcher reads per cell crossing
+/// (abskg, sigmaT4/pi, cellType) fused into one contiguous array of
+/// PackedCell records. One cache-line-local load per segment replaces
+/// three scattered loads that each redo the full 3D->linear index
+/// multiply, and wall-ness is baked into the record so the march loop
+/// carries no `cellType.valid()` branch.
+///
+/// Layers:
+///   PackedCell       — one cell's fused record (trivially copyable, so
+///                      the same bytes serve host memory and the
+///                      simulated-GPU device storage)
+///   PackedFieldView  — non-owning view + the per-axis linear strides the
+///                      incremental DDA bumps by
+///   PackedLevelField — owning host-side storage; packs from a
+///                      RadiationFieldsView and repacks sub-regions
+///   PackedLevelCache — persistent per-rank cache for the adaptive
+///                      pipeline: repacks only coarse regions whose fine
+///                      coverage changed across a regrid
+///
+/// Packing copies double bit patterns verbatim and the kernel performs
+/// the exact same FP operations in the exact same order as the legacy
+/// three-view path, so results are bitwise identical (packed_field_test).
+
+#include <cassert>
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+#include "core/field_view.h"
+
+namespace rmcrt::core {
+
+/// One cell's radiative properties, fused. 24 bytes: a 64-byte cache
+/// line holds the record plus most of its x-neighbor — the common next
+/// access of the marcher.
+struct PackedCell {
+  double abskg = 0.0;
+  double sigmaT4OverPi = 0.0;
+  /// grid::CellType baked at pack time; kFlow sentinel when the source
+  /// level carries no cellType field, so the kernel never branches on
+  /// field validity.
+  std::uint32_t cellType = 0;
+  std::uint32_t pad = 0;  ///< explicit padding: deterministic record bytes
+
+  static constexpr std::uint32_t kFlow =
+      static_cast<std::uint32_t>(grid::CellType::Flow);
+  static constexpr std::uint32_t kWall =
+      static_cast<std::uint32_t>(grid::CellType::Wall);
+};
+static_assert(sizeof(PackedCell) == 24, "packed record layout changed");
+static_assert(std::is_trivially_copyable_v<PackedCell>,
+              "records must be memcpy-able across the PCIe bus");
+
+/// Non-owning, trivially-copyable view over a packed level window — the
+/// marcher's sole input. Exposes the per-axis linear strides so the DDA
+/// can resolve a 3-D index once and then bump a linear offset by
+/// stride(axis) * step(axis) on each cell crossing.
+class PackedFieldView {
+ public:
+  PackedFieldView() = default;
+  PackedFieldView(const PackedCell* data, const CellRange& window)
+      : m_data(data), m_window(window) {
+    const IntVector sz = window.size();
+    m_stride[0] = 1;
+    m_stride[1] = sz.x();
+    m_stride[2] = static_cast<std::int64_t>(sz.x()) * sz.y();
+  }
+
+  static PackedFieldView fromDevice(const gpu::DeviceVar& dv) {
+    assert(dv.elemSize == sizeof(PackedCell));
+    return PackedFieldView(static_cast<const PackedCell*>(dv.devPtr),
+                           dv.window);
+  }
+
+  bool valid() const { return m_data != nullptr; }
+  const CellRange& window() const { return m_window; }
+
+  /// Linear element offset of cell \p c (z-major, x fastest — the same
+  /// linearization as FieldView/Array3).
+  std::int64_t offsetOf(const IntVector& c) const {
+    assert(m_window.contains(c));
+    const IntVector rel = c - m_window.low();
+    return rel.x() + m_stride[1] * rel.y() + m_stride[2] * rel.z();
+  }
+
+  /// Elements to advance per unit step along \p axis (0=x, 1=y, 2=z).
+  std::int64_t stride(int axis) const { return m_stride[axis]; }
+
+  const PackedCell* data() const { return m_data; }
+  const PackedCell& operator[](const IntVector& c) const {
+    return m_data[offsetOf(c)];
+  }
+
+ private:
+  const PackedCell* m_data = nullptr;
+  CellRange m_window;
+  std::int64_t m_stride[3] = {0, 0, 0};
+};
+
+/// Owning host-side packed copy of one level's radiation properties.
+class PackedLevelField {
+ public:
+  PackedLevelField() = default;
+  explicit PackedLevelField(const RadiationFieldsView& fields) {
+    pack(fields);
+  }
+
+  /// (Re)build the whole record array over fields.abskg's window. All
+  /// supplied views must share that window.
+  void pack(const RadiationFieldsView& fields);
+
+  /// Re-fuse only \p region (clipped to the window) from \p fields —
+  /// the regrid path repacks just the migrated patches' footprints.
+  void repack(const RadiationFieldsView& fields, const CellRange& region);
+
+  bool valid() const { return !m_cells.empty(); }
+  const CellRange& window() const { return m_window; }
+  const PackedCell* data() const { return m_cells.data(); }
+  std::size_t sizeBytes() const { return m_cells.size() * sizeof(PackedCell); }
+  PackedFieldView view() const {
+    return PackedFieldView(m_cells.data(), m_window);
+  }
+
+ private:
+  std::vector<PackedCell> m_cells;
+  CellRange m_window;
+};
+
+/// Persistent packed copy of one level for pipelines that rebuild their
+/// Tracer every task (the adaptive AMR path). Between regrids the coarse
+/// property values are step-invariant, so the cache hands back the same
+/// records; when the fine-level coverage changes, only the coarse regions
+/// entering or leaving coverage are repacked — the migrated patches.
+///
+/// Correctness contract: property values outside the supplied coverage
+/// regions must not change between refresh calls with an unchanged
+/// window (true for the analytic samplers driving this pipeline; a
+/// time-dependent CFD coupling must drop the cache or widen coverage).
+/// Not thread-safe: use one cache per rank (task actions within a rank
+/// run sequentially; the returned view is safe for concurrent read-only
+/// tile workers).
+class PackedLevelCache {
+ public:
+  /// Refresh against the current field values. \p coverage lists the
+  /// regions (in this level's index space) whose values depend on finer
+  /// data — for the RMCRT coarse level, the coarsened fine patch boxes.
+  /// The returned view stays valid until the next refresh with a
+  /// different window.
+  PackedFieldView refresh(const RadiationFieldsView& fields,
+                          const std::vector<CellRange>& coverage);
+
+  /// Observability hooks (and test seams).
+  int fullPacks() const { return m_fullPacks; }
+  int regionRepacks() const { return m_regionRepacks; }
+
+ private:
+  PackedLevelField m_field;
+  std::vector<CellRange> m_coverage;
+  int m_fullPacks = 0;
+  int m_regionRepacks = 0;
+};
+
+}  // namespace rmcrt::core

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "core/field_view.h"
+#include "core/packed_field.h"
 #include "grid/level.h"
 #include "util/rng.h"
 
@@ -83,6 +84,13 @@ struct TraceConfig {
   /// aggregation: one atomic add per tile, none in the march loop. The
   /// default keeps a tile's field data within L1/L2 reach.
   IntVector tileSize = IntVector(8, 8, 8);
+  /// March over fused PackedCell records with an incremental-stride DDA
+  /// (the default; bitwise identical to the legacy three-view path) or
+  /// over the separate property views (the pre-packing layout, kept for
+  /// the bench_rmcrt_kernel --packed/--unpacked A/B and for regression
+  /// hunting). Levels that only supply packed records (the simulated-GPU
+  /// kernel) march packed regardless.
+  bool usePackedFields = true;
 };
 
 /// Split \p cells into tiles of at most \p tileSize cells per axis
@@ -93,11 +101,22 @@ std::vector<CellRange> tileCells(const CellRange& cells,
 
 /// One level of marching state handed to the tracer.
 struct TraceLevel {
+  TraceLevel() = default;
+  TraceLevel(const LevelGeom& g, const RadiationFieldsView& f,
+             const CellRange& a, const PackedFieldView& p = {})
+      : geom(g), fields(f), allowed(a), packed(p) {}
+
   LevelGeom geom;
   RadiationFieldsView fields;
   /// Cells the ray may visit on this level; leaving this box hands the
   /// ray to the next (coarser) entry, or to the wall if none remains.
+  /// Must lie within the property windows.
   CellRange allowed;
+  /// Fused property records covering the same window as `fields`. Leave
+  /// invalid to have the Tracer pack (and own) the records itself at
+  /// construction; supply one to share packing across Tracers — the
+  /// adaptive pipeline's PackedLevelCache and the GPU level database.
+  PackedFieldView packed;
 };
 
 /// The RMCRT tracer over a fine->coarse stack of levels.
@@ -108,9 +127,12 @@ struct TraceLevel {
 /// coarsest level spanning the whole domain.
 class Tracer {
  public:
+  /// Levels whose `packed` view is unset are fused into Tracer-owned
+  /// PackedCell arrays here (and the owned storage lives as long as the
+  /// Tracer), unless cfg.usePackedFields is off — then legacy-capable
+  /// levels march the separate views instead.
   Tracer(std::vector<TraceLevel> levels, const WallProperties& walls,
-         const TraceConfig& cfg)
-      : m_levels(std::move(levels)), m_walls(walls), m_cfg(cfg) {}
+         const TraceConfig& cfg);
 
   const TraceConfig& config() const { return m_cfg; }
 
@@ -159,10 +181,25 @@ class Tracer {
   /// into sumI/transmissivity and counts cell crossings into the caller's
   /// local \p segments; returns true if the ray is finished (wall,
   /// threshold or domain exit), false if it left `allowed` and should
-  /// continue on level li+1 at the updated \p pos.
+  /// continue on level li+1 at the updated \p pos. Dispatches to the
+  /// packed incremental-stride DDA when the level carries packed records,
+  /// else to the legacy three-view march; both perform the exact same FP
+  /// operations in the exact same order, so results are bitwise
+  /// identical.
   bool marchLevel(std::size_t li, Vector& pos, const Vector& dir,
                   double& sumI, double& transmissivity,
                   std::uint64_t& segments) const;
+  bool marchLevelPacked(std::size_t li, Vector& pos, const Vector& dir,
+                        double& sumI, double& transmissivity,
+                        std::uint64_t& segments) const;
+  bool marchLevelLegacy(std::size_t li, Vector& pos, const Vector& dir,
+                        double& sumI, double& transmissivity,
+                        std::uint64_t& segments) const;
+
+  /// The single flush point for per-tile / per-call segment counts: adds
+  /// \p n to both the tracer's own counter and the global metrics
+  /// counter, so the two can never drift.
+  void flushSegments(std::uint64_t n) const;
 
   /// traceRay with the segment count going to a caller-owned local
   /// instead of the shared atomic.
@@ -181,6 +218,10 @@ class Tracer {
   std::vector<TraceLevel> m_levels;
   WallProperties m_walls;
   TraceConfig m_cfg;
+  /// Storage behind the packed views the constructor built itself. Moves
+  /// of the outer vector never touch the record buffers, so the views in
+  /// m_levels stay valid for the Tracer's lifetime.
+  std::vector<PackedLevelField> m_ownedPacked;
   mutable std::atomic<std::uint64_t> m_segments{0};
 };
 

@@ -27,6 +27,10 @@ struct PipelineState {
   TraceConfig trace;
   int roiHalo;
   ThreadPool* pool = nullptr;  ///< setup-supplied fallback tracing pool
+  /// Per-rank coarse-record cache for the adaptive pipeline (may be
+  /// null). Outlives the PipelineState that a re-registration replaces,
+  /// so packed coarse records persist across radiation steps.
+  std::shared_ptr<PackedLevelCache> packedCache;
 };
 
 /// The pool a trace task should tile on: the scheduler-provided one when
@@ -229,6 +233,19 @@ Task makeAdaptiveTraceTask(std::shared_ptr<PipelineState> st, int fineLevel,
 
            auto levels = buildTraceLevels(ctx, fineLevel, st->roiHalo,
                                           /*twoLevel=*/true);
+           if (st->packedCache) {
+             // Reuse the rank's fused coarse records across steps: only
+             // regions whose fine coverage changed (regrid-migrated
+             // patches) re-fuse; everything else is value-identical
+             // because the analytic sampler is step-invariant.
+             const IntVector rr = fine.refinementRatio();
+             std::vector<CellRange> coverage;
+             coverage.reserve(fine.patches().size());
+             for (const grid::Patch& p : fine.patches())
+               coverage.push_back(p.cells().coarsened(rr));
+             levels[1].packed =
+                 st->packedCache->refresh(levels[1].fields, coverage);
+           }
            const WallProperties walls{st->problem.wallSigmaT4OverPi,
                                       st->problem.wallEmissivity};
            Tracer tracer(std::move(levels), walls, st->trace);
@@ -302,56 +319,59 @@ void runGpuTraceAttempt(const TaskContext& ctx, const PipelineState& st,
                         int fineLevel, gpu::GpuDataWarehouse* gdw) {
   RMCRT_TRACE_SPAN("gpu", "trace_attempt");
   const int pid = ctx.patch->id();
-  auto stream = gdw->device().createStream();
 
-  // H2D: this patch's ROI data (private) ...
+  // Fuse the property triplets into PackedCell records on the host
+  // BEFORE creating the stream: stack unwinding then drains the stream
+  // before these buffers die, so in-flight H2D copies never read freed
+  // memory.
   const auto& fAbs = ctx.getGhosted<double>(RmcrtLabels::abskg, st.roiHalo);
   const auto& fSig = ctx.getGhosted<double>(RmcrtLabels::sigmaT4, st.roiHalo);
   const auto& fCt =
       ctx.getGhosted<CellType>(RmcrtLabels::cellType, st.roiHalo);
-  gpu::DeviceVar& dAbsF =
-      gdw->putPatchVar(RmcrtLabels::abskg, pid, fAbs, stream.get());
-  gpu::DeviceVar& dSigF =
-      gdw->putPatchVar(RmcrtLabels::sigmaT4, pid, fSig, stream.get());
-  gpu::DeviceVar& dCtF =
-      gdw->putPatchVar(RmcrtLabels::cellType, pid, fCt, stream.get());
-
-  // ... and the coarse radiation mesh through the level database: ONE
-  // device copy shared by every patch task (paper Section III-C).
+  const PackedLevelField finePacked(
+      RadiationFieldsView{FieldView<double>::fromHost(fAbs),
+                          FieldView<double>::fromHost(fSig),
+                          FieldView<CellType>::fromHost(fCt)});
   const auto& cAbs = ctx.getWholeLevel<double>(RmcrtLabels::abskg, 0);
   const auto& cSig = ctx.getWholeLevel<double>(RmcrtLabels::sigmaT4, 0);
   const auto& cCt = ctx.getWholeLevel<CellType>(RmcrtLabels::cellType, 0);
-  gpu::DeviceVar& dAbsC = gdw->getOrUploadLevelVar(RmcrtLabels::abskg, 0,
-                                                   cAbs, pid, stream.get());
-  gpu::DeviceVar& dSigC = gdw->getOrUploadLevelVar(RmcrtLabels::sigmaT4, 0,
-                                                   cSig, pid, stream.get());
-  gpu::DeviceVar& dCtC = gdw->getOrUploadLevelVar(RmcrtLabels::cellType, 0,
-                                                  cCt, pid, stream.get());
+  const PackedLevelField coarsePacked(
+      RadiationFieldsView{FieldView<double>::fromHost(cAbs),
+                          FieldView<double>::fromHost(cSig),
+                          FieldView<CellType>::fromHost(cCt)});
+
+  auto stream = gdw->device().createStream();
+
+  // H2D: ONE fused record array for this patch's ROI (private) ...
+  gpu::DeviceVar& dPackedF =
+      gdw->putPatchVarRaw(RmcrtLabels::packedRad, pid, finePacked.data(),
+                          finePacked.window(), sizeof(PackedCell),
+                          stream.get());
+
+  // ... and ONE fused coarse copy through the level database, shared by
+  // every patch task (paper Section III-C) — a single transfer where the
+  // unpacked layout staged three.
+  gpu::DeviceVar& dPackedC = gdw->getOrUploadLevelVarRaw(
+      RmcrtLabels::packedRad, 0, coarsePacked.data(), coarsePacked.window(),
+      sizeof(PackedCell), pid, stream.get());
 
   gpu::DeviceVar& dDivQ = gdw->allocatePatchVar(
       RmcrtLabels::divQ, pid, ctx.patch->cells(), sizeof(double));
 
-  // Kernel: the same marching code, over device-resident views.
+  // Kernel: the same packed marching code, over device-resident records.
   const LevelGeom fineGeom = LevelGeom::from(ctx.grid->level(fineLevel));
   const LevelGeom coarseGeom = LevelGeom::from(ctx.grid->level(0));
   const CellRange patchCells = ctx.patch->cells();
   const WallProperties walls{st.problem.wallSigmaT4OverPi,
                              st.problem.wallEmissivity};
   const TraceConfig cfg = st.trace;
-  stream->enqueueKernel([=, &dAbsF, &dSigF, &dCtF, &dAbsC, &dSigC, &dCtC,
-                         &dDivQ] {
-    TraceLevel fineTL{
-        fineGeom,
-        RadiationFieldsView{FieldView<double>::fromDevice(dAbsF),
-                            FieldView<double>::fromDevice(dSigF),
-                            FieldView<CellType>::fromDevice(dCtF)},
-        dAbsF.window};
-    TraceLevel coarseTL{
-        coarseGeom,
-        RadiationFieldsView{FieldView<double>::fromDevice(dAbsC),
-                            FieldView<double>::fromDevice(dSigC),
-                            FieldView<CellType>::fromDevice(dCtC)},
-        coarseGeom.cells};
+  stream->enqueueKernel([=, &dPackedF, &dPackedC, &dDivQ] {
+    // Packed-only levels: `fields` stays invalid, so the Tracer neither
+    // re-packs nor falls back to the legacy march.
+    TraceLevel fineTL{fineGeom, RadiationFieldsView{}, dPackedF.window,
+                      PackedFieldView::fromDevice(dPackedF)};
+    TraceLevel coarseTL{coarseGeom, RadiationFieldsView{}, coarseGeom.cells,
+                        PackedFieldView::fromDevice(dPackedC)};
     Tracer tracer({fineTL, coarseTL}, walls, cfg);
     gpu::DeviceVar out = dDivQ;
     // Serial inside the simulated kernel: the device executor's SM
@@ -370,17 +390,13 @@ void runGpuTraceAttempt(const TaskContext& ctx, const PipelineState& st,
 
   // Free the per-patch device variables; the level database stays
   // resident for the next patch task.
-  gdw->removePatchVar(RmcrtLabels::abskg, pid);
-  gdw->removePatchVar(RmcrtLabels::sigmaT4, pid);
-  gdw->removePatchVar(RmcrtLabels::cellType, pid);
+  gdw->removePatchVar(RmcrtLabels::packedRad, pid);
   gdw->removePatchVar(RmcrtLabels::divQ, pid);
 }
 
 /// Free any per-patch device variables a failed attempt left behind.
 void releasePatchDeviceVars(gpu::GpuDataWarehouse* gdw, int pid) {
-  gdw->removePatchVar(RmcrtLabels::abskg, pid);
-  gdw->removePatchVar(RmcrtLabels::sigmaT4, pid);
-  gdw->removePatchVar(RmcrtLabels::cellType, pid);
+  gdw->removePatchVar(RmcrtLabels::packedRad, pid);
   gdw->removePatchVar(RmcrtLabels::divQ, pid);
 }
 
@@ -446,7 +462,8 @@ Task makeGpuTraceTask(std::shared_ptr<PipelineState> st, int fineLevel,
 void RmcrtComponent::registerTwoLevelPipeline(runtime::Scheduler& sched,
                                               const RmcrtSetup& setup) {
   auto st = std::make_shared<PipelineState>(
-      PipelineState{setup.problem, setup.trace, setup.roiHalo, setup.pool});
+      PipelineState{setup.problem, setup.trace, setup.roiHalo, setup.pool,
+                    setup.packedCache});
   const int fineLevel = sched.grid().numLevels() - 1;
   sched.addTask(makeInitTask(st, fineLevel));
   sched.addTask(makeCoarsenTask(fineLevel));
@@ -457,7 +474,8 @@ void RmcrtComponent::registerAdaptivePipeline(runtime::Scheduler& sched,
                                               const RmcrtSetup& setup,
                                               amr::CostModel* costs) {
   auto st = std::make_shared<PipelineState>(
-      PipelineState{setup.problem, setup.trace, setup.roiHalo, setup.pool});
+      PipelineState{setup.problem, setup.trace, setup.roiHalo, setup.pool,
+                    setup.packedCache});
   const int fineLevel = sched.grid().numLevels() - 1;
   sched.addTask(makeInitTask(st, fineLevel));
   sched.addTask(makeUpdateCoarseTask(st, fineLevel));
@@ -477,7 +495,8 @@ amr::AmrEngine::PropertySampler RmcrtComponent::makePropertySampler(
 void RmcrtComponent::registerSingleLevelPipeline(runtime::Scheduler& sched,
                                                  const RmcrtSetup& setup) {
   auto st = std::make_shared<PipelineState>(
-      PipelineState{setup.problem, setup.trace, setup.roiHalo, setup.pool});
+      PipelineState{setup.problem, setup.trace, setup.roiHalo, setup.pool,
+                    setup.packedCache});
   const int fineLevel = sched.grid().numLevels() - 1;
   sched.addTask(makeInitTask(st, fineLevel));
   sched.addTask(makeSingleLevelTraceTask(st, fineLevel));
@@ -487,7 +506,8 @@ void RmcrtComponent::registerTwoLevelGpuPipeline(
     runtime::Scheduler& sched, const RmcrtSetup& setup,
     gpu::GpuDataWarehouse& gdw) {
   auto st = std::make_shared<PipelineState>(
-      PipelineState{setup.problem, setup.trace, setup.roiHalo, setup.pool});
+      PipelineState{setup.problem, setup.trace, setup.roiHalo, setup.pool,
+                    setup.packedCache});
   const int fineLevel = sched.grid().numLevels() - 1;
   sched.addTask(makeInitTask(st, fineLevel));
   sched.addTask(makeCoarsenTask(fineLevel));

@@ -37,6 +37,11 @@ struct RmcrtLabels {
   static constexpr const char* sigmaT4 = "sigmaT4OverPi";
   static constexpr const char* cellType = "cellType";
   static constexpr const char* divQ = "divQ";
+  /// Fused PackedCell records staged for the GPU kernel (one per-patch
+  /// ROI array plus one shared coarse copy in the level database). The
+  /// "@L<i>"-tagged level-db key means invalidateLevel evicts it on
+  /// regrid like any other coarse property.
+  static constexpr const char* packedRad = "packedRadProps";
 };
 
 /// Pipeline configuration.
@@ -51,6 +56,15 @@ struct RmcrtSetup {
   /// hands tasks through TaskContext::pool; this one serves the serial
   /// solve* entry points and schedulers configured without a pool.
   ThreadPool* pool = nullptr;
+  /// Optional per-rank cache of the coarse level's fused PackedCell
+  /// records for the adaptive pipeline. With it, each radiation step
+  /// repacks only coarse regions whose fine coverage changed since the
+  /// previous step (the regrid-migrated patches) instead of re-fusing the
+  /// whole level per Tracer. One cache per rank — never share across
+  /// concurrently executing schedulers — and only valid while coarse
+  /// properties outside fine coverage are step-invariant (true for the
+  /// analytic samplers; see PackedLevelCache). nullptr: pack per Tracer.
+  std::shared_ptr<PackedLevelCache> packedCache;
 };
 
 /// Task-registration entry points. Call the same function on every rank's

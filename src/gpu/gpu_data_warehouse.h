@@ -79,10 +79,22 @@ class GpuDataWarehouse {
   DeviceVar& putPatchVar(const std::string& label, int patchId,
                          const grid::CCVariable<T>& host,
                          GpuStream* stream = nullptr) {
+    return putPatchVarRaw(label, patchId, host.data(), host.window(),
+                          sizeof(T), stream);
+  }
+
+  /// Untyped upload for records that are not CCVariables — the fused
+  /// PackedCell arrays the ray-march kernel consumes. \p hostData must
+  /// stay alive until the stream's copy drains.
+  DeviceVar& putPatchVarRaw(const std::string& label, int patchId,
+                            const void* hostData,
+                            const grid::CellRange& window,
+                            std::size_t elemSize,
+                            GpuStream* stream = nullptr) {
     std::lock_guard<std::mutex> lk(m_mutex);
     DeviceVar& dv = allocInMapLocked(m_patchVars, key(label, patchId),
-                                     host.window(), sizeof(T));
-    upload(dv, host.data(), stream);
+                                     window, elemSize);
+    upload(dv, hostData, stream);
     return dv;
   }
 
@@ -147,6 +159,21 @@ class GpuDataWarehouse {
                                  const grid::CCVariable<T>& host,
                                  int patchIdForPerPatchMode = -1,
                                  GpuStream* stream = nullptr) {
+    return getOrUploadLevelVarRaw(label, levelIndex, host.data(),
+                                  host.window(), sizeof(T),
+                                  patchIdForPerPatchMode, stream);
+  }
+
+  /// Untyped level-database upload (fused PackedCell record arrays). Same
+  /// once-per-(label, level) semantics as the typed overload; \p hostData
+  /// is only read when this call actually uploads, and must then stay
+  /// alive until the stream's copy drains.
+  DeviceVar& getOrUploadLevelVarRaw(const std::string& label, int levelIndex,
+                                    const void* hostData,
+                                    const grid::CellRange& window,
+                                    std::size_t elemSize,
+                                    int patchIdForPerPatchMode = -1,
+                                    GpuStream* stream = nullptr) {
     std::lock_guard<std::mutex> lk(m_mutex);
     std::string k;
     if (m_mode == Mode::LevelDatabase) {
@@ -159,8 +186,8 @@ class GpuDataWarehouse {
     }
     auto it = m_levelVars.find(k);
     if (it != m_levelVars.end()) return it->second;
-    DeviceVar& dv = allocInMapLocked(m_levelVars, k, host.window(), sizeof(T));
-    upload(dv, host.data(), stream);
+    DeviceVar& dv = allocInMapLocked(m_levelVars, k, window, elemSize);
+    upload(dv, hostData, stream);
     return dv;
   }
 

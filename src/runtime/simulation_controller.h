@@ -10,6 +10,7 @@
 /// `radiationInterval` steps, with cheap carry-forward tasks in between
 /// copying the last radiation solution ahead.
 
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
@@ -68,6 +69,10 @@ class SimulationController {
     m_metrics = reg;
     m_metricsPrefix = std::move(prefix);
     m_ownsTimeline = ownsTimeline;
+    // Baseline for the per-step tracing-rate gauge: segments marched
+    // before this controller's run must not count toward its first step.
+    m_lastTracerSegments =
+        MetricsRegistry::global().counter("tracer.segments").value();
   }
 
   /// Run \p numTimesteps; returns one record per step.
@@ -103,7 +108,22 @@ class SimulationController {
         m_sched.exportMetrics(*m_metrics, m_metricsPrefix);
         m_metrics->setGauge(m_metricsPrefix + "step_seconds", rec.seconds);
         m_metrics->addCounter(m_metricsPrefix + "timesteps_completed", 1);
-        if (m_ownsTimeline) m_metrics->recordTimestep(step);
+        if (m_ownsTimeline) {
+          // Per-step tracing rate in Mseg/s: the delta of the global
+          // tracer.segments counter over this step's wall time — the
+          // timeline-owning rank publishes it so each timestep snapshot
+          // carries exactly one node-wide kernel-throughput sample.
+          const std::uint64_t segs =
+              MetricsRegistry::global().counter("tracer.segments").value();
+          const double rate =
+              rec.seconds > 0.0
+                  ? static_cast<double>(segs - m_lastTracerSegments) /
+                        rec.seconds / 1e6
+                  : 0.0;
+          m_lastTracerSegments = segs;
+          m_metrics->setGauge("tracer.mseg_per_s", rate);
+          m_metrics->recordTimestep(step);
+        }
       }
     }
     return records;
@@ -122,6 +142,9 @@ class SimulationController {
   MetricsRegistry* m_metrics = nullptr;
   std::string m_metricsPrefix;
   bool m_ownsTimeline = true;
+  /// tracer.segments reading at the end of the previous step (global,
+  /// node-wide counter) — the gauge publishes per-step deltas.
+  std::uint64_t m_lastTracerSegments = 0;
 };
 
 /// The standard RMCRT carry-forward task: copy divQ (and the property

@@ -2,7 +2,8 @@
 /// and the level database: many patch tasks in flight on streams, each
 /// staging its ROI privately while sharing the single coarse-level device
 /// copy — the full Section III-C execution pattern — validated bitwise
-/// against the serial solver.
+/// against the serial solver. Properties travel as fused PackedCell
+/// records: one array per ROI, one shared coarse array in the level DB.
 
 #include <gtest/gtest.h>
 
@@ -42,16 +43,26 @@ TEST(GpuBatchTrace, ConcurrentPatchTasksShareLevelDbAndMatchSerial) {
   grid::coarsenAverage(fSig, IntVector(4), cSig, coarse.cells());
   grid::coarsenCellType(fCt, IntVector(4), cCt, coarse.cells());
 
+  // Fused record arrays — the layout the kernel marches.
+  const PackedLevelField finePacked(
+      RadiationFieldsView{FieldView<double>::fromHost(fAbs),
+                          FieldView<double>::fromHost(fSig),
+                          FieldView<CellType>::fromHost(fCt)});
+  const PackedLevelField coarsePacked(
+      RadiationFieldsView{FieldView<double>::fromHost(cAbs),
+                          FieldView<double>::fromHost(cSig),
+                          FieldView<CellType>::fromHost(cCt)});
+
   gpu::GpuDevice::Config cfg;
   cfg.globalMemoryBytes = 64 << 20;
   cfg.workerSlots = 2;
   gpu::GpuDevice dev(cfg);
   gpu::GpuDataWarehouse gdw(dev);
 
-  // Shared coarse upload happens once, up front (level database).
-  gdw.getOrUploadLevelVar("abskg", 0, cAbs);
-  gdw.getOrUploadLevelVar("sigmaT4OverPi", 0, cSig);
-  gdw.getOrUploadLevelVar("cellType", 0, cCt);
+  // Shared coarse upload happens once, up front (level database): ONE
+  // copy where the unpacked layout staged three.
+  gdw.getOrUploadLevelVarRaw(RmcrtLabels::packedRad, 0, coarsePacked.data(),
+                             coarsePacked.window(), sizeof(PackedCell));
 
   const WallProperties walls{0.0, 1.0};
   std::vector<CCVariable<double>> results;
@@ -60,11 +71,15 @@ TEST(GpuBatchTrace, ConcurrentPatchTasksShareLevelDbAndMatchSerial) {
     results.emplace_back(p.cells(), 0.0);
 
   std::vector<gpu::GpuPatchTask> tasks;
+  // Per-task host ROI record arrays, alive until the executor finishes
+  // (uploads are enqueued on streams).
+  std::vector<PackedLevelField> roiPacked(fine.numPatches());
   for (std::size_t i = 0; i < fine.numPatches(); ++i) {
     // (patch reference is re-bound inside each lambda via init-capture)
     gpu::GpuPatchTask t;
     t.stage = [&, i, &p = fine.patch(i)](gpu::GpuStream& s) {
-      // Private ROI staging (ghosted copies of the fine fields).
+      // Private ROI staging: fuse the ghosted window into records, then
+      // ship ONE array.
       const CellRange roi =
           p.ghostWindow(setup.roiHalo).intersect(fine.cells());
       CCVariable<double> roiAbs(roi, 0.0), roiSig(roi, 0.0);
@@ -72,35 +87,30 @@ TEST(GpuBatchTrace, ConcurrentPatchTasksShareLevelDbAndMatchSerial) {
       roiAbs.copyRegion(fAbs, roi);
       roiSig.copyRegion(fSig, roi);
       roiCt.copyRegion(fCt, roi);
-      gdw.putPatchVar("abskg", p.id(), roiAbs, &s);
-      gdw.putPatchVar("sigmaT4OverPi", p.id(), roiSig, &s);
-      gdw.putPatchVar("cellType", p.id(), roiCt, &s);
+      roiPacked[i].pack(
+          RadiationFieldsView{FieldView<double>::fromHost(roiAbs),
+                              FieldView<double>::fromHost(roiSig),
+                              FieldView<CellType>::fromHost(roiCt)});
+      gdw.putPatchVarRaw(RmcrtLabels::packedRad, p.id(), roiPacked[i].data(),
+                         roiPacked[i].window(), sizeof(PackedCell), &s);
       gdw.allocatePatchVar("divQ", p.id(), p.cells(), sizeof(double));
-      // NOTE: host ROI temporaries die here, but the stream copied them
-      // synchronously? No: uploads are enqueued. Keep them alive by
-      // synchronizing the staging copies now (cheap at this scale).
+      // The CCVariable temporaries die here but the record array outlives
+      // the enqueued copy (roiPacked spans the executor run); still sync
+      // the staging copy for symmetry with the production path.
       s.synchronize();
     };
     t.kernel = [&, &p = fine.patch(i)] {
+      // Packed-only levels: `fields` stays invalid on the device.
       TraceLevel fineTL{
-          LevelGeom::from(fine),
-          RadiationFieldsView{
-              FieldView<double>::fromDevice(gdw.getPatchVar("abskg", p.id())),
-              FieldView<double>::fromDevice(
-                  gdw.getPatchVar("sigmaT4OverPi", p.id())),
-              FieldView<CellType>::fromDevice(
-                  gdw.getPatchVar("cellType", p.id()))},
-          gdw.getPatchVar("abskg", p.id()).window};
+          LevelGeom::from(fine), RadiationFieldsView{},
+          gdw.getPatchVar(RmcrtLabels::packedRad, p.id()).window,
+          PackedFieldView::fromDevice(
+              gdw.getPatchVar(RmcrtLabels::packedRad, p.id()))};
       TraceLevel coarseTL{
-          LevelGeom::from(coarse),
-          RadiationFieldsView{
-              FieldView<double>::fromDevice(
-                  gdw.getOrUploadLevelVar("abskg", 0, cAbs)),
-              FieldView<double>::fromDevice(
-                  gdw.getOrUploadLevelVar("sigmaT4OverPi", 0, cSig)),
-              FieldView<CellType>::fromDevice(
-                  gdw.getOrUploadLevelVar("cellType", 0, cCt))},
-          coarse.cells()};
+          LevelGeom::from(coarse), RadiationFieldsView{}, coarse.cells(),
+          PackedFieldView::fromDevice(gdw.getOrUploadLevelVarRaw(
+              RmcrtLabels::packedRad, 0, coarsePacked.data(),
+              coarsePacked.window(), sizeof(PackedCell)))};
       Tracer tracer({fineTL, coarseTL}, walls, setup.trace);
       gpu::DeviceVar out = gdw.getPatchVar("divQ", p.id());
       tracer.computeDivQ(p.cells(),
@@ -109,9 +119,7 @@ TEST(GpuBatchTrace, ConcurrentPatchTasksShareLevelDbAndMatchSerial) {
     t.finish = [&, i, &p = fine.patch(i)](gpu::GpuStream& s) {
       gdw.fetchPatchVar("divQ", p.id(), results[i], &s);
       s.synchronize();
-      gdw.removePatchVar("abskg", p.id());
-      gdw.removePatchVar("sigmaT4OverPi", p.id());
-      gdw.removePatchVar("cellType", p.id());
+      gdw.removePatchVar(RmcrtLabels::packedRad, p.id());
       gdw.removePatchVar("divQ", p.id());
     };
     tasks.push_back(std::move(t));
@@ -121,7 +129,7 @@ TEST(GpuBatchTrace, ConcurrentPatchTasksShareLevelDbAndMatchSerial) {
   EXPECT_EQ(stats.tasksRun, static_cast<int>(fine.numPatches()));
   EXPECT_GT(stats.maxConcurrentResident, 1)
       << "batch execution should actually overlap tasks";
-  EXPECT_EQ(gdw.numLevelVarCopies(), 3u);
+  EXPECT_EQ(gdw.numLevelVarCopies(), 1u);
 
   const CCVariable<double> serial =
       RmcrtComponent::solveSerialTwoLevel(*grid, setup);
@@ -130,11 +138,10 @@ TEST(GpuBatchTrace, ConcurrentPatchTasksShareLevelDbAndMatchSerial) {
       ASSERT_DOUBLE_EQ(results[i][c], serial[c])
           << "patch " << i << " cell " << c;
   }
-  // After the batch, only the shared level database remains resident.
+  // After the batch, only the shared level database remains resident:
+  // one fused record array covering the coarse level.
   const std::size_t levelBytes =
-      mem::MmapArena::roundToPages(cAbs.sizeBytes()) +
-      mem::MmapArena::roundToPages(cSig.sizeBytes()) +
-      mem::MmapArena::roundToPages(cCt.sizeBytes());
+      mem::MmapArena::roundToPages(coarsePacked.sizeBytes());
   EXPECT_EQ(dev.bytesInUse(), levelBytes);
 }
 

@@ -122,8 +122,9 @@ TEST(RmcrtPipeline, GpuPipelineMatchesSerialExactly) {
   }
   auto scheds = runDistributed(grid, numRanks, setup, true, &devices, &gdws);
   compareToSerial(*grid, setup, scheds);
-  // The level database held exactly one shared copy of each coarse var.
-  for (auto& gdw : gdws) EXPECT_EQ(gdw->numLevelVarCopies(), 3u);
+  // The level database held exactly one shared copy of the fused coarse
+  // records (abskg + sigmaT4 + cellType travel as one PackedCell array).
+  for (auto& gdw : gdws) EXPECT_EQ(gdw->numLevelVarCopies(), 1u);
   // PCIe traffic flowed both ways.
   for (auto& dev : devices) {
     EXPECT_GT(dev->stats().h2dBytes, 0u);

@@ -1,0 +1,79 @@
+/// tileCells contract: tiles exactly partition the input range (every
+/// cell in exactly one tile) for divisible and non-divisible tile
+/// shapes, the tile count matches the closed-form ceil-div formula the
+/// reserve() uses, and degenerate inputs behave.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "core/ray_tracer.h"
+
+namespace rmcrt::core {
+namespace {
+
+int ceilDiv(int a, int b) { return (a + b - 1) / b; }
+
+void expectExactPartition(const CellRange& cells, const IntVector& tileSize) {
+  const std::vector<CellRange> tiles = tileCells(cells, tileSize);
+
+  const IntVector ts(std::max(1, tileSize.x()), std::max(1, tileSize.y()),
+                     std::max(1, tileSize.z()));
+  const IntVector sz = cells.size();
+  const std::size_t expectedCount =
+      static_cast<std::size_t>(ceilDiv(sz.x(), ts.x())) *
+      ceilDiv(sz.y(), ts.y()) * ceilDiv(sz.z(), ts.z());
+  EXPECT_EQ(tiles.size(), expectedCount);
+
+  // Exact coverage, no overlap: each cell appears exactly once.
+  std::set<std::tuple<int, int, int>> seen;
+  std::int64_t total = 0;
+  for (const CellRange& t : tiles) {
+    EXPECT_TRUE(cells.contains(t.low()));
+    EXPECT_TRUE(cells.contains(t.high() - IntVector(1)));
+    for (const IntVector& c : t) {
+      EXPECT_TRUE(seen.insert({c.x(), c.y(), c.z()}).second)
+          << "cell " << c << " in two tiles";
+      ++total;
+    }
+    // No tile exceeds the requested shape.
+    EXPECT_LE(t.size().x(), ts.x());
+    EXPECT_LE(t.size().y(), ts.y());
+    EXPECT_LE(t.size().z(), ts.z());
+  }
+  EXPECT_EQ(total, cells.volume());
+}
+
+TEST(TileCells, DivisibleShapeExactPartition) {
+  expectExactPartition(CellRange(IntVector(0), IntVector(16)),
+                       IntVector(8, 8, 8));
+}
+
+TEST(TileCells, NonDivisibleShapeExactPartition) {
+  // 10/4 -> tiles of 4,4,2 per axis; remainder tiles must stay in range.
+  expectExactPartition(CellRange(IntVector(0), IntVector(10)),
+                       IntVector(4, 4, 4));
+  // Mixed per-axis remainders, negative-offset window.
+  expectExactPartition(CellRange(IntVector(-3, 1, -7), IntVector(9, 14, 2)),
+                       IntVector(5, 3, 7));
+  // Tile larger than the range: one tile, the range itself.
+  const auto tiles = tileCells(CellRange(IntVector(0), IntVector(4)),
+                               IntVector(64, 64, 64));
+  ASSERT_EQ(tiles.size(), 1u);
+  EXPECT_EQ(tiles[0], CellRange(IntVector(0), IntVector(4)));
+}
+
+TEST(TileCells, TileSizeClampedToOne) {
+  // Non-positive components clamp to 1 cell per axis.
+  expectExactPartition(CellRange(IntVector(0), IntVector(3)),
+                       IntVector(0, -2, 1));
+}
+
+TEST(TileCells, EmptyRangeYieldsNoTiles) {
+  EXPECT_TRUE(
+      tileCells(CellRange(IntVector(5), IntVector(5)), IntVector(8)).empty());
+}
+
+}  // namespace
+}  // namespace rmcrt::core

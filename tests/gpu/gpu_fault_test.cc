@@ -244,8 +244,10 @@ TEST(GpuPipelineResilience, SqueezedDeviceFallsBackToCpuBitwise) {
   std::vector<std::unique_ptr<GpuDevice>> devices;
   std::vector<std::unique_ptr<GpuDataWarehouse>> gdws;
   comm::Communicator world(2);
+  // 16 KB cannot hold even one interior patch's fused ROI records
+  // (~10^3 cells * 24 B, page-rounded to 24 KB).
   auto scheds =
-      runGpuPipeline(grid, 2, setup, /*deviceBytes=*/32 << 10,
+      runGpuPipeline(grid, 2, setup, /*deviceBytes=*/16 << 10,
                      GpuDataWarehouse::Mode::LevelDatabase, devices, gdws,
                      world);
   compareToSerial(*grid, setup, scheds);
@@ -267,13 +269,13 @@ TEST(GpuPipelineResilience, EvictionRescuesPerPatchCopies) {
   std::vector<std::unique_ptr<GpuDevice>> devices;
   std::vector<std::unique_ptr<GpuDataWarehouse>> gdws;
   comm::Communicator world(2);
-  // Sizing: each patch task transiently needs ~36 KB (page-rounded ROI
-  // vars + divQ + its own 3 coarse copies) while the stale coarse copies
-  // of previous patches accumulate at ~12 KB per patch. 192 KB therefore
-  // fills after roughly a dozen of a rank's 32 patches — well before the
-  // timestep ends — yet offers ample room once evicted.
+  // Sizing: each patch task transiently needs ~32 KB (page-rounded fused
+  // ROI records + divQ + its own fused coarse copy) while the stale
+  // coarse copies of previous patches accumulate at ~4 KB per patch.
+  // 96 KB therefore fills after roughly half of a rank's 32 patches —
+  // well before the timestep ends — yet offers ample room once evicted.
   auto scheds =
-      runGpuPipeline(grid, 2, setup, /*deviceBytes=*/192 << 10,
+      runGpuPipeline(grid, 2, setup, /*deviceBytes=*/96 << 10,
                      GpuDataWarehouse::Mode::PerPatchCopies, devices, gdws,
                      world);
   compareToSerial(*grid, setup, scheds);

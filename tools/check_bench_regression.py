@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Perf-regression gate for bench_rmcrt_kernel JSON baselines.
+
+Compares a freshly measured sweep (e.g. the CI --smoke run) against the
+committed baseline and fails on a throughput collapse:
+
+    check_bench_regression.py --current ci.json --baseline BENCH_rmcrt_kernel.json
+
+Checks, in order:
+  1. Every bitwise_match flag in the current run is true (thread sweep,
+     layout A/B, segment microbench) — a perf number from a wrong answer
+     is meaningless.
+  2. Single-thread sweep Mseg/s >= tolerance * the baseline's. The
+     default tolerance of 0.5 only catches collapses (an accidental
+     debug-layout revert, an O(N) regression in the march loop), not
+     machine-to-machine noise: CI runners and the baseline host differ,
+     so tighter bounds would flake.
+  3. The packed layout has not collapsed against unpacked. The segment
+     microbench (a fixed ray bundle through the bare march loop) is the
+     stable signal and must show speedup >= 1.0; the end-to-end divQ A/B
+     shares its timing with per-ray sampling overhead and inherits
+     single-core runner jitter, so it only fails below 0.75.
+
+Exit code 0 = pass, 1 = regression, 2 = unusable input. Stdlib only.
+"""
+
+import argparse
+import json
+import sys
+
+
+def single_thread_mseg(doc, path):
+    for sample in doc.get("sweep", []):
+        if sample.get("threads") == 1:
+            return float(sample["mseg_per_s"])
+    raise SystemExit(f"error: no threads==1 sample in {path}")
+
+
+def check_bitwise(doc, path):
+    bad = []
+    for sample in doc.get("sweep", []):
+        if sample.get("bitwise_match") is not True:
+            bad.append(f"sweep threads={sample.get('threads')}")
+    for section in ("layout", "segment_microbench"):
+        entry = doc.get(section)
+        if entry is not None and entry.get("bitwise_match") is not True:
+            bad.append(section)
+    return bad
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--current", required=True,
+                    help="JSON written by this run's bench_rmcrt_kernel")
+    ap.add_argument("--baseline", required=True,
+                    help="committed baseline JSON to compare against")
+    ap.add_argument("--tolerance", type=float, default=0.5,
+                    help="minimum fraction of baseline single-thread "
+                         "Mseg/s that passes (default 0.5)")
+    args = ap.parse_args()
+
+    try:
+        with open(args.current) as f:
+            current = json.load(f)
+        with open(args.baseline) as f:
+            baseline = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: cannot load bench JSON: {e}", file=sys.stderr)
+        return 2
+
+    failures = []
+
+    bad_bitwise = check_bitwise(current, args.current)
+    if bad_bitwise:
+        failures.append("bitwise mismatch in: " + ", ".join(bad_bitwise))
+
+    cur = single_thread_mseg(current, args.current)
+    base = single_thread_mseg(baseline, args.baseline)
+    floor = args.tolerance * base
+    verdict = "OK" if cur >= floor else "FAIL"
+    print(f"single-thread: current {cur:.2f} Mseg/s vs baseline "
+          f"{base:.2f} Mseg/s (floor {floor:.2f}, x{args.tolerance}) "
+          f"[{verdict}]")
+    if cur < floor:
+        failures.append(
+            f"single-thread Mseg/s collapsed: {cur:.2f} < {floor:.2f}")
+
+    # (section key, floor, label): the microbench isolates the march loop
+    # and is stable enough for a hard >= 1.0 bound; the end-to-end divQ
+    # A/B jitters with the runner, so only a collapse below 0.75 fails.
+    for key, floor, label in (("segment_microbench", 1.0,
+                               "segment microbench"),
+                              ("layout", 0.75, "divQ layout A/B")):
+        entry = current.get(key)
+        if entry is None:
+            continue
+        speedup = float(entry.get("speedup", 0.0))
+        verdict = "OK" if speedup >= floor else "FAIL"
+        print(f"{label}: packed {entry.get('packed_mseg_per_s'):.2f} "
+              f"vs unpacked {entry.get('unpacked_mseg_per_s'):.2f} Mseg/s "
+              f"({speedup:.2f}x, floor {floor}) [{verdict}]")
+        if speedup < floor:
+            failures.append(
+                f"{label}: packed vs unpacked collapsed ({speedup:.2f}x "
+                f"< {floor}x)")
+
+    if failures:
+        for f in failures:
+            print(f"REGRESSION: {f}", file=sys.stderr)
+        return 1
+    print("perf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,6 +10,7 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
@@ -25,6 +26,7 @@
 #include "grid/load_balancer.h"
 #include "mem/mmap_arena.h"
 #include "runtime/simulation_controller.h"
+#include "runtime/snapshot.h"
 #include "sim/calibration.h"
 #include "util/observability_cli.h"
 #include "util/thread_pool.h"
@@ -475,6 +477,108 @@ void runAdaptivePipeline(int regridEvery, double threshold) {
             << stats.lastImbalance << "\n";
 }
 
+/// Snapshot-overhead mode (--snapshot-every=N): drive the 2-rank
+/// Burns & Christon two-level pipeline through a run that checkpoints the
+/// whole cluster every N completed steps (runtime/snapshot.h), and report
+/// the cost of each checkpoint — MB written and ms spent under the
+/// snapshot barrier — into BENCH_snapshot.json. The baseline run (same
+/// steps, no snapshots) gives the wall-clock overhead fraction.
+void runSnapshotBench(int snapshotEvery, const std::string& jsonPath) {
+  using runtime::HarnessConfig;
+  using runtime::HarnessResult;
+  using runtime::WorldHarness;
+
+  auto grid = grid::Grid::makeTwoLevel(Vector(0.0), Vector(1.0),
+                                       IntVector(16), IntVector(4),
+                                       IntVector(8), IntVector(4));
+  RmcrtSetup setup;
+  setup.problem = burnsChriston();
+  setup.trace.nDivQRays = 4;
+  setup.roiHalo = 2;
+
+  const int ranks = 2;
+  const int steps = 4 * snapshotEvery + 1;  // several checkpoints
+  const auto makeCfg = [&](int every) {
+    HarnessConfig cfg;
+    cfg.grid = grid;
+    cfg.numRanks = ranks;
+    cfg.steps = steps;
+    cfg.radiationInterval = 1;
+    cfg.registerRadiation = [setup](runtime::Scheduler& s) {
+      RmcrtComponent::registerTwoLevelPipeline(s, setup);
+    };
+    const int fineLevel = grid->numLevels() - 1;
+    cfg.registerCarryForward = [fineLevel](runtime::Scheduler& s) {
+      s.addTask(runtime::makeCarryForwardTask({RmcrtLabels::divQ},
+                                              fineLevel));
+    };
+    cfg.snapshotEvery = every;
+    if (every > 0) cfg.snapshotDir = "/tmp/rmcrt_bench_snapshot";
+    return cfg;
+  };
+
+  std::filesystem::remove_all("/tmp/rmcrt_bench_snapshot");
+
+  Timer baseTimer;
+  HarnessResult baseline;
+  {
+    WorldHarness h(makeCfg(0));
+    baseline = h.run();
+  }
+  const double baseSeconds = baseTimer.seconds();
+
+  Timer snapTimer;
+  HarnessResult snap;
+  {
+    WorldHarness h(makeCfg(snapshotEvery));
+    snap = h.run();
+  }
+  const double snapSeconds = snapTimer.seconds();
+  std::filesystem::remove_all("/tmp/rmcrt_bench_snapshot");
+
+  if (!baseline.completed || !snap.completed || snap.snapshots == 0) {
+    std::cerr << "snapshot bench: run did not complete (baseline "
+              << baseline.completed << ", snap " << snap.completed
+              << ", checkpoints " << snap.snapshots << ")\n";
+    std::exit(1);
+  }
+
+  const double mbPerCheckpoint = static_cast<double>(snap.snapshotBytes) /
+                                 snap.snapshots / 1e6;
+  const double msPerCheckpoint =
+      snap.snapshotSeconds * 1e3 / snap.snapshots;
+  const double overheadFraction =
+      baseSeconds > 0.0 ? (snapSeconds - baseSeconds) / baseSeconds : 0.0;
+
+  std::ofstream out(jsonPath);
+  out << std::setprecision(6) << std::fixed;
+  out << "{\n"
+      << "  \"benchmark\": \"rmcrt_snapshot_overhead\",\n"
+      << "  \"problem\": \"burns_christon\",\n"
+      << "  \"ranks\": " << ranks << ",\n"
+      << "  \"steps\": " << steps << ",\n"
+      << "  \"snapshot_every\": " << snapshotEvery << ",\n"
+      << "  \"checkpoints\": " << snap.snapshots << ",\n"
+      << "  \"mb_per_checkpoint\": " << mbPerCheckpoint << ",\n"
+      << "  \"ms_per_checkpoint\": " << msPerCheckpoint << ",\n"
+      << "  \"run_seconds\": " << snapSeconds << ",\n"
+      << "  \"baseline_seconds\": " << baseSeconds << ",\n"
+      << "  \"overhead_fraction\": " << overheadFraction << "\n"
+      << "}\n";
+
+  std::cout << std::fixed;
+  std::cout << "snapshot overhead: " << snap.snapshots
+            << " checkpoints over " << steps << " steps (every "
+            << snapshotEvery << ")\n"
+            << "  " << std::setprecision(2) << mbPerCheckpoint
+            << " MB/checkpoint, " << msPerCheckpoint
+            << " ms/checkpoint\n"
+            << "  run " << snapSeconds << " s vs baseline " << baseSeconds
+            << " s (" << std::setprecision(1) << overheadFraction * 100.0
+            << "% overhead)\n"
+            << "  written to " << jsonPath << "\n";
+}
+
 void printCalibrationTable() {
   using namespace rmcrt::sim;
   std::cout << "\n=== Kernel throughput per patch size (model calibration "
@@ -504,12 +608,16 @@ int main(int argc, char** argv) {
   //       mini distributed pipeline instead of the benchmark suite)
   //   --regrid-every=N       run the adaptive AMR pipeline (regrid cadence)
   //   --regrid-threshold=X   refinement-flag threshold for that mode
+  //   --snapshot-every=N     measure whole-cluster checkpoint overhead
+  //       (MB and ms per checkpoint) into BENCH_snapshot.json
   const rmcrt::ObservabilityOptions obs =
       rmcrt::parseObservabilityFlags(argc, argv);
   bool smoke = false;
   std::string jsonPath = "BENCH_rmcrt_kernel.json";
+  bool jsonPathSet = false;
   int regridEvery = 0;
   double regridThreshold = 0.10;
+  int snapshotEvery = 0;
   int keep = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
@@ -520,16 +628,26 @@ int main(int argc, char** argv) {
       g_packedLayout = false;
     } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
       jsonPath = argv[i] + 7;
+      jsonPathSet = true;
     } else if (std::strncmp(argv[i], "--regrid-every=", 15) == 0) {
       regridEvery = std::atoi(argv[i] + 15);
     } else if (std::strncmp(argv[i], "--regrid-threshold=", 19) == 0) {
       regridThreshold = std::atof(argv[i] + 19);
+    } else if (std::strncmp(argv[i], "--snapshot-every=", 17) == 0) {
+      snapshotEvery = std::atoi(argv[i] + 17);
     } else {
       argv[keep++] = argv[i];
     }
   }
   argc = keep;
 
+  if (snapshotEvery > 0) {
+    // Own output file so a combined CI invocation never clobbers the
+    // kernel-sweep baseline.
+    runSnapshotBench(snapshotEvery,
+                     jsonPathSet ? jsonPath : "BENCH_snapshot.json");
+    return 0;
+  }
   if (regridEvery > 0) {
     if (obs.any()) rmcrt::TraceRecorder::global().setEnabled(true);
     runAdaptivePipeline(regridEvery, regridThreshold);

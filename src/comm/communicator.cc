@@ -1,7 +1,10 @@
 #include "comm/communicator.h"
 
+#include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cstring>
+#include <sstream>
 #include <thread>
 
 #include "comm/fault_injector.h"
@@ -14,6 +17,43 @@ Communicator::Communicator(int size) : m_size(size) {
   m_boxes.reserve(static_cast<std::size_t>(size));
   for (int i = 0; i < size; ++i)
     m_boxes.push_back(std::make_unique<Mailbox>());
+  m_collEntries.assign(static_cast<std::size_t>(size), 0);
+}
+
+std::string Communicator::collectiveTimeoutReasonLocked(int rank) const {
+  std::ostringstream os;
+  os << "rank " << rank << " timed out after " << m_collTimeoutSeconds
+     << "s in a collective; waiting for ranks [";
+  const std::uint64_t mine = m_collEntries[static_cast<std::size_t>(rank)];
+  bool first = true;
+  for (int r = 0; r < m_size; ++r) {
+    if (m_collEntries[static_cast<std::size_t>(r)] >= mine) continue;
+    os << (first ? " " : ", ") << r;
+    first = false;
+  }
+  os << " ] (suspected dead or severely delayed)";
+  return os.str();
+}
+
+template <typename Pred>
+void Communicator::collectiveWaitLocked(std::unique_lock<std::mutex>& lk,
+                                        int rank, Pred&& pred) {
+  if (m_collTimeoutSeconds <= 0.0) {
+    m_collCv.wait(lk, std::forward<Pred>(pred));
+    return;
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(m_collTimeoutSeconds));
+  if (!m_collCv.wait_until(lk, deadline, std::forward<Pred>(pred))) {
+    // Abort inline: we already hold m_collMutex, so calling abort() here
+    // would deadlock. The caller's epoch check turns this into CommAborted.
+    if (m_abortReason.empty())
+      m_abortReason = collectiveTimeoutReasonLocked(rank);
+    m_aborted.store(true, std::memory_order_release);
+    m_collCv.notify_all();
+  }
 }
 
 Communicator::~Communicator() {
@@ -214,24 +254,25 @@ std::string Communicator::abortReason() const {
 }
 
 void Communicator::barrier(int rank) {
-  (void)rank;
   std::unique_lock<std::mutex> lk(m_collMutex);
   if (aborted()) throw CommAborted(m_abortReason);
+  ++m_collEntries[static_cast<std::size_t>(rank)];
   const std::uint64_t epoch = m_barrierEpoch;
   if (++m_barrierCount == m_size) {
     m_barrierCount = 0;
     ++m_barrierEpoch;
     m_collCv.notify_all();
   } else {
-    m_collCv.wait(lk, [&] { return m_barrierEpoch != epoch || aborted(); });
+    collectiveWaitLocked(lk, rank,
+                         [&] { return m_barrierEpoch != epoch || aborted(); });
     if (m_barrierEpoch == epoch) throw CommAborted(m_abortReason);
   }
 }
 
 double Communicator::allReduceSum(int rank, double value) {
-  (void)rank;
   std::unique_lock<std::mutex> lk(m_collMutex);
   if (aborted()) throw CommAborted(m_abortReason);
+  ++m_collEntries[static_cast<std::size_t>(rank)];
   const std::uint64_t epoch = m_reduceEpoch;
   if (m_reduceCount == 0) m_reduceAcc = 0.0;
   m_reduceAcc += value;
@@ -242,15 +283,16 @@ double Communicator::allReduceSum(int rank, double value) {
     m_collCv.notify_all();
     return m_reduceResult;
   }
-  m_collCv.wait(lk, [&] { return m_reduceEpoch != epoch || aborted(); });
+  collectiveWaitLocked(lk, rank,
+                       [&] { return m_reduceEpoch != epoch || aborted(); });
   if (m_reduceEpoch == epoch) throw CommAborted(m_abortReason);
   return m_reduceResult;
 }
 
 double Communicator::allReduceMax(int rank, double value) {
-  (void)rank;
   std::unique_lock<std::mutex> lk(m_collMutex);
   if (aborted()) throw CommAborted(m_abortReason);
+  ++m_collEntries[static_cast<std::size_t>(rank)];
   const std::uint64_t epoch = m_reduceEpoch;
   if (m_reduceCount == 0)
     m_reduceAcc = value;
@@ -263,7 +305,8 @@ double Communicator::allReduceMax(int rank, double value) {
     m_collCv.notify_all();
     return m_reduceResult;
   }
-  m_collCv.wait(lk, [&] { return m_reduceEpoch != epoch || aborted(); });
+  collectiveWaitLocked(lk, rank,
+                       [&] { return m_reduceEpoch != epoch || aborted(); });
   if (m_reduceEpoch == epoch) throw CommAborted(m_abortReason);
   return m_reduceResult;
 }
@@ -272,6 +315,7 @@ void Communicator::allGather(int rank, const void* mine, std::size_t bytes,
                              void* out) {
   std::unique_lock<std::mutex> lk(m_collMutex);
   if (aborted()) throw CommAborted(m_abortReason);
+  ++m_collEntries[static_cast<std::size_t>(rank)];
   const std::uint64_t epoch = m_gatherEpoch;
   std::vector<std::byte>& buf = m_gatherBuf[epoch & 1];
   if (m_gatherCount == 0)
@@ -283,7 +327,8 @@ void Communicator::allGather(int rank, const void* mine, std::size_t bytes,
     ++m_gatherEpoch;
     m_collCv.notify_all();
   } else {
-    m_collCv.wait(lk, [&] { return m_gatherEpoch != epoch || aborted(); });
+    collectiveWaitLocked(lk, rank,
+                         [&] { return m_gatherEpoch != epoch || aborted(); });
     if (m_gatherEpoch == epoch) throw CommAborted(m_abortReason);
   }
   std::memcpy(out, buf.data(), static_cast<std::size_t>(m_size) * bytes);

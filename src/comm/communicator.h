@@ -160,6 +160,17 @@ class Communicator {
   /// out by rank.
   void allGather(int rank, const void* mine, std::size_t bytes, void* out);
 
+  /// Bound the time any rank may wait inside a collective. <= 0 (the
+  /// default) waits forever — correct when every rank is known alive. With
+  /// a timeout set, a rank that waits longer aborts the whole world with a
+  /// diagnostic naming the ranks that never arrived: this is how survivors
+  /// of a lost rank escape a barrier the dead rank can never reach (the
+  /// watchdog only covers the message-passing phase, not the barrier).
+  void setCollectiveTimeout(double seconds) {
+    std::lock_guard<std::mutex> lk(m_collMutex);
+    m_collTimeoutSeconds = seconds;
+  }
+
   /// Mark the world dead: every rank blocked in a collective or blocking
   /// recv (now or later) throws CommAborted instead of waiting forever.
   /// Idempotent; the first reason wins.
@@ -200,6 +211,18 @@ class Communicator {
   /// Deliver the message (if any) held back for reordering on (src,dst).
   void flushReorderSlot(int src, int dst);
 
+  /// Wait on m_collCv under \p lk until \p pred holds, honouring the
+  /// collective timeout: on expiry, abort the world in place (the caller
+  /// already holds m_collMutex, so Communicator::abort would deadlock)
+  /// with a reason naming the laggard ranks.
+  template <typename Pred>
+  void collectiveWaitLocked(std::unique_lock<std::mutex>& lk, int rank,
+                            Pred&& pred);
+
+  /// "rank R timed out ... waiting for ranks [...]" — the laggards are the
+  /// ranks whose collective-entry count trails ours.
+  std::string collectiveTimeoutReasonLocked(int rank) const;
+
   int m_size;
   std::vector<std::unique_ptr<Mailbox>> m_boxes;
 
@@ -213,6 +236,11 @@ class Communicator {
   mutable std::mutex m_collMutex;
   std::condition_variable m_collCv;
   std::string m_abortReason;
+  double m_collTimeoutSeconds = 0.0;  ///< <= 0: wait forever
+  /// Collective entries per rank. Every rank runs the same collective
+  /// sequence, so during a stall the laggards are exactly the ranks whose
+  /// count trails the waiter's — cheap dead-rank identification.
+  std::vector<std::uint64_t> m_collEntries;
   int m_barrierCount = 0;
   std::uint64_t m_barrierEpoch = 0;
   double m_reduceAcc = 0.0;

@@ -1,5 +1,6 @@
 #include "comm/fault_injector.h"
 
+#include <sstream>
 #include <utility>
 
 namespace rmcrt::comm {
@@ -48,9 +49,31 @@ void FaultInjector::script(const ScriptedFault& f) {
   m_scripts.push_back(ScriptState{f, 0});
 }
 
+void FaultInjector::killRank(int rank) {
+  std::lock_guard<std::mutex> lk(m_mutex);
+  m_killed.insert(rank);
+}
+
+bool FaultInjector::isKilled(int rank) const {
+  std::lock_guard<std::mutex> lk(m_mutex);
+  return m_killed.count(rank) > 0;
+}
+
+std::vector<int> FaultInjector::killedRanks() const {
+  std::lock_guard<std::mutex> lk(m_mutex);
+  return std::vector<int>(m_killed.begin(), m_killed.end());
+}
+
 FaultInjector::Plan FaultInjector::plan(int src, int dst, std::int64_t tag) {
   m_examined.fetch_add(1, std::memory_order_relaxed);
   std::lock_guard<std::mutex> lk(m_mutex);
+
+  // A dead rank neither sends nor receives: silence on every touching
+  // link. Checked before scripts so a kill overrides any other fate.
+  if (m_killed.count(src) > 0 || m_killed.count(dst) > 0) {
+    m_dropped.fetch_add(1, std::memory_order_relaxed);
+    return Plan{FaultAction::Drop, 0.0};
+  }
 
   // Scripted faults take precedence over the probabilistic draw.
   for (ScriptState& s : m_scripts) {
@@ -176,6 +199,66 @@ void FaultInjector::timerLoop() {
     m_timerRunning = false;
     m_timerIdleCv.notify_all();
   }
+}
+
+std::string FaultInjector::saveState() const {
+  std::lock_guard<std::mutex> lk(m_mutex);
+  std::ostringstream os;
+  os << "faultinjector v1\n";
+  os << "killed " << m_killed.size();
+  for (int r : m_killed) os << ' ' << r;
+  os << '\n';
+  os << "scripts " << m_scripts.size();
+  for (const ScriptState& s : m_scripts) os << ' ' << s.matches;
+  os << '\n';
+  os << "links " << m_links.size() << '\n';
+  for (const auto& [key, link] : m_links) {
+    os << key.first << ' ' << key.second << ' ' << link.count << ' '
+       << (link.seeded ? 1 : 0) << ' ' << link.rng << '\n';
+  }
+  return os.str();
+}
+
+bool FaultInjector::restoreState(const std::string& blob) {
+  std::istringstream is(blob);
+  std::string word, version;
+  if (!(is >> word >> version) || word != "faultinjector" || version != "v1")
+    return false;
+
+  std::size_t nKilled = 0;
+  if (!(is >> word >> nKilled) || word != "killed") return false;
+  std::set<int> killed;
+  for (std::size_t i = 0; i < nKilled; ++i) {
+    int r;
+    if (!(is >> r)) return false;
+    killed.insert(r);
+  }
+
+  std::size_t nScripts = 0;
+  if (!(is >> word >> nScripts) || word != "scripts") return false;
+  std::vector<std::uint64_t> matches(nScripts);
+  for (std::size_t i = 0; i < nScripts; ++i)
+    if (!(is >> matches[i])) return false;
+
+  std::size_t nLinks = 0;
+  if (!(is >> word >> nLinks) || word != "links") return false;
+  std::map<std::pair<int, int>, LinkState> links;
+  for (std::size_t i = 0; i < nLinks; ++i) {
+    int src, dst, seeded;
+    LinkState link;
+    if (!(is >> src >> dst >> link.count >> seeded >> link.rng)) return false;
+    link.seeded = seeded != 0;
+    links[{src, dst}] = std::move(link);
+  }
+
+  std::lock_guard<std::mutex> lk(m_mutex);
+  // The script list itself is configuration (re-registered by the caller);
+  // only the match counters are state. Count mismatch = different config.
+  if (m_scripts.size() != nScripts) return false;
+  for (std::size_t i = 0; i < nScripts; ++i) m_scripts[i].matches = matches[i];
+  m_killed = std::move(killed);
+  m_links = std::move(links);
+  return true;
 }
 
 FaultInjectorStats FaultInjector::stats() const {

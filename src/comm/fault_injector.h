@@ -28,6 +28,8 @@
 #include <mutex>
 #include <queue>
 #include <random>
+#include <set>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -89,6 +91,27 @@ class FaultInjector {
   /// Register a scripted fault (matched before the probabilistic draw).
   void script(const ScriptedFault& f);
 
+  /// Simulate whole-rank death: every message to or from \p rank is
+  /// dropped from now on (counted as drops). The rank's own threads keep
+  /// running until the harness unwinds them; the cluster-visible effect —
+  /// total silence on every link touching the rank — is what matters for
+  /// recovery testing.
+  void killRank(int rank);
+  bool isKilled(int rank) const;
+  std::vector<int> killedRanks() const;
+
+  /// Serialize the deterministic decision state — per-link RNG engines and
+  /// draw counts, scripted-fault match counters, and the killed set — as an
+  /// opaque text blob. Restoring it into an injector configured with the
+  /// same seed/probabilities/scripts reproduces the exact fault sequence, a
+  /// prerequisite for deterministic replay of a faulty window. Transient
+  /// timer state (in-flight deferred deliveries) is intentionally excluded:
+  /// snapshots are taken at quiescent step boundaries.
+  std::string saveState() const;
+  /// Restore state written by saveState(). Returns false (leaving the
+  /// injector untouched) on a malformed or version-mismatched blob.
+  bool restoreState(const std::string& blob);
+
   /// Decide the fate of one message. Called by Communicator::isend.
   Plan plan(int src, int dst, std::int64_t tag);
 
@@ -138,6 +161,7 @@ class FaultInjector {
   std::map<std::pair<int, int>, FaultProbabilities> m_linkProbs;
   std::map<std::pair<int, int>, LinkState> m_links;
   std::vector<ScriptState> m_scripts;
+  std::set<int> m_killed;
 
   std::mutex m_timerMutex;
   std::condition_variable m_timerCv;

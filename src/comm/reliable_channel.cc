@@ -279,6 +279,77 @@ std::vector<std::pair<int, std::int64_t>> ReliableChannel::pendingRecvs()
   return out;
 }
 
+bool ReliableChannel::linkDead(int dst) const {
+  std::lock_guard<std::mutex> lk(m_mutex);
+  auto it = m_sendLinks.find(dst);
+  return it != m_sendLinks.end() && it->second.dead;
+}
+
+ReliableChannel::ChannelState ReliableChannel::saveState() const {
+  std::lock_guard<std::mutex> lk(m_mutex);
+  ChannelState state;
+  state.sendLinks.reserve(m_sendLinks.size());
+  for (const auto& [dst, link] : m_sendLinks) {
+    ChannelState::SendLinkState s;
+    s.dst = dst;
+    s.nextSeq = link.nextSeq;
+    s.dead = link.dead;
+    s.unacked.reserve(link.unacked.size());
+    for (const auto& [seq, u] : link.unacked) {
+      ChannelState::Frame f;
+      f.seq = seq;
+      f.tag = u.tag;
+      f.bytes.resize(u.frame->size());
+      if (!f.bytes.empty())
+        std::memcpy(f.bytes.data(), u.frame->data(), f.bytes.size());
+      s.unacked.push_back(std::move(f));
+    }
+    state.sendLinks.push_back(std::move(s));
+  }
+  state.recvLinks.reserve(m_recvLinks.size());
+  for (const auto& [src, link] : m_recvLinks) {
+    ChannelState::RecvLinkState r;
+    r.src = src;
+    r.cumAck = link.cumAck;
+    r.ahead.assign(link.ahead.begin(), link.ahead.end());
+    state.recvLinks.push_back(std::move(r));
+  }
+  return state;
+}
+
+bool ReliableChannel::restoreState(const ChannelState& state) {
+  std::lock_guard<std::mutex> lk(m_mutex);
+  if (!m_recvs.empty()) return false;  // live traffic: refuse
+
+  m_sendLinks.clear();
+  m_recvLinks.clear();
+  const auto now = Clock::now();
+  for (const auto& s : state.sendLinks) {
+    SendLink& link = m_sendLinks[s.dst];
+    link.nextSeq = s.nextSeq;
+    link.dead = s.dead;
+    for (const auto& f : s.unacked) {
+      Unacked u;
+      u.tag = f.tag;
+      u.frame = std::make_shared<Buffer>(f.bytes.size());
+      if (!f.bytes.empty())
+        std::memcpy(u.frame->data(), f.bytes.data(), f.bytes.size());
+      // Due immediately with a fresh retry budget: progress() retransmits,
+      // and the peer's restored cumAck discards any frame that did land.
+      u.deadline = now;
+      u.retries = 0;
+      u.backoffMs = m_cfg.baseBackoffMs;
+      link.unacked.emplace(f.seq, std::move(u));
+    }
+  }
+  for (const auto& r : state.recvLinks) {
+    RecvLink& link = m_recvLinks[r.src];
+    link.cumAck = r.cumAck;
+    link.ahead.insert(r.ahead.begin(), r.ahead.end());
+  }
+  return true;
+}
+
 ReliableChannelStats ReliableChannel::stats() const {
   std::lock_guard<std::mutex> lk(m_mutex);
   return m_stats;

@@ -113,6 +113,45 @@ class ReliableChannel {
   /// Incomplete posted receives as (source, tag) — stall diagnostics.
   std::vector<std::pair<int, std::int64_t>> pendingRecvs() const;
 
+  /// True when the send link to \p dst has exhausted its retry cap — the
+  /// strongest evidence this endpoint has that \p dst is dead rather than
+  /// merely slow (a slow rank still acks once the frame finally lands).
+  bool linkDead(int dst) const;
+
+  /// Serializable protocol state: everything needed to resume the
+  /// endpoint's links after a restore — per-destination sequence counters
+  /// and in-flight (unacked) frames, per-source cumulative-ack/out-of-order
+  /// dedup state. Pending receives are deliberately absent: snapshots are
+  /// taken at quiescent step boundaries where none exist.
+  struct ChannelState {
+    struct Frame {
+      std::uint64_t seq = 0;
+      std::int64_t tag = 0;
+      std::vector<std::uint8_t> bytes;  // full wire frame (header+payload)
+    };
+    struct SendLinkState {
+      int dst = -1;
+      std::uint64_t nextSeq = 1;
+      bool dead = false;
+      std::vector<Frame> unacked;
+    };
+    struct RecvLinkState {
+      int src = -1;
+      std::uint64_t cumAck = 0;
+      std::vector<std::uint64_t> ahead;
+    };
+    std::vector<SendLinkState> sendLinks;
+    std::vector<RecvLinkState> recvLinks;
+  };
+
+  ChannelState saveState() const;
+  /// Replace link state with \p state. Restored unacked frames become due
+  /// immediately (fresh retry budget), so the first progress() retransmits
+  /// them; the peer's restored cumAck discards any that had actually
+  /// landed. Refuses (returns false) while receives are pending — restoring
+  /// under live traffic would corrupt sequence tracking.
+  bool restoreState(const ChannelState& state);
+
   ReliableChannelStats stats() const;
 
  private:

@@ -53,6 +53,13 @@ class CCVariable {
   CCVariable(const CellRange& window, const T& init = T{})
       : m_storage(window, init), m_interior(window), m_numGhost(0) {}
 
+  /// Reconstruct a variable with an explicit window/interior/ghost triple
+  /// — the checkpoint-restore path, which must reproduce a patch variable
+  /// (ghost margin included) without the Patch it was built from.
+  CCVariable(const CellRange& window, const CellRange& interior, int numGhost,
+             const T& init = T{})
+      : m_storage(window, init), m_interior(interior), m_numGhost(numGhost) {}
+
   const CellRange& window() const { return m_storage.window(); }
   const CellRange& interior() const { return m_interior; }
   int numGhost() const { return m_numGhost; }

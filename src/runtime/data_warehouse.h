@@ -175,6 +175,29 @@ class DataWarehouse {
     return m_levelVars.size();
   }
 
+  /// --- enumeration (checkpoint serialization) ---------------------------
+  /// Visit every patch variable as f(label, patchId, slot). Labels contain
+  /// no '@', so splitting the key at its last "@p" is unambiguous. The
+  /// shared lock is held for the whole walk: do not call put() from \p f.
+  template <typename F>
+  void forEachPatchVar(F&& f) const {
+    std::shared_lock lk(m_mutex);
+    for (const auto& [k, slot] : m_patchVars) {
+      const std::size_t pos = k.rfind("@p");
+      f(k.substr(0, pos), std::stoi(k.substr(pos + 2)), slot);
+    }
+  }
+
+  /// Visit every per-level variable as f(label, levelIndex, slot).
+  template <typename F>
+  void forEachLevelVar(F&& f) const {
+    std::shared_lock lk(m_mutex);
+    for (const auto& [k, slot] : m_levelVars) {
+      const std::size_t pos = k.rfind("@L");
+      f(k.substr(0, pos), std::stoi(k.substr(pos + 2)), slot);
+    }
+  }
+
  private:
   static std::string key(const std::string& label, int patchId) {
     return label + "@p" + std::to_string(patchId);

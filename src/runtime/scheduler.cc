@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <chrono>
+#include <map>
 #include <sstream>
 #include <unordered_set>
 
@@ -278,6 +279,24 @@ void Scheduler::postSendsFor(std::size_t phaseIdx, std::size_t reqIdx,
   }
 }
 
+std::vector<TimestepStalled::Suspect> Scheduler::stallSuspects() const {
+  std::vector<TimestepStalled::Suspect> suspects;
+  if (!m_channel) return suspects;
+  std::map<int, std::size_t> bySource;
+  for (const auto& [src, tag] : m_channel->pendingRecvs()) ++bySource[src];
+  suspects.reserve(bySource.size());
+  for (const auto& [src, count] : bySource) {
+    TimestepStalled::Suspect s;
+    s.rank = src;
+    s.pendingRecvs = count;
+    // If our own frames to that rank died after the full retry budget it
+    // is not merely late with its sends — nothing reaches it at all.
+    s.dead = m_channel->linkDead(src);
+    suspects.push_back(s);
+  }
+  return suspects;
+}
+
 std::string Scheduler::stallDiagnostic(std::size_t phaseIdx,
                                        std::size_t ranCount,
                                        std::size_t totalTasks,
@@ -305,6 +324,12 @@ std::string Scheduler::stallDiagnostic(std::size_t phaseIdx,
     os << "; retransmits=" << cs.retransmits
        << " dupsDiscarded=" << cs.duplicatesDiscarded
        << " deadLinks=" << cs.deadLinks;
+    for (const auto& s : stallSuspects()) {
+      os << "; suspect rank " << s.rank << ": "
+         << (s.dead ? "DEAD (send link exhausted retries)"
+                    : "SLOW (inputs outstanding, link alive)")
+         << ", " << s.pendingRecvs << " pending recvs";
+    }
   }
   return os.str();
 }
@@ -387,7 +412,7 @@ void Scheduler::runPhase(std::size_t phaseIdx) {
       RMCRT_ERROR("watchdog: " << diag);
       if (strikes >= m_config.watchdogMaxStrikes) {
         m_world.abort(diag);
-        throw TimestepStalled(diag);
+        throw TimestepStalled(diag, stallSuspects());
       }
       // Kick the recovery path before the next strike window.
       if (m_channel) m_channel->forceRetransmit();

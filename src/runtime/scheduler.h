@@ -59,10 +59,26 @@ enum class RequestContainer {
 
 /// Thrown by executeTimestep() when the watchdog declares the timestep
 /// dead: no request completed and no task became runnable within the
-/// configured deadline for the configured number of strikes.
+/// configured deadline for the configured number of strikes. Carries the
+/// watchdog's per-rank classification so a recovery layer can tell a dead
+/// rank (drop it, restore, repartition) from a slow one (wait / retry).
 class TimestepStalled : public std::runtime_error {
  public:
+  /// One rank this scheduler is blocked on.
+  struct Suspect {
+    int rank = -1;
+    bool dead = false;  ///< send link to it exhausted retries (vs. slow)
+    std::size_t pendingRecvs = 0;  ///< receives outstanding from it
+  };
+
   using std::runtime_error::runtime_error;
+  TimestepStalled(const std::string& what, std::vector<Suspect> suspects)
+      : std::runtime_error(what), m_suspects(std::move(suspects)) {}
+
+  const std::vector<Suspect>& suspects() const { return m_suspects; }
+
+ private:
+  std::vector<Suspect> m_suspects;
 };
 
 /// Resilience knobs for one scheduler.
@@ -170,6 +186,15 @@ class Scheduler {
 
   /// The reliability endpoint, when reliableComm is enabled.
   const comm::ReliableChannel* channel() const { return m_channel.get(); }
+  comm::ReliableChannel* channel() { return m_channel.get(); }
+
+  /// Classify the ranks this scheduler is currently blocked on by
+  /// aggregating its pending receives per source and checking whether the
+  /// send link back is retry-capped: a rank we cannot push frames to after
+  /// the full retry budget is presumed DEAD; one that merely has not
+  /// produced our inputs yet is SLOW. Used by the watchdog diagnostic and
+  /// carried on TimestepStalled for the recovery layer.
+  std::vector<TimestepStalled::Suspect> stallSuspects() const;
 
   /// The region window a requirement resolves to for one task patch;
   /// exposed so task actions can call DataWarehouse::getRegion with the

@@ -12,13 +12,38 @@
 
 #include <cstdint>
 #include <functional>
+#include <sstream>
+#include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "runtime/scheduler.h"
 #include "util/trace_recorder.h"
 
 namespace rmcrt::runtime {
+
+/// Thrown during a --replay run when a step's state digest differs from
+/// the recorded one: the replayed window is NOT reproducing the original
+/// execution (nondeterminism crept in, or the snapshot/journal pair is
+/// mismatched).
+class ReplayDivergence : public std::runtime_error {
+ public:
+  ReplayDivergence(int step, std::uint64_t expected, std::uint64_t actual)
+      : std::runtime_error(describe(step, expected, actual)), m_step(step) {}
+
+  int step() const { return m_step; }
+
+ private:
+  static std::string describe(int step, std::uint64_t expected,
+                              std::uint64_t actual) {
+    std::ostringstream os;
+    os << "replay diverged at step " << step << ": recorded digest 0x"
+       << std::hex << expected << ", replayed digest 0x" << actual;
+    return os.str();
+  }
+  int m_step;
+};
 
 /// Per-timestep record for reporting/regression.
 struct TimestepRecord {
@@ -75,11 +100,48 @@ class SimulationController {
         MetricsRegistry::global().counter("tracer.segments").value();
   }
 
-  /// Run \p numTimesteps; returns one record per step.
-  std::vector<TimestepRecord> run(int numTimesteps) {
+  /// Called at the top of every step, before the DataWarehouse rollover —
+  /// the injection point for scripted rank deaths (throw to simulate the
+  /// rank vanishing mid-run) and for snapshot-schedule decisions.
+  void setPreStepHook(std::function<void(int)> hook) {
+    m_preStepHook = std::move(hook);
+  }
+  /// Called after a step fully completes (stats recorded, metrics
+  /// exported, digest verified) — where a recovery harness takes its
+  /// snapshots: the step boundary is quiescent, every rank having passed
+  /// the final phase barrier.
+  void setPostStepHook(std::function<void(int)> hook) {
+    m_postStepHook = std::move(hook);
+  }
+
+  /// Wire deterministic record/replay. \p digest maps a completed step to
+  /// a fingerprint of this rank's state (e.g. an FNV hash of the local
+  /// divQ bytes). In record mode every step's digest is appended to
+  /// \p recordInto; in replay mode each digest is checked against the
+  /// recorded journal and a mismatch throws ReplayDivergence.
+  void setStepDigest(std::function<std::uint64_t(int)> digest) {
+    m_stepDigest = std::move(digest);
+  }
+  void setRecordSink(std::vector<std::pair<int, std::uint64_t>>* recordInto) {
+    m_recordSink = recordInto;
+  }
+  void setReplayReference(
+      std::vector<std::pair<int, std::uint64_t>> reference) {
+    m_replayRef = std::move(reference);
+    m_replaying = true;
+  }
+
+  /// Run steps [firstStep, firstStep+numTimesteps); returns one record per
+  /// step. A nonzero \p firstStep resumes a run mid-stream (snapshot
+  /// restore): the radiation/carry-forward cadence follows the ABSOLUTE
+  /// step number, and the first resumed iteration still rolls the
+  /// DataWarehouses — the restored newDW becomes oldDW exactly as it would
+  /// have in the uninterrupted run.
+  std::vector<TimestepRecord> run(int firstStep, int numTimesteps) {
     std::vector<TimestepRecord> records;
     records.reserve(static_cast<std::size_t>(numTimesteps));
-    for (int step = 0; step < numTimesteps; ++step) {
+    for (int step = firstStep; step < firstStep + numTimesteps; ++step) {
+      if (m_preStepHook) m_preStepHook(step);
       // Roll the DataWarehouses BETWEEN steps (not after the last) so the
       // final step's results stay readable in newDW after run() returns.
       if (step > 0) m_sched.advanceDataWarehouses();
@@ -125,8 +187,19 @@ class SimulationController {
           m_metrics->recordTimestep(step);
         }
       }
+      if (m_stepDigest) {
+        const std::uint64_t d = m_stepDigest(step);
+        if (m_recordSink) m_recordSink->emplace_back(step, d);
+        if (m_replaying) verifyReplayDigest(step, d);
+      }
+      if (m_postStepHook) m_postStepHook(step);
     }
     return records;
+  }
+
+  /// Run \p numTimesteps from step 0 (the common, non-resumed case).
+  std::vector<TimestepRecord> run(int numTimesteps) {
+    return run(0, numTimesteps);
   }
 
  private:
@@ -134,10 +207,26 @@ class SimulationController {
   /// re-registration before it reaches the scheduler.
   void validateRecompiledGraph();
 
+  void verifyReplayDigest(int step, std::uint64_t actual) {
+    for (const auto& [s, d] : m_replayRef) {
+      if (s != step) continue;
+      if (d != actual) throw ReplayDivergence(step, d, actual);
+      return;
+    }
+    // A step beyond the recorded window is not a divergence: replay may
+    // legitimately run further than the journal covers.
+  }
+
   Scheduler& m_sched;
   std::function<void(Scheduler&)> m_registerRadiation;
   std::function<void(Scheduler&)> m_registerCarryForward;
   std::function<bool(int)> m_regridHook;
+  std::function<void(int)> m_preStepHook;
+  std::function<void(int)> m_postStepHook;
+  std::function<std::uint64_t(int)> m_stepDigest;
+  std::vector<std::pair<int, std::uint64_t>>* m_recordSink = nullptr;
+  std::vector<std::pair<int, std::uint64_t>> m_replayRef;
+  bool m_replaying = false;
   int m_radiationInterval = 1;
   MetricsRegistry* m_metrics = nullptr;
   std::string m_metricsPrefix;

@@ -1,0 +1,257 @@
+#pragma once
+
+/// \file snapshot.h
+/// Whole-cluster snapshot, deterministic replay, and rank-loss recovery
+/// for the in-process simulated cluster.
+///
+/// Three layers:
+///
+///  * Snapshot — serialize EVERY rank's state (both DataWarehouses,
+///    ReliableChannel link state, GPU level-database arenas, RNG stream
+///    counter) plus the shared grid into a checksummed, versioned
+///    directory (see world_state.h), and restore it bit-exactly. Restore
+///    also works *elastically* onto a different rank count: the union of
+///    all saved patch variables is re-partitioned onto the new ranks
+///    through the cost-weighted Morton LoadBalancer and amr::Migrator.
+///
+///  * ReplayJournal — the record/replay side channel: per-rank per-step
+///    state digests plus the FaultInjector's serialized decision state, so
+///    any failed window can be re-run from a snapshot with identical
+///    RNG/fault streams and verified step-by-step (ReplayDivergence on
+///    mismatch).
+///
+///  * WorldHarness — drives an N-rank world through a timestep run with
+///    periodic snapshots, scripted rank kills (FaultInjector::killRank),
+///    automatic restore-from-last-snapshot with the lost rank's patches
+///    re-partitioned onto survivors, and record/replay wiring. This is the
+///    recovery state machine tests, examples, and the snapshot benchmark
+///    share.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "comm/fault_injector.h"
+#include "grid/grid.h"
+#include "grid/load_balancer.h"
+#include "runtime/scheduler.h"
+#include "runtime/simulation_controller.h"
+#include "runtime/world_state.h"
+#include "util/rng.h"
+
+namespace rmcrt::gpu {
+class GpuDataWarehouse;
+}
+
+namespace rmcrt::runtime {
+
+/// Thrown inside a rank's driver thread to simulate that rank dying:
+/// after FaultInjector::killRank silences its links, the throw unwinds
+/// the rank out of the timestep loop mid-run.
+class RankKilled : public std::runtime_error {
+ public:
+  RankKilled(int rank, int step)
+      : std::runtime_error("rank " + std::to_string(rank) +
+                           " killed at step " + std::to_string(step)),
+        m_rank(rank),
+        m_step(step) {}
+  int rank() const { return m_rank; }
+  int step() const { return m_step; }
+
+ private:
+  int m_rank;
+  int m_step;
+};
+
+/// Serialize/restore the whole simulated cluster. All functions are
+/// static; the caller owns the objects the views point at and guarantees
+/// quiescence (no scheduler mid-timestep, no channel traffic in flight)
+/// for the duration of the call — the WorldHarness does this with a
+/// double barrier at a step boundary.
+class Snapshot {
+ public:
+  /// One rank's live state. Optional members may be null and are then
+  /// skipped in both directions.
+  struct RankStateView {
+    DataWarehouse* oldDW = nullptr;
+    DataWarehouse* newDW = nullptr;
+    comm::ReliableChannel* channel = nullptr;
+    gpu::GpuDataWarehouse* gpuDW = nullptr;
+    std::uint64_t rngState = 0;  ///< in (save) / out (restore)
+  };
+
+  /// The cluster at one step boundary.
+  struct WorldStateView {
+    int step = -1;  ///< last completed timestep
+    std::uint64_t domainSeed = 0;
+    std::shared_ptr<const grid::Grid> grid;
+    std::vector<RankStateView> ranks;
+  };
+
+  /// Write a snapshot of \p world into directory \p dir (created if
+  /// absent): grid.txt, one rank<r>.bin per rank, MANIFEST last. Returns
+  /// false on I/O failure; \p bytesOut (optional) receives the total bytes
+  /// written.
+  static bool save(const std::string& dir, const WorldStateView& world,
+                   std::uint64_t* bytesOut = nullptr);
+
+  /// Read just the MANIFEST (validity probe; rank count for elastic
+  /// decisions). False when missing/torn/mismatched version.
+  static bool peek(const std::string& dir, SnapshotManifest& out);
+
+  /// Rebuild the archived grid, verifying grid.txt against the manifest
+  /// checksum. nullptr on any failure.
+  static std::shared_ptr<const grid::Grid> restoreGrid(
+      const std::string& dir);
+
+  /// Verbatim restore onto the SAME rank count as saved:
+  /// world.ranks.size() must equal the manifest's numRanks. Every rank's
+  /// DataWarehouses, channel link state, GPU level-database entries and
+  /// RNG counter are reloaded exactly; world.step and world.grid are set
+  /// from the snapshot. All-or-nothing: any checksum or decode failure
+  /// returns false (target warehouses may then be partially cleared but
+  /// never partially restored into).
+  static bool restore(const std::string& dir, WorldStateView& world);
+
+  /// Elastic restore onto a DIFFERENT rank count: \p lb is the new
+  /// partition (over the restored grid — build it via restoreGrid first)
+  /// and world.ranks.size() must equal lb.numRanks(). The union of every
+  /// saved rank's newDW *patch* variables is re-distributed so each new
+  /// rank's newDW holds exactly its lb-owned patches (amr::Migrator
+  /// windowed copy; ghost margins are not reconstructed). Channel, GPU,
+  /// and RNG state are NOT restored — at a quiescent step boundary they
+  /// regenerate, and the saved link topology is meaningless under a new
+  /// rank numbering.
+  static bool restoreElastic(const std::string& dir, WorldStateView& world,
+                             const grid::LoadBalancer& lb);
+};
+
+/// The record/replay journal: what a --record run writes and a --replay
+/// run verifies against. One digest per (rank, step) — the WorldHarness
+/// digests each rank's local divQ bytes — plus the FaultInjector decision
+/// state captured BEFORE the run, so replay reproduces the same faults.
+struct ReplayJournal {
+  std::uint64_t domainSeed = 0;
+  std::string injectorState;  ///< FaultInjector::saveState blob (may be "")
+  std::vector<std::vector<std::pair<int, std::uint64_t>>> rankDigests;
+
+  bool save(const std::string& dir) const;
+  bool load(const std::string& dir);
+};
+
+/// Configuration for one WorldHarness run.
+struct HarnessConfig {
+  std::shared_ptr<const grid::Grid> grid;
+  int numRanks = 2;
+  int steps = 5;
+  int radiationInterval = 1;
+  std::uint64_t domainSeed = 71;
+
+  /// Pipeline registration, called identically on every rank (and again
+  /// on the rebuilt schedulers after a recovery). Radiation is required.
+  std::function<void(Scheduler&)> registerRadiation;
+  std::function<void(Scheduler&)> registerCarryForward;
+
+  /// Per-step digest source: FNV over this label's patch bytes on
+  /// \p digestLevel (-1 = finest) in the rank's newDW.
+  std::string digestLabel = "divQ";
+  int digestLevel = -1;
+
+  /// Snapshots: every N completed steps into snapshotDir/snap<step>.
+  /// 0 disables.
+  std::string snapshotDir;
+  int snapshotEvery = 0;
+
+  /// Start the run from this snapshot directory instead of step 0:
+  /// verbatim restore when numRanks matches the snapshot, elastic restore
+  /// (Snapshot::restoreElastic) otherwise. The run then covers steps
+  /// [snapshot step + 1, steps).
+  std::string restoreDir;
+
+  /// Scripted rank loss: kill global rank \p killRank at the top of step
+  /// \p killAtStep (requires \p injector). -1 disables.
+  int killRank = -1;
+  int killAtStep = -1;
+  /// After a loss, restore from the last snapshot onto the survivors and
+  /// finish the run. false: return with completed=false instead.
+  bool autoRecover = true;
+
+  /// Record/replay: write the journal into recordDir after the run, or
+  /// verify each step against the journal loaded from replayDir.
+  std::string recordDir;
+  std::string replayDir;
+
+  /// Scheduler resilience knobs (watchdog, channel retry budget).
+  SchedulerConfig sched;
+  /// Collective timeout so survivors escape the phase-end barrier a dead
+  /// rank never reaches. <= 0: defaults to 10 s when a kill is scripted,
+  /// otherwise unlimited.
+  double collectiveTimeoutSeconds = 0.0;
+  std::shared_ptr<comm::FaultInjector> injector;
+};
+
+/// What a WorldHarness run produced.
+struct HarnessResult {
+  bool completed = false;
+  int finalRanks = 0;
+  int recoveries = 0;
+
+  /// Final (post-recovery) world's per-rank timestep records.
+  std::vector<std::vector<TimestepRecord>> records;
+  /// Final world's per-rank (step, digest) sequences.
+  std::vector<std::vector<std::pair<int, std::uint64_t>>> digests;
+
+  // Snapshot overhead accounting (bench --snapshot-every).
+  int snapshots = 0;
+  std::uint64_t snapshotBytes = 0;
+  double snapshotSeconds = 0.0;
+  int lastSnapshotStep = -1;
+};
+
+/// Drives an in-process cluster through a run with snapshots, scripted
+/// rank loss, auto-recovery, and record/replay. Retains the final world
+/// after run() so tests can inspect DataWarehouse contents.
+class WorldHarness {
+ public:
+  explicit WorldHarness(HarnessConfig cfg);
+  ~WorldHarness();
+
+  WorldHarness(const WorldHarness&) = delete;
+  WorldHarness& operator=(const WorldHarness&) = delete;
+
+  HarnessResult run();
+
+  // Post-run state access (valid until the harness dies).
+  int numRanks() const { return static_cast<int>(m_scheds.size()); }
+  Scheduler& scheduler(int rank) { return *m_scheds[static_cast<std::size_t>(rank)]; }
+  const grid::LoadBalancer& loadBalancer() const { return *m_lb; }
+  const grid::Grid& grid() const { return *m_grid; }
+  /// The rank's auxiliary RNG stream state (save/restore regression).
+  std::uint64_t rngState(int rank) const {
+    return m_rngs[static_cast<std::size_t>(rank)].state();
+  }
+
+ private:
+  void buildWorld(int numRanks, bool attachInjector);
+  Snapshot::WorldStateView makeView(int step);
+  /// Post-step snapshot under a double barrier: all ranks rendezvous,
+  /// rank 0 serializes the quiescent cluster, all ranks rendezvous again.
+  void maybeSnapshot(int step, int rank, HarnessResult& result);
+  std::uint64_t digestRank(int rank) const;
+
+  HarnessConfig m_cfg;
+  std::shared_ptr<const grid::Grid> m_grid;
+  std::shared_ptr<const grid::LoadBalancer> m_lb;
+  std::unique_ptr<comm::Communicator> m_world;
+  std::vector<std::unique_ptr<Scheduler>> m_scheds;
+  std::vector<Rng> m_rngs;
+  bool m_killDone = false;
+  std::string m_lastSnapshotPath;
+  int m_lastSnapshotStep = -1;
+};
+
+}  // namespace rmcrt::runtime

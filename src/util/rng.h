@@ -86,6 +86,19 @@ class Rng {
     return nextU64() % n;
   }
 
+  /// The raw stream counter. Together with fromState() this lets a
+  /// checkpoint resume a stream mid-sequence: the constructor hashes its
+  /// seed, so re-seeding with state() would NOT continue the stream.
+  constexpr std::uint64_t state() const { return m_state; }
+
+  /// Rebuild an Rng that continues exactly where the stream whose state()
+  /// was \p rawState left off.
+  static constexpr Rng fromState(std::uint64_t rawState) {
+    Rng r(0);
+    r.m_state = rawState;
+    return r;
+  }
+
  private:
   std::uint64_t m_state;
 };

@@ -162,6 +162,7 @@ TEST(SchedulerFault, WatchdogRaisesTimestepStalledOnPermanentLoss) {
   enum class Outcome { Completed, Stalled, Aborted, Other };
   std::vector<Outcome> outcome(numRanks, Outcome::Other);
   std::vector<std::string> what(numRanks);
+  std::vector<std::vector<TimestepStalled::Suspect>> suspects(numRanks);
 
   const auto t0 = std::chrono::steady_clock::now();
   std::vector<std::thread> threads;
@@ -180,6 +181,7 @@ TEST(SchedulerFault, WatchdogRaisesTimestepStalledOnPermanentLoss) {
       } catch (const TimestepStalled& e) {
         outcome[static_cast<std::size_t>(r)] = Outcome::Stalled;
         what[static_cast<std::size_t>(r)] = e.what();
+        suspects[static_cast<std::size_t>(r)] = e.suspects();
       } catch (const comm::CommAborted& e) {
         outcome[static_cast<std::size_t>(r)] = Outcome::Aborted;
         what[static_cast<std::size_t>(r)] = e.what();
@@ -197,6 +199,15 @@ TEST(SchedulerFault, WatchdogRaisesTimestepStalledOnPermanentLoss) {
   EXPECT_NE(what[1].find("stalled in phase"), std::string::npos) << what[1];
   EXPECT_NE(what[1].find("pending recvs"), std::string::npos) << what[1];
   EXPECT_GE(scheds[1]->stats().watchdogStrikes, 2u);
+  // The stall is attributed to rank 0 and classified SLOW: rank 1's send
+  // link back to rank 0 is alive (only 0 -> 1 traffic is scripted away),
+  // so the starved rank has no evidence its peer is dead.
+  ASSERT_EQ(suspects[1].size(), 1u);
+  EXPECT_EQ(suspects[1][0].rank, 0);
+  EXPECT_FALSE(suspects[1][0].dead);
+  EXPECT_GT(suspects[1][0].pendingRecvs, 0u);
+  EXPECT_NE(what[1].find("suspect rank 0: SLOW"), std::string::npos)
+      << what[1];
   // Rank 0 had all its data; it either finished the timestep before the
   // abort or was woken out of the phase barrier by it.
   EXPECT_TRUE(outcome[0] == Outcome::Completed ||
@@ -204,6 +215,70 @@ TEST(SchedulerFault, WatchdogRaisesTimestepStalledOnPermanentLoss) {
   // The whole failure took strike windows, not retry-forever.
   EXPECT_LT(elapsed, 10.0);
   EXPECT_TRUE(world.aborted());
+}
+
+TEST(SchedulerFault, KillRankClassifiedDeadInStallDiagnostic) {
+  // FaultInjector::killRank silences every message touching rank 0 while
+  // retransmission stays on: rank 1's frames to the corpse exhaust the
+  // retry budget, flipping linkDead — the watchdog must classify rank 0
+  // as DEAD (restore + repartition territory), not merely SLOW.
+  auto grid = Grid::makeSingleLevel(Vector(0.0), Vector(1.0), IntVector(8),
+                                    IntVector(4));
+  const int numRanks = 2;
+  auto lb = std::make_shared<LoadBalancer>(*grid, numRanks);
+  comm::Communicator world(numRanks);
+  auto inj = std::make_shared<comm::FaultInjector>();
+  inj->killRank(0);
+  world.setFaultInjector(inj);
+  EXPECT_TRUE(inj->isKilled(0));
+  EXPECT_FALSE(inj->isKilled(1));
+
+  // Rank 1 gets the short deadline so IT strikes out and classifies;
+  // rank 0 (also starved — its inbound traffic is dropped too) would
+  // otherwise race rank 1 to the abort and turn rank 1's failure into a
+  // bare CommAborted.
+  SchedulerConfig cfg = fastReliableConfig();
+  cfg.channel.maxRetries = 3;
+  cfg.watchdogMaxStrikes = 2;
+  std::vector<std::unique_ptr<Scheduler>> scheds;
+  for (int r = 0; r < numRanks; ++r) {
+    cfg.watchdogDeadlineSeconds = r == 1 ? 0.3 : 30.0;
+    scheds.push_back(std::make_unique<Scheduler>(
+        grid, lb, world, r, RequestContainer::WaitFreePool, cfg));
+  }
+
+  std::vector<std::vector<TimestepStalled::Suspect>> suspects(numRanks);
+  std::vector<std::string> what(numRanks);
+  std::vector<std::thread> threads;
+  for (int r = 0; r < numRanks; ++r) {
+    threads.emplace_back([&, r] {
+      Scheduler& s = *scheds[r];
+      s.addTask(makeFillTask("phi", 0));
+      Task consume("consume", 0, [](const TaskContext& ctx) {
+        (void)ctx.getGhosted<double>("phi", 1);
+      });
+      consume.addRequires(Requires{"phi", VarType::Double, 0, 1, false});
+      s.addTask(std::move(consume));
+      try {
+        s.executeTimestep();
+      } catch (const TimestepStalled& e) {
+        suspects[static_cast<std::size_t>(r)] = e.suspects();
+        what[static_cast<std::size_t>(r)] = e.what();
+      } catch (const comm::CommAborted&) {
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // Rank 1 starved on the killed rank and its send link retry-capped:
+  // the structured suspect list says rank 0, DEAD.
+  ASSERT_FALSE(suspects[1].empty()) << "rank 1 must stall structurally";
+  EXPECT_EQ(suspects[1][0].rank, 0);
+  EXPECT_TRUE(suspects[1][0].dead);
+  EXPECT_NE(what[1].find("suspect rank 0: DEAD"), std::string::npos)
+      << what[1];
+  EXPECT_TRUE(scheds[1]->channel()->linkDead(0));
+  EXPECT_GT(inj->stats().dropped, 0u);
 }
 
 TEST(SchedulerFault, LegacyDirectPathStillWorks) {

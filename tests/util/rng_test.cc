@@ -140,6 +140,29 @@ TEST(Rng, OldPackingCollisionPairsNowDistinct) {
   EXPECT_NE(e.nextU64(), f.nextU64());
 }
 
+TEST(Rng, SaveRestoreResumesMidSequence) {
+  // Snapshot/restart regression: capturing state() mid-stream and
+  // resuming via fromState() must continue the exact sequence — unlike
+  // re-seeding, which hashes the seed and starts a different stream.
+  Rng a(0xDEADBEEFull, IntVector(3, -7, 11), 2);
+  for (int i = 0; i < 17; ++i) (void)a.nextU64();
+  const std::uint64_t saved = a.state();
+
+  Rng resumed = Rng::fromState(saved);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(resumed.nextU64(), a.nextU64());
+
+  // Re-seeding with the raw state is NOT a resume (the ctor hashes).
+  Rng reseeded(saved);
+  Rng fresh = Rng::fromState(saved);
+  EXPECT_NE(reseeded.nextU64(), fresh.nextU64());
+
+  // state() itself is passive: reading it does not advance the stream.
+  Rng b(1234);
+  const std::uint64_t s0 = b.state();
+  (void)b.state();
+  EXPECT_EQ(b.state(), s0);
+}
+
 TEST(Splitmix64, KnownFixedPointFreeMixing) {
   // Bijectivity smoke test: no collisions among consecutive inputs.
   std::set<std::uint64_t> outs;

@@ -29,11 +29,32 @@ import json
 import sys
 
 
+class UnusableInput(Exception):
+    """A bench JSON exists but is missing a key/sample the gate needs.
+
+    Distinct from a regression: the measurement never happened (wrong
+    bench binary, a mode like --snapshot-every that writes a different
+    schema, a half-written file), so the gate must say exactly what is
+    missing and exit 2, not crash with a traceback or report FAIL.
+    """
+
+
+def require_number(mapping, key, where):
+    value = mapping.get(key)
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise UnusableInput(
+            f"{where}: missing or non-numeric key '{key}' "
+            f"(got {value!r}) — wrong or incomplete bench JSON?")
+    return float(value)
+
+
 def single_thread_mseg(doc, path):
     for sample in doc.get("sweep", []):
         if sample.get("threads") == 1:
-            return float(sample["mseg_per_s"])
-    raise SystemExit(f"error: no threads==1 sample in {path}")
+            return require_number(sample, "mseg_per_s",
+                                  f"{path} sweep threads=1")
+    raise UnusableInput(f"{path}: no threads==1 sample in 'sweep' — "
+                        "wrong or incomplete bench JSON?")
 
 
 def check_bitwise(doc, path):
@@ -74,35 +95,43 @@ def main():
     if bad_bitwise:
         failures.append("bitwise mismatch in: " + ", ".join(bad_bitwise))
 
-    cur = single_thread_mseg(current, args.current)
-    base = single_thread_mseg(baseline, args.baseline)
-    floor = args.tolerance * base
-    verdict = "OK" if cur >= floor else "FAIL"
-    print(f"single-thread: current {cur:.2f} Mseg/s vs baseline "
-          f"{base:.2f} Mseg/s (floor {floor:.2f}, x{args.tolerance}) "
-          f"[{verdict}]")
-    if cur < floor:
-        failures.append(
-            f"single-thread Mseg/s collapsed: {cur:.2f} < {floor:.2f}")
-
-    # (section key, floor, label): the microbench isolates the march loop
-    # and is stable enough for a hard >= 1.0 bound; the end-to-end divQ
-    # A/B jitters with the runner, so only a collapse below 0.75 fails.
-    for key, floor, label in (("segment_microbench", 1.0,
-                               "segment microbench"),
-                              ("layout", 0.75, "divQ layout A/B")):
-        entry = current.get(key)
-        if entry is None:
-            continue
-        speedup = float(entry.get("speedup", 0.0))
-        verdict = "OK" if speedup >= floor else "FAIL"
-        print(f"{label}: packed {entry.get('packed_mseg_per_s'):.2f} "
-              f"vs unpacked {entry.get('unpacked_mseg_per_s'):.2f} Mseg/s "
-              f"({speedup:.2f}x, floor {floor}) [{verdict}]")
-        if speedup < floor:
+    try:
+        cur = single_thread_mseg(current, args.current)
+        base = single_thread_mseg(baseline, args.baseline)
+        floor = args.tolerance * base
+        verdict = "OK" if cur >= floor else "FAIL"
+        print(f"single-thread: current {cur:.2f} Mseg/s vs baseline "
+              f"{base:.2f} Mseg/s (floor {floor:.2f}, x{args.tolerance}) "
+              f"[{verdict}]")
+        if cur < floor:
             failures.append(
-                f"{label}: packed vs unpacked collapsed ({speedup:.2f}x "
-                f"< {floor}x)")
+                f"single-thread Mseg/s collapsed: {cur:.2f} < {floor:.2f}")
+
+        # (section key, floor, label): the microbench isolates the march
+        # loop and is stable enough for a hard >= 1.0 bound; the
+        # end-to-end divQ A/B jitters with the runner, so only a collapse
+        # below 0.75 fails.
+        for key, floor, label in (("segment_microbench", 1.0,
+                                   "segment microbench"),
+                                  ("layout", 0.75, "divQ layout A/B")):
+            entry = current.get(key)
+            if entry is None:
+                continue
+            where = f"{args.current} {key}"
+            speedup = require_number(entry, "speedup", where)
+            packed = require_number(entry, "packed_mseg_per_s", where)
+            unpacked = require_number(entry, "unpacked_mseg_per_s", where)
+            verdict = "OK" if speedup >= floor else "FAIL"
+            print(f"{label}: packed {packed:.2f} "
+                  f"vs unpacked {unpacked:.2f} Mseg/s "
+                  f"({speedup:.2f}x, floor {floor}) [{verdict}]")
+            if speedup < floor:
+                failures.append(
+                    f"{label}: packed vs unpacked collapsed ({speedup:.2f}x "
+                    f"< {floor}x)")
+    except UnusableInput as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
 
     if failures:
         for f in failures:

@@ -26,6 +26,7 @@
 /// three-view path, so results are bitwise identical (packed_field_test).
 
 #include <cassert>
+#include <cstddef>
 #include <cstdint>
 #include <type_traits>
 #include <vector>
@@ -89,6 +90,33 @@ class PackedFieldView {
 
   /// Elements to advance per unit step along \p axis (0=x, 1=y, 2=z).
   std::int64_t stride(int axis) const { return m_stride[axis]; }
+
+  /// Gather-friendly accessors for the SIMD packet march (DESIGN.md §14):
+  /// the lane state keeps one linear element offset per ray and gathers
+  /// each property with a byte-offset vector computed as
+  /// `offset * kRecordBytes + k<Field>ByteOffset` against bytes(). The
+  /// byte offsets are compile-time constants of the (static_assert'ed)
+  /// record layout, so a layout change breaks the build, not the gather.
+  static constexpr std::int64_t kRecordBytes =
+      static_cast<std::int64_t>(sizeof(PackedCell));
+  static constexpr std::int64_t kAbskgByteOffset =
+      static_cast<std::int64_t>(offsetof(PackedCell, abskg));
+  static constexpr std::int64_t kSigmaByteOffset =
+      static_cast<std::int64_t>(offsetof(PackedCell, sigmaT4OverPi));
+  static constexpr std::int64_t kCellTypeByteOffset =
+      static_cast<std::int64_t>(offsetof(PackedCell, cellType));
+
+  /// The record array as raw bytes — the gather base pointer.
+  const unsigned char* bytes() const {
+    return reinterpret_cast<const unsigned char*>(m_data);
+  }
+
+  /// Elements to advance per unit step along \p axis for a ray stepping
+  /// in direction sign \p step (+1/-1) — the pre-signed lane stride the
+  /// packet march adds to a lane's linear offset on each crossing.
+  std::int64_t laneStride(int axis, int step) const {
+    return m_stride[axis] * step;
+  }
 
   const PackedCell* data() const { return m_data; }
   const PackedCell& operator[](const IntVector& c) const {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
+#include <stdexcept>
 
 #include "util/metrics.h"
 #include "util/thread_pool.h"
@@ -52,9 +54,52 @@ std::vector<CellRange> tileCells(const CellRange& cells,
   return tiles;
 }
 
+IntVector adaptiveTileSize(const CellRange& cells, IntVector tileSize,
+                           std::size_t workers) {
+  IntVector ts = max(tileSize, IntVector(1));
+  const auto tileCount = [&cells](const IntVector& t) {
+    std::int64_t n = 1;
+    for (int i = 0; i < 3; ++i)
+      n *= (cells.size()[i] + t[i] - 1) / t[i];
+    return n;
+  };
+  const std::int64_t want = static_cast<std::int64_t>(workers) * 4;
+  while (tileCount(ts) < want) {
+    // Halve the largest axis; stop once tiles are already small.
+    int axis = 0;
+    if (ts[1] > ts[axis]) axis = 1;
+    if (ts[2] > ts[axis]) axis = 2;
+    const std::int64_t volume =
+        static_cast<std::int64_t>(ts[0]) * ts[1] * ts[2];
+    if (ts[axis] <= 2 || volume <= 64) break;
+    ts[axis] = (ts[axis] + 1) / 2;
+  }
+  return ts;
+}
+
+bool Tracer::simdSupported() {
+#if RMCRT_SIMD_X86
+  static const bool ok = [] {
+    // RMCRT_NO_SIMD=<non-zero> forces the scalar dispatch — the CI
+    // no-AVX2 fallback job sets it to exercise this path on AVX2 hosts.
+    const char* e = std::getenv("RMCRT_NO_SIMD");
+    if (e != nullptr && e[0] != '\0' && e[0] != '0') return false;
+    return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+  }();
+  return ok;
+#else
+  return false;
+#endif
+}
+
 Tracer::Tracer(std::vector<TraceLevel> levels, const WallProperties& walls,
                const TraceConfig& cfg)
     : m_levels(std::move(levels)), m_walls(walls), m_cfg(cfg) {
+  if (m_cfg.nDivQRays <= 0)
+    throw std::invalid_argument(
+        "TraceConfig::nDivQRays must be positive (got " +
+        std::to_string(m_cfg.nDivQRays) +
+        "): meanIncomingIntensity divides by it, so divQ would be NaN");
   if (!m_cfg.usePackedFields) {
     // Legacy layout requested: drop packed views wherever the separate
     // property views can serve instead. Packed-only levels (the GPU
@@ -68,6 +113,17 @@ Tracer::Tracer(std::vector<TraceLevel> levels, const WallProperties& walls,
     if (L.packed.valid() || !L.fields.abskg.valid()) continue;
     m_ownedPacked.emplace_back(L.fields);
     L.packed = m_ownedPacked.back().view();
+  }
+  if (m_cfg.useSimd && !m_levels.empty() && m_levels.front().packed.valid()) {
+    // One pass over level 0's records so the packet march can skip the
+    // cellType gather entirely in wall-free domains.
+    const PackedFieldView& pf = m_levels.front().packed;
+    const std::int64_t nRec = pf.window().volume();
+    const PackedCell* rec = pf.data();
+    bool walls = false;
+    for (std::int64_t i = 0; i < nRec && !walls; ++i)
+      walls = rec[i].cellType == PackedCell::kWall;
+    m_level0HasWalls = walls;
   }
 }
 
@@ -150,7 +206,13 @@ bool Tracer::marchLevelPacked(std::size_t li, Vector& pos, const Vector& dir,
     const double expSeg = std::exp(-rec.abskg * segLen);
     sumI += rec.sigmaT4OverPi * (1.0 - expSeg) * transmissivity;
     transmissivity *= expSeg;
-    ++segments;
+    // Zero-length crossings (the float-slop tMax clamp puts the first
+    // face at t=0 when a ray starts exactly on it; axis ties produce
+    // them mid-march at corners) contribute nothing — exp(0) is exactly
+    // 1 — so they must not count as marched segments or every Mseg/s
+    // figure inflates. Branchless: the FP work above already ran and is
+    // a bitwise no-op for segLen == 0.
+    segments += (segLen != 0.0);
 
     if (transmissivity < threshold) return true;  // extinguished
 
@@ -233,7 +295,9 @@ bool Tracer::marchLevelLegacy(std::size_t li, Vector& pos, const Vector& dir,
     const double expSeg = std::exp(-kappa * segLen);
     sumI += L.fields.sigmaT4OverPi[cur] * (1.0 - expSeg) * transmissivity;
     transmissivity *= expSeg;
-    ++segments;
+    // Skip zero-length crossings in the count (see the packed march);
+    // scalar, legacy and SIMD paths all apply the same rule.
+    segments += (segLen != 0.0);
 
     if (transmissivity < threshold) return true;  // extinguished
 
@@ -282,6 +346,33 @@ double Tracer::traceRay(Vector origin, Vector dir,
   return sumI;
 }
 
+void Tracer::finishRayCoarse(Vector pos, const Vector& dir, double& sumI,
+                             double& transmissivity,
+                             std::uint64_t& segments) const {
+  for (std::size_t li = 1; li < m_levels.size(); ++li) {
+    if (marchLevel(li, pos, dir, sumI, transmissivity, segments)) break;
+  }
+}
+
+void Tracer::traceRaysScalar(int n, const Vector* origins,
+                             const Vector* dirs, double* out,
+                             std::uint64_t& segments) const {
+  for (int i = 0; i < n; ++i)
+    out[i] = traceRay(origins[i], dirs[i], 0, segments);
+}
+
+void Tracer::traceRays(int n, const Vector* origins, const Vector* dirs,
+                       double* out) const {
+  if (n <= 0) return;
+  std::uint64_t segments = 0;
+  if (simdActive()) {
+    traceRaysSimd(n, origins, dirs, out, segments);
+  } else {
+    traceRaysScalar(n, origins, dirs, out, segments);
+  }
+  flushSegments(segments);
+}
+
 void Tracer::flushSegments(std::uint64_t n) const {
   m_segments.fetch_add(n, std::memory_order_relaxed);
   tracerSegmentsCounter().add(n);
@@ -308,9 +399,51 @@ double Tracer::meanIncomingIntensity(const IntVector& cell,
   return sum / static_cast<double>(m_cfg.nDivQRays);
 }
 
+double Tracer::meanIncomingIntensitySimd(const IntVector& cell,
+                                         std::vector<Vector>& origins,
+                                         std::vector<Vector>& dirs,
+                                         std::vector<double>& intensities,
+                                         std::uint64_t& segments) const {
+  const LevelGeom& g = m_levels.front().geom;
+  const int n = m_cfg.nDivQRays;
+  origins.resize(static_cast<std::size_t>(n));
+  dirs.resize(static_cast<std::size_t>(n));
+  intensities.resize(static_cast<std::size_t>(n));
+  // Identical RNG consumption to the scalar loop: the ray geometry is
+  // bitwise the same, only the march arithmetic differs.
+  for (int r = 0; r < n; ++r) {
+    Rng rng(m_cfg.seed, cell, static_cast<std::uint32_t>(r));
+    Vector origin;
+    if (m_cfg.jitterRayOrigin) {
+      const Vector lo = g.cellLowCorner(cell);
+      origin = lo + Vector(rng.nextDouble(), rng.nextDouble(),
+                           rng.nextDouble()) *
+                        g.dx;
+    } else {
+      origin = g.cellCenter(cell);
+    }
+    origins[static_cast<std::size_t>(r)] = origin;
+    dirs[static_cast<std::size_t>(r)] = isotropicDirection(rng);
+  }
+  traceRaysSimd(n, origins.data(), dirs.data(), intensities.data(),
+                segments);
+  // Sum in ray order — the same reduction order as the scalar loop.
+  double sum = 0.0;
+  for (int r = 0; r < n; ++r) sum += intensities[static_cast<std::size_t>(r)];
+  return sum / static_cast<double>(m_cfg.nDivQRays);
+}
+
 double Tracer::meanIncomingIntensity(const IntVector& cell) const {
   std::uint64_t segments = 0;
-  const double meanI = meanIncomingIntensity(cell, segments);
+  double meanI;
+  if (simdActive()) {
+    std::vector<Vector> origins, dirs;
+    std::vector<double> intensities;
+    meanI = meanIncomingIntensitySimd(cell, origins, dirs, intensities,
+                                      segments);
+  } else {
+    meanI = meanIncomingIntensity(cell, segments);
+  }
   flushSegments(segments);
   return meanI;
 }
@@ -320,7 +453,19 @@ void Tracer::computeDivQTile(const CellRange& tile,
   RMCRT_TRACE_SPAN("tracer", "divQ_tile");
   const TraceLevel& L0 = m_levels.front();
   std::uint64_t segments = 0;
-  if (L0.packed.valid()) {
+  if (simdActive()) {
+    // Packet path: per-cell ray bundles through marchPacket8. Scratch is
+    // reused across the tile so the march loop performs no allocation
+    // after the first cell.
+    std::vector<Vector> origins, dirs;
+    std::vector<double> intensities;
+    for (const IntVector& c : tile) {
+      const double meanI = meanIncomingIntensitySimd(c, origins, dirs,
+                                                     intensities, segments);
+      const PackedCell& rec = L0.packed[c];
+      divQ[c] = 4.0 * M_PI * rec.abskg * (rec.sigmaT4OverPi - meanI);
+    }
+  } else if (L0.packed.valid()) {
     for (const IntVector& c : tile) {
       const double meanI = meanIncomingIntensity(c, segments);
       const PackedCell& rec = L0.packed[c];
@@ -346,7 +491,11 @@ void Tracer::computeDivQ(const CellRange& cells,
     computeDivQTile(cells, divQ);
     return;
   }
-  const std::vector<CellRange> tiles = tileCells(cells, m_cfg.tileSize);
+  // Adapt the tile size to the pool so small sweeps don't undersubscribe
+  // it: the default 8^3 tiling of a small range can produce fewer tiles
+  // than parallelFor wants chunks (~4 per worker), leaving workers idle.
+  const std::vector<CellRange> tiles = tileCells(
+      cells, adaptiveTileSize(cells, m_cfg.tileSize, pool->size()));
   pool->parallelFor(0, static_cast<std::int64_t>(tiles.size()),
                     [&](std::int64_t t) {
                       computeDivQTile(tiles[static_cast<std::size_t>(t)],

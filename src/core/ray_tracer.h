@@ -33,6 +33,16 @@ namespace rmcrt {
 class ThreadPool;
 }
 
+/// Whether this build carries the AVX2 packet-march path at all (the
+/// function-level `target("avx2,fma")` attribute keeps the rest of the
+/// binary baseline-ISA, so carrying the path never requires -mavx2).
+/// Runtime dispatch (Tracer::simdSupported) decides whether to call it.
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define RMCRT_SIMD_X86 1
+#else
+#define RMCRT_SIMD_X86 0
+#endif
+
 namespace rmcrt::core {
 
 /// Geometric description of one mesh level, detached from grid::Level so
@@ -91,6 +101,14 @@ struct TraceConfig {
   /// hunting). Levels that only supply packed records (the simulated-GPU
   /// kernel) march packed regardless.
   bool usePackedFields = true;
+  /// March 8 rays in lockstep with AVX2 (marchPacket8, DESIGN.md §14)
+  /// when the host supports it and the first level carries packed
+  /// records; rays retire from lanes on wall hit / extinction / ROI exit
+  /// and lanes refill from the pending bundle. Off by default: the SIMD
+  /// path uses a vectorized exp and agrees with the scalar golden march
+  /// only within a documented ULP tolerance, so bitwise-reproducibility
+  /// consumers (golden tests, record/replay) keep the scalar path.
+  bool useSimd = false;
 };
 
 /// Split \p cells into tiles of at most \p tileSize cells per axis
@@ -98,6 +116,18 @@ struct TraceConfig {
 /// exactly partition the range.
 std::vector<CellRange> tileCells(const CellRange& cells,
                                  const IntVector& tileSize);
+
+/// Shrink \p tileSize — halving the largest axis first — until tiling
+/// \p cells yields at least 4 tiles per worker (the granularity
+/// ThreadPool::parallelFor's static chunking needs to keep every worker
+/// fed), stopping at 2 cells per axis or 64 cells per tile so tiles stay
+/// big enough to amortize the per-tile segment-counter flush. Sweeps
+/// whose default 8^3 tiling produces fewer tiles than workers would
+/// otherwise undersubscribe the pool. Results are unchanged by tiling
+/// (each cell's rays are fixed by (seed, cell, ray)), so this only moves
+/// work-unit boundaries.
+IntVector adaptiveTileSize(const CellRange& cells, IntVector tileSize,
+                           std::size_t workers);
 
 /// One level of marching state handed to the tracer.
 struct TraceLevel {
@@ -131,14 +161,49 @@ class Tracer {
   /// PackedCell arrays here (and the owned storage lives as long as the
   /// Tracer), unless cfg.usePackedFields is off — then legacy-capable
   /// levels march the separate views instead.
+  /// \throws std::invalid_argument when cfg.nDivQRays <= 0: the divQ
+  /// estimator divides by nDivQRays, so a non-positive count would
+  /// silently fill divQ with NaN/inf.
   Tracer(std::vector<TraceLevel> levels, const WallProperties& walls,
          const TraceConfig& cfg);
 
   const TraceConfig& config() const { return m_cfg; }
 
+  /// True when this build carries the AVX2 packet-march path and the
+  /// host CPU supports AVX2+FMA at runtime (CPUID). The environment
+  /// variable RMCRT_NO_SIMD=1 forces false — the CI fallback job uses it
+  /// to exercise the scalar dispatch on AVX2 hardware.
+  static bool simdSupported();
+
+  /// Name of the instruction set the packet march would use on this
+  /// host: "avx512" (AVX-512 F/DQ/VL/BW kernel, 8 lanes per register),
+  /// "avx2" (two 4-lane halves), or "none" when simdSupported() is
+  /// false. RMCRT_FORCE_AVX2=1 pins an AVX-512 host to the AVX2 kernel
+  /// (the CI fallback matrix uses it); RMCRT_NO_SIMD=1 yields "none".
+  /// Recorded in the benchmark JSON so speedups compare like for like.
+  static const char* simdIsa();
+
+  /// True when traceRays will take the 8-wide packet path: useSimd is
+  /// set, the host qualifies, and level 0 carries packed records.
+  bool simdActive() const {
+    return m_cfg.useSimd && m_levels.front().packed.valid() &&
+           simdSupported();
+  }
+
   /// Trace one ray from physical position \p origin in direction \p dir
   /// starting on level \p startLevel; returns the incoming intensity.
   double traceRay(Vector origin, Vector dir, std::size_t startLevel = 0) const;
+
+  /// Trace \p n independent rays (origins[i], dirs[i]) starting on level
+  /// 0, writing each ray's incoming intensity to out[i]. Dispatches to
+  /// the 8-wide AVX2 packet march when simdActive(); otherwise loops the
+  /// scalar march, in which case out[i] is bitwise identical to
+  /// traceRay(origins[i], dirs[i]). The SIMD path marches the exact same
+  /// cell sequence per ray but evaluates the per-segment exp with a
+  /// vectorized kernel, so intensities agree with the scalar path within
+  /// the documented ULP tolerance (DESIGN.md §14), not bitwise.
+  void traceRays(int n, const Vector* origins, const Vector* dirs,
+                 double* out) const;
 
   /// Mean incoming intensity over nDivQRays rays for \p cell (a cell of
   /// levels[0]).
@@ -206,9 +271,53 @@ class Tracer {
   double traceRay(Vector origin, Vector dir, std::size_t startLevel,
                   std::uint64_t& segments) const;
 
+  /// traceRays with a caller-owned segment counter: the scalar per-ray
+  /// loop, bitwise identical to traceRay.
+  void traceRaysScalar(int n, const Vector* origins, const Vector* dirs,
+                       double* out, std::uint64_t& segments) const;
+
+  /// The 8-wide AVX2 packet march (marchPacket8; ray_tracer_simd.cc,
+  /// DESIGN.md §14). SoA lane state, branchless min-axis selection via
+  /// vector compares/blends, masked lane retirement on wall hit /
+  /// extinction / `allowed` exit, with retired lanes refilled from the
+  /// pending bundle. Rays that exit level 0's allowed box retire from
+  /// the packet and finish on the coarser levels via the scalar march.
+  /// Callers must check simdActive() first.
+  void traceRaysSimd(int n, const Vector* origins, const Vector* dirs,
+                     double* out, std::uint64_t& segments) const;
+
+#if RMCRT_SIMD_X86
+  /// The two ISA-specific packet kernels behind traceRaysSimd's runtime
+  /// dispatch. Both march the bitwise-identical cell sequence; they
+  /// differ only in packet shape (AVX2: one packet as two 4-lane
+  /// halves; AVX-512: two independent 8-lane packets interleaved to
+  /// hide gather/exp latency) and in the vector exp kernel's rounding,
+  /// so each agrees with the scalar reference within the same
+  /// documented ULP tolerance.
+  void traceRaysAvx2(int n, const Vector* origins, const Vector* dirs,
+                     double* out, std::uint64_t& segments) const;
+  void traceRaysAvx512(int n, const Vector* origins, const Vector* dirs,
+                       double* out, std::uint64_t& segments) const;
+#endif
+
+  /// Finish a ray that left level 0's allowed box at \p pos: the coarse
+  /// continuation loop shared by the scalar and packet paths.
+  void finishRayCoarse(Vector pos, const Vector& dir, double& sumI,
+                       double& transmissivity, std::uint64_t& segments) const;
+
   /// meanIncomingIntensity with a caller-owned segment counter.
   double meanIncomingIntensity(const IntVector& cell,
                                std::uint64_t& segments) const;
+
+  /// Packet-path meanIncomingIntensity: generates the exact same
+  /// (origin, dir) bundle as the scalar loop (identical RNG consumption),
+  /// traces it through traceRaysSimd into \p scratch, and sums per-ray
+  /// intensities in ray order.
+  double meanIncomingIntensitySimd(const IntVector& cell,
+                                   std::vector<Vector>& origins,
+                                   std::vector<Vector>& dirs,
+                                   std::vector<double>& intensities,
+                                   std::uint64_t& segments) const;
 
   /// Serial divQ over one tile; flushes the tile's segment count with a
   /// single atomic add.
@@ -222,6 +331,13 @@ class Tracer {
   /// of the outer vector never touch the record buffers, so the views in
   /// m_levels stay valid for the Tracer's lifetime.
   std::vector<PackedLevelField> m_ownedPacked;
+  /// Whether level 0's packed records contain any wall cell — scanned
+  /// once at construction when the SIMD path is eligible, so wall-free
+  /// domains (the Burns-Christon benchmark) skip the per-crossing
+  /// cellType gather in the packet march. Conservatively true when not
+  /// scanned; domain-boundary walls are handled at box exit and never
+  /// depend on this.
+  bool m_level0HasWalls = true;
   mutable std::atomic<std::uint64_t> m_segments{0};
 };
 

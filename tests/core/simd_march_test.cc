@@ -1,0 +1,398 @@
+/// Equivalence harness for the 8-wide SIMD packet march (marchPacket8,
+/// DESIGN.md §14) against the scalar packed march — the golden reference.
+///
+/// The packet path performs the exact same DDA arithmetic as the scalar
+/// path (bitwise-identical cell sequences and segment lengths); the only
+/// divergence is the vectorized exp (≤ ~2 ulp per segment), which
+/// accumulates multiplicatively through the transmissivity. Per-ray
+/// intensities therefore agree within a small ULP budget, not bitwise;
+/// these tests pin that budget (kUlpTolerance) across wall hits,
+/// extinction retirement, coarse-level handoff, degenerate directions,
+/// and partial packets.
+///
+/// On hosts without AVX2 (or with RMCRT_NO_SIMD set — the CI fallback
+/// job), simdActive() is false and every "SIMD" tracer here runs the
+/// scalar dispatch: the comparisons still run and must then hold
+/// bitwise, which exercises exactly the runtime-dispatch fallback the
+/// non-AVX2 CI job exists to cover.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "core/problems.h"
+#include "core/ray_tracer.h"
+#include "grid/grid.h"
+#include "grid/operators.h"
+
+namespace rmcrt::core {
+namespace {
+
+using grid::CCVariable;
+using grid::CellType;
+using grid::Grid;
+
+/// ULP budget for per-ray intensity agreement. Each marched segment
+/// contributes ≤ ~2 ulp of exp divergence into the running
+/// transmissivity product; with the extinction threshold at 1e-4 a ray
+/// marches at most a few hundred segments, so a 4096-ulp budget carries
+/// ~10x headroom while still catching any real marching divergence
+/// (a wrong cell path or segment length shows up as ~1e6+ ulp).
+constexpr std::uint64_t kUlpTolerance = 4096;
+
+/// Distance in units-in-the-last-place between two doubles, via the
+/// standard monotone reinterpretation of the IEEE bit pattern. a == b
+/// (including +0 vs -0) is 0; any NaN is "infinitely" far.
+std::uint64_t ulpDistance(double a, double b) {
+  if (a == b) return 0;
+  if (std::isnan(a) || std::isnan(b))
+    return std::numeric_limits<std::uint64_t>::max();
+  auto ordered = [](double x) {
+    std::int64_t i;
+    std::memcpy(&i, &x, sizeof(i));
+    if (i < 0) i = std::numeric_limits<std::int64_t>::min() - i;
+    return i;
+  };
+  const std::int64_t ia = ordered(a), ib = ordered(b);
+  const std::uint64_t d = static_cast<std::uint64_t>(ia) -
+                          static_cast<std::uint64_t>(ib);
+  return d > 0x8000000000000000ULL ? ~d + 1 : d;
+}
+
+TEST(UlpDistanceSelfCheck, BehavesLikeUlps) {
+  EXPECT_EQ(ulpDistance(1.0, 1.0), 0u);
+  EXPECT_EQ(ulpDistance(0.0, -0.0), 0u);
+  EXPECT_EQ(ulpDistance(1.0, std::nextafter(1.0, 2.0)), 1u);
+  EXPECT_EQ(ulpDistance(1.0, std::nextafter(std::nextafter(1.0, 0.0), 0.0)),
+            2u);
+  EXPECT_GT(ulpDistance(1.0, 1.0 + 1e-9), 1000000u);
+}
+
+/// Owns the fields and grid behind a single-level tracer configuration.
+struct SingleLevelSetup {
+  std::shared_ptr<Grid> grid;
+  CCVariable<double> abskg;
+  CCVariable<double> sig;
+  CCVariable<CellType> ct;
+  WallProperties walls;
+
+  SingleLevelSetup(const RadiationProblem& prob, const IntVector& n)
+      : grid(Grid::makeSingleLevel(Vector(0.0), Vector(1.0), n, n)),
+        abskg(grid->fineLevel().cells(), 0.0),
+        sig(grid->fineLevel().cells(), 0.0),
+        ct(grid->fineLevel().cells(), CellType::Flow),
+        walls{prob.wallSigmaT4OverPi, prob.wallEmissivity} {
+    initializeProperties(grid->fineLevel(), prob, abskg, sig, ct);
+  }
+
+  Tracer makeTracer(bool simd, TraceConfig cfg = TraceConfig{}) const {
+    cfg.useSimd = simd;
+    TraceLevel tl{LevelGeom::from(grid->fineLevel()),
+                  RadiationFieldsView{FieldView<double>::fromHost(abskg),
+                                      FieldView<double>::fromHost(sig),
+                                      FieldView<CellType>::fromHost(ct)},
+                  grid->fineLevel().cells()};
+    return Tracer({tl}, walls, cfg);
+  }
+};
+
+/// Deterministic ray bundle spanning the direction sphere plus the
+/// degenerate cases: axis-aligned (two exactly-zero components, both
+/// signs of zero), axis-plane diagonals, the corner diagonal, and
+/// near-axis directions. Sized to leave a partial final packet.
+void makeRayBundle(int n, std::vector<Vector>& origins,
+                   std::vector<Vector>& dirs) {
+  origins.clear();
+  dirs.clear();
+  const Vector special[] = {
+      Vector(1.0, 0.0, 0.0),   Vector(-1.0, 0.0, 0.0),
+      Vector(0.0, 1.0, -0.0),  Vector(0.0, -1.0, 0.0),
+      Vector(-0.0, 0.0, 1.0),  Vector(0.0, -0.0, -1.0),
+      Vector(std::sqrt(0.5), std::sqrt(0.5), 0.0),
+      Vector(-std::sqrt(0.5), 0.0, std::sqrt(0.5)),
+      Vector(1.0, 1.0, 1.0) / std::sqrt(3.0),
+      Vector(-1.0, -1.0, -1.0) / std::sqrt(3.0),
+      Vector(1.0, 1e-14, -1e-14).normalized(),
+  };
+  for (int i = 0; i < n; ++i) {
+    Rng rng(/*seed=*/1234, IntVector(i, 2 * i, 3 * i),
+            static_cast<std::uint32_t>(i));
+    origins.push_back(Vector(0.05, 0.05, 0.05) +
+                      Vector(rng.nextDouble(), rng.nextDouble(),
+                             rng.nextDouble()) *
+                          0.9);
+    if (i < static_cast<int>(std::size(special)))
+      dirs.push_back(special[static_cast<std::size_t>(i)]);
+    else
+      dirs.push_back(isotropicDirection(rng));
+  }
+}
+
+void expectBundleParity(const Tracer& simd, const Tracer& scalar, int n) {
+  std::vector<Vector> origins, dirs;
+  makeRayBundle(n, origins, dirs);
+  std::vector<double> iSimd(static_cast<std::size_t>(n), -1.0);
+  std::vector<double> iScalar(static_cast<std::size_t>(n), -1.0);
+  simd.traceRays(n, origins.data(), dirs.data(), iSimd.data());
+  scalar.traceRays(n, origins.data(), dirs.data(), iScalar.data());
+  for (int i = 0; i < n; ++i) {
+    const std::size_t s = static_cast<std::size_t>(i);
+    EXPECT_LE(ulpDistance(iSimd[s], iScalar[s]), kUlpTolerance)
+        << "ray " << i << " dir " << dirs[s] << ": simd " << iSimd[s]
+        << " vs scalar " << iScalar[s];
+  }
+}
+
+TEST(SimdMarch, DispatchMatchesRuntimeSupport) {
+  SingleLevelSetup setup(burnsChriston(), IntVector(8));
+  const Tracer t = setup.makeTracer(/*simd=*/true);
+  EXPECT_EQ(t.simdActive(), Tracer::simdSupported());
+  const Tracer s = setup.makeTracer(/*simd=*/false);
+  EXPECT_FALSE(s.simdActive());
+}
+
+TEST(SimdMarch, BurnsChristonBundleWithinUlpTolerance) {
+  // The benchmark medium: no interior walls, absorbing enough that rays
+  // both extinguish (lane retirement mid-packet) and reach the walls.
+  SingleLevelSetup setup(burnsChriston(), IntVector(16));
+  TraceConfig cfg;
+  const Tracer simd = setup.makeTracer(true, cfg);
+  const Tracer scalar = setup.makeTracer(false, cfg);
+  expectBundleParity(simd, scalar, 203);  // partial final packet (203 % 8 != 0)
+}
+
+TEST(SimdMarch, PartialPacketsAllSizes) {
+  // Every bundle size below and around one packet: lane refill and
+  // dead-lane masking must be right for n = 1..19 (not just multiples
+  // of 8), and each ray's result must be independent of bundle size.
+  SingleLevelSetup setup(burnsChriston(), IntVector(8));
+  const Tracer simd = setup.makeTracer(true);
+  const Tracer scalar = setup.makeTracer(false);
+  for (int n = 1; n <= 19; ++n) {
+    SCOPED_TRACE("bundle size " + std::to_string(n));
+    expectBundleParity(simd, scalar, n);
+  }
+}
+
+TEST(SimdMarch, WallHeavyMediumRetiresLanesOnWalls) {
+  // Near-transparent medium with hot walls: almost every ray retires on
+  // a domain wall rather than by extinction.
+  SingleLevelSetup setup(uniformMedium(0.05, 1.0), IntVector(16));
+  TraceConfig cfg;
+  cfg.threshold = 1e-10;
+  expectBundleParity(setup.makeTracer(true, cfg),
+                     setup.makeTracer(false, cfg), 100);
+}
+
+TEST(SimdMarch, InteriorWallCellsRetireLanes) {
+  // A wall slab inside the domain exercises the packet march's cellType
+  // gather and the wall-lane retirement mask (m_level0HasWalls is true).
+  SingleLevelSetup setup(uniformMedium(0.5, 1.0), IntVector(16));
+  for (const auto& c : setup.ct.window())
+    if (c.x() == 11) setup.ct[c] = CellType::Wall;
+  TraceConfig cfg;
+  cfg.threshold = 1e-10;
+  const Tracer simd = setup.makeTracer(true, cfg);
+  const Tracer scalar = setup.makeTracer(false, cfg);
+  expectBundleParity(simd, scalar, 100);
+  // The slab must actually absorb: a +x ray from its doorstep sees the
+  // wall emission immediately (identical in both paths up to ulps).
+  const Vector o(10.5 / 16.0, 0.53, 0.51), d(1.0, 0.0, 0.0);
+  double is = -1.0, ir = -1.0;
+  simd.traceRays(1, &o, &d, &is);
+  scalar.traceRays(1, &o, &d, &ir);
+  EXPECT_LE(ulpDistance(is, ir), kUlpTolerance);
+  EXPECT_GT(is, 0.0);
+}
+
+TEST(SimdMarch, HighExtinctionRetiresLanesEarly) {
+  // Optically thick medium: every lane retires by the transmissivity
+  // threshold within a few segments, churning the refill queue hard.
+  SingleLevelSetup setup(uniformMedium(60.0, 1.0), IntVector(16));
+  expectBundleParity(setup.makeTracer(true), setup.makeTracer(false), 64);
+}
+
+TEST(SimdMarch, MeanIntensityAndDivQParity) {
+  // The production entry points: meanIncomingIntensity (packet bundle
+  // per cell, identical RNG consumption) and computeDivQ.
+  SingleLevelSetup setup(burnsChriston(), IntVector(16));
+  TraceConfig cfg;
+  cfg.nDivQRays = 48;
+  cfg.seed = 11;
+  const Tracer simd = setup.makeTracer(true, cfg);
+  const Tracer scalar = setup.makeTracer(false, cfg);
+  for (const IntVector& c :
+       {IntVector(0, 0, 0), IntVector(8, 8, 8), IntVector(15, 3, 9)}) {
+    const double a = simd.meanIncomingIntensity(c);
+    const double b = scalar.meanIncomingIntensity(c);
+    EXPECT_LE(ulpDistance(a, b), kUlpTolerance) << "cell " << c;
+  }
+  CCVariable<double> dqSimd(setup.grid->fineLevel().cells(), 0.0);
+  CCVariable<double> dqScalar(setup.grid->fineLevel().cells(), 0.0);
+  const CellRange probe(IntVector(4, 4, 4), IntVector(8, 8, 8));
+  simd.computeDivQ(probe, MutableFieldView<double>::fromHost(dqSimd));
+  scalar.computeDivQ(probe, MutableFieldView<double>::fromHost(dqScalar));
+  for (const auto& c : probe) {
+    // divQ differences pick up cancellation in (sigmaT4/pi - meanI), so
+    // bound relative-to-magnitude rather than raw ulps.
+    const double scale = std::max(
+        {std::abs(dqSimd[c]), std::abs(dqScalar[c]), 1e-12});
+    EXPECT_LE(std::abs(dqSimd[c] - dqScalar[c]) / scale, 1e-10)
+        << "cell " << c;
+  }
+}
+
+TEST(SimdMarch, SegmentCountsAgreeWithScalar) {
+  // Ray geometry is bitwise identical between paths, so segment counts
+  // can differ only where the exp divergence flips a ray's extinction
+  // test on the exact threshold-straddling segment. Allow one segment of
+  // slack per ray; with walls and moderate absorption that slack is
+  // almost never consumed.
+  SingleLevelSetup setup(burnsChriston(), IntVector(16));
+  Tracer simd = setup.makeTracer(true);
+  Tracer scalar = setup.makeTracer(false);
+  std::vector<Vector> origins, dirs;
+  const int n = 128;
+  makeRayBundle(n, origins, dirs);
+  std::vector<double> out(static_cast<std::size_t>(n));
+  simd.traceRays(n, origins.data(), dirs.data(), out.data());
+  scalar.traceRays(n, origins.data(), dirs.data(), out.data());
+  const auto a = static_cast<std::int64_t>(simd.segmentCount());
+  const auto b = static_cast<std::int64_t>(scalar.segmentCount());
+  EXPECT_LE(std::abs(a - b), n);
+  EXPECT_GT(a, 0);
+}
+
+TEST(SimdMarch, TwoLevelHandoffParity) {
+  // Fine ROI + coarse continuation: rays leaving the fine allowed box
+  // retire from the packet and finish on the coarse level through the
+  // scalar march — intensities must still match the all-scalar result
+  // within the ULP budget.
+  auto grid = Grid::makeTwoLevel(Vector(0.0), Vector(1.0), IntVector(16),
+                                 IntVector(4), IntVector(16), IntVector(4));
+  const grid::Level& fine = grid->fineLevel();
+  const grid::Level& coarse = grid->coarseLevel();
+  RadiationProblem prob = burnsChriston();
+  CCVariable<double> fAbs(fine.cells(), 0.0), fSig(fine.cells(), 0.0);
+  CCVariable<CellType> fCt(fine.cells(), CellType::Flow);
+  initializeProperties(fine, prob, fAbs, fSig, fCt);
+  CCVariable<double> cAbs(coarse.cells(), 0.0), cSig(coarse.cells(), 0.0);
+  CCVariable<CellType> cCt(coarse.cells(), CellType::Flow);
+  grid::coarsenAverage(fAbs, fine.refinementRatio(), cAbs, coarse.cells());
+  grid::coarsenAverage(fSig, fine.refinementRatio(), cSig, coarse.cells());
+  grid::coarsenCellType(fCt, fine.refinementRatio(), cCt, coarse.cells());
+
+  // Small ROI in the middle of the fine level so most rays hand off.
+  const CellRange roi(IntVector(5, 5, 5), IntVector(11, 11, 11));
+  const WallProperties walls{prob.wallSigmaT4OverPi, prob.wallEmissivity};
+  auto makeTracer = [&](bool simdOn) {
+    TraceConfig cfg;
+    cfg.nDivQRays = 32;
+    cfg.seed = 5;
+    cfg.useSimd = simdOn;
+    TraceLevel fineTL{LevelGeom::from(fine),
+                      RadiationFieldsView{FieldView<double>::fromHost(fAbs),
+                                          FieldView<double>::fromHost(fSig),
+                                          FieldView<CellType>::fromHost(fCt)},
+                      roi};
+    TraceLevel coarseTL{
+        LevelGeom::from(coarse),
+        RadiationFieldsView{FieldView<double>::fromHost(cAbs),
+                            FieldView<double>::fromHost(cSig),
+                            FieldView<CellType>::fromHost(cCt)},
+        coarse.cells()};
+    return Tracer({fineTL, coarseTL}, walls, cfg);
+  };
+  const Tracer simd = makeTracer(true);
+  const Tracer scalar = makeTracer(false);
+  for (const IntVector& c :
+       {IntVector(8, 8, 8), IntVector(6, 9, 10), IntVector(10, 5, 7)}) {
+    const double a = simd.meanIncomingIntensity(c);
+    const double b = scalar.meanIncomingIntensity(c);
+    EXPECT_LE(ulpDistance(a, b), kUlpTolerance) << "cell " << c;
+  }
+}
+
+TEST(SimdMarch, ScalarPathUnchangedByDispatchMachinery) {
+  // The golden-reference guarantee: a useSimd=false tracer must produce
+  // bitwise-identical results through traceRays and traceRay — the
+  // packet-path plumbing cannot perturb the scalar march.
+  SingleLevelSetup setup(burnsChriston(), IntVector(8));
+  const Tracer t = setup.makeTracer(false);
+  std::vector<Vector> origins, dirs;
+  makeRayBundle(32, origins, dirs);
+  std::vector<double> bundle(32);
+  t.traceRays(32, origins.data(), dirs.data(), bundle.data());
+  for (int i = 0; i < 32; ++i) {
+    const std::size_t s = static_cast<std::size_t>(i);
+    EXPECT_EQ(bundle[s], t.traceRay(origins[s], dirs[s])) << "ray " << i;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Zero-length segment accounting (the hot-path counter fix): crossings
+// with segLen == 0 — a ray starting exactly on the face it is about to
+// cross, or the 2nd/3rd face crossings of an exact corner hit — are FP
+// no-ops and must not count as marched segments.
+
+TEST(SegmentAccounting, RayStartingOnAFaceSkipsTheZeroCrossing) {
+  SingleLevelSetup setup(uniformMedium(0.25, 1.0), IntVector(8));
+  TraceConfig cfg;
+  cfg.threshold = 1e-12;
+  Tracer t = setup.makeTracer(false, cfg);
+  // Origin exactly on the low face of cell 3 (x = 3/8), marching -x:
+  // the Amanatides-Woo setup clamps the first crossing to t = 0, a
+  // zero-length segment in cell 3; the marched cells are 2, 1, 0.
+  t.resetSegmentCount();
+  t.traceRay(Vector(3.0 / 8.0, 0.51, 0.52), Vector(-1.0, 0.0, 0.0));
+  EXPECT_EQ(t.segmentCount(), 3u);
+}
+
+TEST(SegmentAccounting, CornerDiagonalCountsOneSegmentPerSpan) {
+  SingleLevelSetup setup(uniformMedium(0.25, 1.0), IntVector(8));
+  TraceConfig cfg;
+  cfg.threshold = 1e-12;
+  Tracer t = setup.makeTracer(false, cfg);
+  // From the exact cell corner at the domain center along the main
+  // diagonal: every cell boundary is a 3-fold axis tie, where the x step
+  // is followed by zero-length y and z crossings. Only the 4 real spans
+  // (corner to corner, cells (4,4,4)..(7,7,7)) may count.
+  t.resetSegmentCount();
+  t.traceRay(Vector(0.5, 0.5, 0.5),
+             Vector(1.0, 1.0, 1.0) / std::sqrt(3.0));
+  EXPECT_EQ(t.segmentCount(), 4u);
+
+  // And the packet path applies the identical rule.
+  Tracer ts = setup.makeTracer(true, cfg);
+  const Vector o(0.5, 0.5, 0.5);
+  const Vector d = Vector(1.0, 1.0, 1.0) / std::sqrt(3.0);
+  double out = 0.0;
+  ts.resetSegmentCount();
+  ts.traceRays(1, &o, &d, &out);
+  EXPECT_EQ(ts.segmentCount(), 4u);
+}
+
+// ---------------------------------------------------------------------
+// TraceConfig validation (the NaN-divQ fix): a non-positive ray count
+// must be rejected at construction, not surface as NaN divQ later.
+
+TEST(TraceConfigValidation, NonPositiveRayCountThrows) {
+  SingleLevelSetup setup(burnsChriston(), IntVector(8));
+  for (int bad : {0, -1, -100}) {
+    TraceConfig cfg;
+    cfg.nDivQRays = bad;
+    EXPECT_THROW(setup.makeTracer(false, cfg), std::invalid_argument)
+        << "nDivQRays = " << bad;
+  }
+  // And the boundary case is accepted and produces finite divQ.
+  TraceConfig cfg;
+  cfg.nDivQRays = 1;
+  Tracer t = setup.makeTracer(false, cfg);
+  EXPECT_TRUE(std::isfinite(t.meanIncomingIntensity(IntVector(4, 4, 4))));
+}
+
+}  // namespace
+}  // namespace rmcrt::core

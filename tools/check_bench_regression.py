@@ -20,6 +20,15 @@ Checks, in order:
      stable signal and must show speedup >= 1.0; the end-to-end divQ A/B
      shares its timing with per-ray sampling overhead and inherits
      single-core runner jitter, so it only fails below 0.75.
+  4. The SIMD packet march has not collapsed against the scalar golden
+     reference, with an ISA-dependent floor (the dual-packet AVX-512
+     kernel must hold well above parity; the AVX2 fallback is roughly at
+     parity, so only a collapse fails), and its worst per-ray deviation
+     stays inside the documented ULP envelope. Hosts where
+     Tracer::simdSupported() is false skip the perf floor but still must
+     carry the section — a run without simd_microbench keys (an older
+     bench binary, or a baseline predating the SIMD path) is unusable
+     input, not a pass.
 
 Exit code 0 = pass, 1 = regression, 2 = unusable input. Stdlib only.
 """
@@ -67,6 +76,56 @@ def check_bitwise(doc, path):
         if entry is not None and entry.get("bitwise_match") is not True:
             bad.append(section)
     return bad
+
+
+# Within-run SIMD-vs-scalar floor per reported ISA. The AVX-512 kernel
+# marches two interleaved 8-lane packets and measures ~3x on the
+# committed baseline host, so 1.5 only catches collapses; the AVX2
+# kernel is roughly at scalar parity on wide cores, so anything above a
+# collapse passes.
+SIMD_SPEEDUP_FLOOR = {"avx512": 1.5, "avx2": 0.6}
+
+# Loose ceiling on the microbench's worst per-ray |simd-scalar|/|scalar|.
+# The simd_march_test harness enforces the real 4096-ULP bound (~9e-13);
+# this only rejects a broken vector exp or masking bug at a glance.
+SIMD_MAX_REL_ERR = 1e-9
+
+
+def check_simd(current, baseline, cur_path, base_path):
+    """Gate the simd_microbench section; raises UnusableInput if absent."""
+    failures = []
+    for doc, path in ((current, cur_path), (baseline, base_path)):
+        if not isinstance(doc.get("simd_microbench"), dict):
+            raise UnusableInput(
+                f"{path}: no 'simd_microbench' section — bench binary or "
+                "baseline predates the SIMD packet march; refresh it with "
+                "a full bench_rmcrt_kernel run")
+    entry = current["simd_microbench"]
+    where = f"{cur_path} simd_microbench"
+    if entry.get("supported") is not True:
+        print("simd microbench: host unsupported, perf floor skipped")
+        return failures
+    isa = entry.get("isa")
+    floor = SIMD_SPEEDUP_FLOOR.get(isa)
+    if floor is None:
+        raise UnusableInput(
+            f"{where}: supported host reports unknown isa {isa!r}")
+    speedup = require_number(entry, "speedup", where)
+    scalar = require_number(entry, "scalar_mseg_per_s", where)
+    simd = require_number(entry, "simd_mseg_per_s", where)
+    rel_err = require_number(entry, "max_rel_err", where)
+    verdict = "OK" if speedup >= floor else "FAIL"
+    print(f"simd microbench [{isa}]: simd {simd:.2f} vs scalar "
+          f"{scalar:.2f} Mseg/s ({speedup:.2f}x, floor {floor}) [{verdict}]")
+    if speedup < floor:
+        failures.append(
+            f"simd packet march collapsed ({speedup:.2f}x < {floor}x "
+            f"on {isa})")
+    if rel_err > SIMD_MAX_REL_ERR:
+        failures.append(
+            f"simd microbench max_rel_err {rel_err:.3e} exceeds "
+            f"{SIMD_MAX_REL_ERR:.0e} — vector exp or lane masking broke")
+    return failures
 
 
 def main():
@@ -129,6 +188,9 @@ def main():
                 failures.append(
                     f"{label}: packed vs unpacked collapsed ({speedup:.2f}x "
                     f"< {floor}x)")
+
+        failures.extend(
+            check_simd(current, baseline, args.current, args.baseline))
     except UnusableInput as e:
         print(f"error: {e}", file=sys.stderr)
         return 2

@@ -4,15 +4,26 @@
 /// 100 rays/cell) for patch sizes 16^3 / 32^3 / 64^3, to 16,384 GPUs,
 /// including the Section V parallel-efficiency headline numbers (Eq. 3):
 /// 96% from 4096->8192 GPUs and 89% from 4096->16,384.
+///
+/// --json=<path> (default BENCH_scaling.json) writes the full study —
+/// MEDIUM + LARGE sweeps, Table I comm rows, Eq. 3 headlines, for the
+/// Titan-default and kernel-calibrated machine models — as the
+/// machine-readable artifact CI's shape gate (scaling_reproduction_test
+/// + check_bench_regression.py --mode scaling) verifies. --smoke skips
+/// the google-benchmark kernel suite; the study itself is pure
+/// deterministic model arithmetic and is always complete.
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <fstream>
 #include <iomanip>
 #include <iostream>
 
 #include "core/problems.h"
 #include "core/rmcrt_component.h"
 #include "sim/calibration.h"
+#include "sim/scaling_report.h"
 #include "sim/scaling_study.h"
 #include "util/observability_cli.h"
 
@@ -42,17 +53,15 @@ void BM_MultiLevelTracePatch(benchmark::State& state) {
 BENCHMARK(BM_MultiLevelTracePatch)->Arg(16)->Arg(32)
     ->Unit(benchmark::kMillisecond);
 
-void printFigure3() {
+void printFigure3(const rmcrt::sim::Calibration& c) {
   using namespace rmcrt::sim;
   std::cout << "\n=== Paper Figure 3 reproduction ===\n\n";
   const MachineModel m = titan();
   std::cout << "[Titan-default machine model]\n";
   largeStudy().print(std::cout, m);
 
-  Calibration c;
-  c.hostSegmentsPerSecond = measureKernelSegmentsPerSecond(16, 4);
   const MachineModel cal = calibrate(titan(), c);
-  std::cout << "\n[calibrated: host kernel = "
+  std::cout << "\n[calibrated: " << c.detail << " = "
             << c.hostSegmentsPerSecond / 1e6 << " Mseg/s, K20X scale 12x]\n";
   largeStudy().print(std::cout, cal);
 
@@ -70,12 +79,51 @@ void printFigure3() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Flags (bench_rmcrt_kernel conventions, consumed before
+  // google-benchmark sees the command line):
+  //   --smoke               skip the google-benchmark kernel suite;
+  //                         print the study tables and write the JSON only
+  //   --json=<path>         scaling-study output (default BENCH_scaling.json)
+  //   --calibration=<path>  kernel baseline to calibrate from (default
+  //                         BENCH_rmcrt_kernel.json; deterministic
+  //                         fallback constants if missing)
   const rmcrt::ObservabilityOptions obs =
       rmcrt::parseObservabilityFlags(argc, argv);
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  printFigure3();
+  bool smoke = false;
+  std::string jsonPath = "BENCH_scaling.json";
+  std::string calibrationPath = "BENCH_rmcrt_kernel.json";
+  int keep = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      jsonPath = argv[i] + 7;
+    } else if (std::strncmp(argv[i], "--calibration=", 14) == 0) {
+      calibrationPath = argv[i] + 14;
+    } else {
+      argv[keep++] = argv[i];
+    }
+  }
+  argc = keep;
+
+  if (!smoke) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+  }
+
+  const rmcrt::sim::Calibration c =
+      rmcrt::sim::calibrationFromBenchJson(calibrationPath);
+  printFigure3(c);
+
+  const rmcrt::sim::ScalingReport report =
+      rmcrt::sim::collectScalingReport(c);
+  std::ofstream out(jsonPath);
+  rmcrt::sim::writeScalingReportJson(out, report, smoke);
+  std::cout << "\nScaling study written to " << jsonPath
+            << " (calibration source: "
+            << rmcrt::sim::calibrationSourceName(c.source) << ")\n";
+
   rmcrt::writeObservabilityOutputs(obs);
   return 0;
 }

@@ -5,12 +5,18 @@
 ///
 /// Parts:
 ///  1. google-benchmark of the REAL distributed pipeline at laptop scale
-///     (exercises scheduler + comm + tracer end to end);
-///  2. the Figure 2 table from the machine model calibrated against this
-///     host's measured kernel throughput.
+///     (exercises scheduler + comm + tracer end to end; skipped by
+///     --smoke);
+///  2. the Figure 2 table from the machine model, both at Titan defaults
+///     and calibrated from the committed kernel baseline
+///     (BENCH_rmcrt_kernel.json — override with --calibration=<path>);
+///  3. the full scaling study written as JSON (--json=<path>, default
+///     BENCH_scaling.json) — the artifact CI's shape gate verifies.
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <thread>
@@ -21,6 +27,7 @@
 #include "grid/load_balancer.h"
 #include "runtime/scheduler.h"
 #include "sim/calibration.h"
+#include "sim/scaling_report.h"
 #include "sim/scaling_study.h"
 #include "util/observability_cli.h"
 
@@ -59,15 +66,14 @@ void BM_DistributedPipeline(benchmark::State& state) {
 BENCHMARK(BM_DistributedPipeline)->Arg(1)->Arg(2)->Arg(4)
     ->Unit(benchmark::kMillisecond);
 
-void printFigure2() {
+void printFigure2(const rmcrt::sim::Calibration& c) {
   using namespace rmcrt::sim;
   std::cout << "\n=== Paper Figure 2 reproduction ===\n\n";
   std::cout << "[Titan-default machine model]\n";
   mediumStudy().print(std::cout, titan());
 
-  Calibration c;
-  c.hostSegmentsPerSecond = measureKernelSegmentsPerSecond(16, 4);
-  std::cout << "\n[calibrated: host kernel = " << c.hostSegmentsPerSecond / 1e6
+  std::cout << "\n[calibrated: " << c.detail << " = "
+            << c.hostSegmentsPerSecond / 1e6
             << " Mseg/s, K20X scale 12x]\n";
   mediumStudy().print(std::cout, calibrate(titan(), c));
   std::cout << "\nExpected shape (paper): larger patches are faster per "
@@ -78,12 +84,51 @@ void printFigure2() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Flags (bench_rmcrt_kernel conventions, consumed before
+  // google-benchmark sees the command line):
+  //   --smoke               skip the google-benchmark pipeline suite;
+  //                         print the study tables and write the JSON only
+  //   --json=<path>         scaling-study output (default BENCH_scaling.json)
+  //   --calibration=<path>  kernel baseline to calibrate from (default
+  //                         BENCH_rmcrt_kernel.json; deterministic
+  //                         fallback constants if missing)
   const rmcrt::ObservabilityOptions obs =
       rmcrt::parseObservabilityFlags(argc, argv);
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  printFigure2();
+  bool smoke = false;
+  std::string jsonPath = "BENCH_scaling.json";
+  std::string calibrationPath = "BENCH_rmcrt_kernel.json";
+  int keep = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      jsonPath = argv[i] + 7;
+    } else if (std::strncmp(argv[i], "--calibration=", 14) == 0) {
+      calibrationPath = argv[i] + 14;
+    } else {
+      argv[keep++] = argv[i];
+    }
+  }
+  argc = keep;
+
+  if (!smoke) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+  }
+
+  const rmcrt::sim::Calibration c =
+      rmcrt::sim::calibrationFromBenchJson(calibrationPath);
+  printFigure2(c);
+
+  const rmcrt::sim::ScalingReport report =
+      rmcrt::sim::collectScalingReport(c);
+  std::ofstream out(jsonPath);
+  rmcrt::sim::writeScalingReportJson(out, report, smoke);
+  std::cout << "\nScaling study written to " << jsonPath
+            << " (calibration source: "
+            << rmcrt::sim::calibrationSourceName(c.source) << ")\n";
+
   rmcrt::writeObservabilityOutputs(obs);
   return 0;
 }

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <fstream>
 #include <memory>
+#include <sstream>
 #include <thread>
 #include <vector>
 
@@ -12,9 +14,22 @@
 #include "core/problems.h"
 #include "core/rmcrt_component.h"
 #include "grid/operators.h"
+#include "util/mini_json.h"
 #include "util/timers.h"
 
 namespace rmcrt::sim {
+
+const char* calibrationSourceName(CalibrationSource s) {
+  switch (s) {
+    case CalibrationSource::Measured:
+      return "measured";
+    case CalibrationSource::BenchJson:
+      return "bench_json";
+    case CalibrationSource::Fallback:
+      return "fallback";
+  }
+  return "unknown";
+}
 
 double measureKernelSegmentsPerSecond(int patchSize, int raysPerCell) {
   using namespace rmcrt::core;
@@ -125,6 +140,95 @@ Calibration measureHost() {
   Calibration c;
   c.hostSegmentsPerSecond = measureKernelSegmentsPerSecond();
   measureContainerCosts(c.waitFreePerMessage, c.lockedPerMessage);
+  c.source = CalibrationSource::Measured;
+  c.detail = "measureKernelSegmentsPerSecond(16, 4) on this host";
+  return c;
+}
+
+Calibration fallbackCalibration() {
+  Calibration c;
+  // The committed AVX-512 packet-march baseline (simd_mseg_per_s at the
+  // 128^3 fixture) rounded to a constant: 36 Mseg/s on one host core.
+  c.hostSegmentsPerSecond = 36.0e6;
+  c.source = CalibrationSource::Fallback;
+  c.detail = "reference constant 36 Mseg/s (no bench baseline)";
+  return c;
+}
+
+namespace {
+
+/// threads==1 sample of the sweep array, or nullptr.
+const minijson::Value* serialSweepSample(const minijson::Value& doc) {
+  if (!doc.has("sweep")) return nullptr;
+  for (const minijson::Value& s : doc.at("sweep").array) {
+    if (s.has("threads") && s.at("threads").number == 1.0 &&
+        s.has("mseg_per_s") &&
+        s.at("mseg_per_s").type == minijson::Value::Type::Number)
+      return &s;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+Calibration calibrationFromBenchJson(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    Calibration c = fallbackCalibration();
+    c.detail = "fallback: cannot open " + path;
+    return c;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  minijson::Value doc;
+  try {
+    doc = minijson::parse(buf.str());
+  } catch (const std::exception& e) {
+    Calibration c = fallbackCalibration();
+    c.detail = "fallback: " + path + " does not parse (" + e.what() + ")";
+    return c;
+  }
+
+  const auto numeric = [](const minijson::Value& obj, const char* key) {
+    return obj.has(key) &&
+           obj.at(key).type == minijson::Value::Type::Number &&
+           obj.at(key).number > 0.0;
+  };
+
+  Calibration c;
+  c.source = CalibrationSource::BenchJson;
+  if (doc.has("simd_microbench")) {
+    const minijson::Value& simd = doc.at("simd_microbench");
+    const bool supported = simd.has("supported") &&
+                           simd.at("supported").type ==
+                               minijson::Value::Type::Bool &&
+                           simd.at("supported").boolean;
+    const std::string isa = simd.has("isa") ? simd.at("isa").str : "?";
+    const std::string grid =
+        simd.has("grid_n")
+            ? std::to_string(static_cast<int>(simd.at("grid_n").number))
+            : "?";
+    if (supported && numeric(simd, "simd_mseg_per_s")) {
+      c.hostSegmentsPerSecond = simd.at("simd_mseg_per_s").number * 1e6;
+      c.detail = "simd_microbench.simd_mseg_per_s [" + isa + " @" + grid +
+                 "^3] from " + path;
+      return c;
+    }
+    if (numeric(simd, "scalar_mseg_per_s")) {
+      c.hostSegmentsPerSecond = simd.at("scalar_mseg_per_s").number * 1e6;
+      c.detail = "simd_microbench.scalar_mseg_per_s [@" + grid +
+                 "^3] from " + path;
+      return c;
+    }
+  }
+  if (const minijson::Value* serial = serialSweepSample(doc);
+      serial && serial->at("mseg_per_s").number > 0.0) {
+    c.hostSegmentsPerSecond = serial->at("mseg_per_s").number * 1e6;
+    c.detail = "sweep[threads==1].mseg_per_s from " + path;
+    return c;
+  }
+  c = fallbackCalibration();
+  c.detail = "fallback: " + path + " has no usable mseg_per_s key";
   return c;
 }
 

@@ -1,0 +1,123 @@
+#include "sim/scaling_report.h"
+
+#include <iomanip>
+#include <ostream>
+
+namespace rmcrt::sim {
+
+namespace {
+
+ModelScalingResult runModel(std::string name, const MachineModel& m) {
+  ModelScalingResult r;
+  r.name = std::move(name);
+  r.machine = m;
+  r.medium = mediumStudy().run(m);
+  r.large = largeStudy().run(m);
+  r.comm = commImprovementStudy(m);
+  r.effLarge16From4096To8192 = largeProblemEfficiency(m, 16, 4096, 8192);
+  r.effLarge16From4096To16384 = largeProblemEfficiency(m, 16, 4096, 16384);
+  r.effLarge16From512To16384 = largeProblemEfficiency(m, 16, 512, 16384);
+  return r;
+}
+
+std::string escapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+void writeSeries(std::ostream& os, const char* key,
+                 const ProblemConfig& base,
+                 const std::vector<StrongScalingStudy::Series>& series) {
+  os << "    \"" << key << "\": {\"fine_cells_per_side\": "
+     << base.fineCellsPerSide << ", \"series\": [\n";
+  for (std::size_t s = 0; s < series.size(); ++s) {
+    const auto& se = series[s];
+    ProblemConfig p = base;
+    p.patchSize = se.patchSize;
+    os << "      {\"patch_size\": " << se.patchSize << ", \"max_gpus\": "
+       << (se.points.empty() ? 0 : se.points.back().gpus)
+       << ", \"points\": [\n";
+    for (std::size_t i = 0; i < se.points.size(); ++i) {
+      const ScalingPoint& pt = se.points[i];
+      const TimestepBreakdown& b = pt.breakdown;
+      os << "        {\"gpus\": " << pt.gpus << ", \"patches_per_gpu\": "
+         << p.patchesPerRank(pt.gpus) << ", \"seconds\": " << b.total
+         << ", \"local_comm_s\": " << b.localComm << ", \"network_s\": "
+         << b.network << ", \"pcie_s\": " << b.pcie << ", \"kernel_s\": "
+         << b.kernel << ", \"gpu_makespan_s\": " << b.gpuMakespan << "}"
+         << (i + 1 < se.points.size() ? "," : "") << "\n";
+    }
+    os << "      ]}" << (s + 1 < series.size() ? "," : "") << "\n";
+  }
+  os << "    ]}";
+}
+
+void writeModel(std::ostream& os, const ModelScalingResult& r) {
+  os << "  \"" << r.name << "\": {\n"
+     << "    \"gpu_mseg_per_s\": " << r.machine.gpuSegmentsPerSecond / 1e6
+     << ",\n";
+  writeSeries(os, "medium", mediumProblem(), r.medium);
+  os << ",\n";
+  writeSeries(os, "large", largeProblem(), r.large);
+  os << ",\n    \"comm_study\": [\n";
+  for (std::size_t i = 0; i < r.comm.size(); ++i) {
+    const CommStudyRow& row = r.comm[i];
+    os << "      {\"nodes\": " << row.nodes << ", \"before_s\": "
+       << row.beforeSeconds << ", \"after_s\": " << row.afterSeconds
+       << ", \"speedup\": " << row.speedup << "}"
+       << (i + 1 < r.comm.size() ? "," : "") << "\n";
+  }
+  os << "    ],\n"
+     << "    \"efficiency_large_p16\": {\"eff_4096_to_8192\": "
+     << r.effLarge16From4096To8192 << ", \"eff_4096_to_16384\": "
+     << r.effLarge16From4096To16384 << ", \"eff_512_to_16384\": "
+     << r.effLarge16From512To16384 << "}\n"
+     << "  }";
+}
+
+}  // namespace
+
+ScalingReport collectScalingReport(const Calibration& c,
+                                   double hostToGpuScale) {
+  ScalingReport r;
+  r.calibration = c;
+  r.hostToGpuScale = hostToGpuScale;
+  r.titanDefault = runModel("titan_default", titan());
+  r.calibrated =
+      runModel("calibrated", calibrate(titan(), c, hostToGpuScale));
+  return r;
+}
+
+void writeScalingReportJson(std::ostream& os, const ScalingReport& r,
+                            bool smoke) {
+  const std::streamsize oldPrec = os.precision();
+  os << std::setprecision(6) << std::fixed;
+  os << "{\n"
+     << "  \"benchmark\": \"rmcrt_scaling_study\",\n"
+     << "  \"problem\": \"burns_christon_2level_rr4_100rays\",\n"
+     << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+     << "  \"paper\": {\"eff_4096_to_8192\": "
+     << PaperReference::eff4096To8192 << ", \"eff_4096_to_16384\": "
+     << PaperReference::eff4096To16384 << ", \"comm_speedup_min\": "
+     << PaperReference::commSpeedupMin << ", \"comm_speedup_max\": "
+     << PaperReference::commSpeedupMax << "},\n"
+     << "  \"calibration\": {\"source\": \""
+     << calibrationSourceName(r.calibration.source) << "\", \"detail\": \""
+     << escapeJson(r.calibration.detail) << "\", \"host_mseg_per_s\": "
+     << r.calibration.hostSegmentsPerSecond / 1e6
+     << ", \"host_to_gpu_scale\": " << r.hostToGpuScale << "},\n"
+     << "  \"models\": {\n";
+  writeModel(os, r.titanDefault);
+  os << ",\n";
+  writeModel(os, r.calibrated);
+  os << "\n  }\n}\n";
+  os << std::setprecision(static_cast<int>(oldPrec));
+  os.unsetf(std::ios::fixed);
+}
+
+}  // namespace rmcrt::sim

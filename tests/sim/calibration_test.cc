@@ -2,8 +2,19 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <string>
+
 namespace rmcrt::sim {
 namespace {
+
+/// Writes \p text as a temp baseline file and returns its path.
+std::string writeBaseline(const std::string& name, const std::string& text) {
+  const std::string path = ::testing::TempDir() + name;
+  std::ofstream out(path);
+  out << text;
+  return path;
+}
 
 TEST(Calibration, KernelMeasurementIsPositiveAndPlausible) {
   const double segPerSec = measureKernelSegmentsPerSecond(16, 2);
@@ -37,6 +48,100 @@ TEST(Calibration, ZeroMeasurementsKeepDefaults) {
   EXPECT_DOUBLE_EQ(m.gpuSegmentsPerSecond, base.gpuSegmentsPerSecond);
   EXPECT_DOUBLE_EQ(m.perMessageOverheadWaitFree,
                    base.perMessageOverheadWaitFree);
+}
+
+TEST(Calibration, BenchJsonPrefersSimdThroughput) {
+  const std::string path = writeBaseline(
+      "cal_simd.json",
+      R"({"simd_microbench": {"supported": true, "isa": "avx512",
+           "grid_n": 128, "simd_mseg_per_s": 50.25,
+           "scalar_mseg_per_s": 10.0},
+          "sweep": [{"threads": 1, "mseg_per_s": 40.0}]})");
+  const Calibration c = calibrationFromBenchJson(path);
+  EXPECT_EQ(c.source, CalibrationSource::BenchJson);
+  EXPECT_DOUBLE_EQ(c.hostSegmentsPerSecond, 50.25e6);
+  EXPECT_NE(c.detail.find("simd_microbench.simd_mseg_per_s"),
+            std::string::npos)
+      << c.detail;
+  EXPECT_NE(c.detail.find("avx512"), std::string::npos) << c.detail;
+  // Container costs are not in the baseline; calibrate() must keep the
+  // machine defaults for them.
+  EXPECT_DOUBLE_EQ(c.waitFreePerMessage, 0.0);
+  const MachineModel m = calibrate(titan(), c);
+  EXPECT_DOUBLE_EQ(m.perMessageOverheadWaitFree,
+                   titan().perMessageOverheadWaitFree);
+  EXPECT_DOUBLE_EQ(m.gpuSegmentsPerSecond, 50.25e6 * 12.0);
+}
+
+TEST(Calibration, BenchJsonFallsBackToScalarWhenSimdUnsupported) {
+  const std::string path = writeBaseline(
+      "cal_scalar.json",
+      R"({"simd_microbench": {"supported": false, "grid_n": 64,
+           "scalar_mseg_per_s": 10.5}})");
+  const Calibration c = calibrationFromBenchJson(path);
+  EXPECT_EQ(c.source, CalibrationSource::BenchJson);
+  EXPECT_DOUBLE_EQ(c.hostSegmentsPerSecond, 10.5e6);
+  EXPECT_NE(c.detail.find("scalar_mseg_per_s"), std::string::npos)
+      << c.detail;
+}
+
+TEST(Calibration, BenchJsonReadsSweepFromPreSimdBaselines) {
+  // Baselines committed before the SIMD microbench existed only carry
+  // the thread-sweep; the serial sample is the calibration quantity.
+  const std::string path = writeBaseline(
+      "cal_sweep.json",
+      R"({"sweep": [{"threads": 4, "mseg_per_s": 120.0},
+                    {"threads": 1, "mseg_per_s": 41.83}]})");
+  const Calibration c = calibrationFromBenchJson(path);
+  EXPECT_EQ(c.source, CalibrationSource::BenchJson);
+  EXPECT_DOUBLE_EQ(c.hostSegmentsPerSecond, 41.83e6);
+  EXPECT_NE(c.detail.find("sweep[threads==1]"), std::string::npos)
+      << c.detail;
+}
+
+TEST(Calibration, MissingFileYieldsDeterministicFallback) {
+  const Calibration a = calibrationFromBenchJson("/nonexistent/b.json");
+  const Calibration b = calibrationFromBenchJson("/nonexistent/b.json");
+  EXPECT_EQ(a.source, CalibrationSource::Fallback);
+  EXPECT_DOUBLE_EQ(a.hostSegmentsPerSecond, 36.0e6);
+  EXPECT_DOUBLE_EQ(a.hostSegmentsPerSecond, b.hostSegmentsPerSecond);
+  EXPECT_EQ(a.detail, b.detail);
+  EXPECT_NE(a.detail.find("cannot open"), std::string::npos) << a.detail;
+}
+
+TEST(Calibration, MalformedOrKeylessJsonYieldsFallback) {
+  const Calibration bad =
+      calibrationFromBenchJson(writeBaseline("cal_bad.json", "{not json"));
+  EXPECT_EQ(bad.source, CalibrationSource::Fallback);
+  EXPECT_DOUBLE_EQ(bad.hostSegmentsPerSecond, 36.0e6);
+
+  const Calibration keyless = calibrationFromBenchJson(
+      writeBaseline("cal_keyless.json", R"({"benchmark": "other"})"));
+  EXPECT_EQ(keyless.source, CalibrationSource::Fallback);
+  EXPECT_NE(keyless.detail.find("no usable mseg_per_s"), std::string::npos)
+      << keyless.detail;
+}
+
+TEST(Calibration, CommittedKernelBaselineLoads) {
+  // The repo's own committed baseline must calibrate, and from the SIMD
+  // key — this is the exact chain bench_scaling_* and the scaling shape
+  // gate run on.
+  const Calibration c = calibrationFromBenchJson(
+      std::string(RMCRT_REPO_DIR) + "/BENCH_rmcrt_kernel.json");
+  EXPECT_EQ(c.source, CalibrationSource::BenchJson);
+  EXPECT_GT(c.hostSegmentsPerSecond, 1e6);
+  EXPECT_LT(c.hostSegmentsPerSecond, 1e11);
+  EXPECT_EQ(calibrationSourceName(c.source), std::string("bench_json"));
+}
+
+TEST(Calibration, SourceNamesAreStable) {
+  // check_bench_regression.py and the shape gate match on these strings.
+  EXPECT_STREQ(calibrationSourceName(CalibrationSource::Measured),
+               "measured");
+  EXPECT_STREQ(calibrationSourceName(CalibrationSource::BenchJson),
+               "bench_json");
+  EXPECT_STREQ(calibrationSourceName(CalibrationSource::Fallback),
+               "fallback");
 }
 
 TEST(Calibration, CalibratedModelStillScales) {

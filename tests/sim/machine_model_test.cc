@@ -1,0 +1,94 @@
+/// \file machine_model_test.cc
+/// Golden-value tests for the two analytic curves in MachineModel that
+/// the strong-scaling shape gate leans on: the patch-occupancy
+/// saturation curve (paper Section V observation 1) and the torus
+/// contention factor behind effectiveNetBandwidth (DESIGN.md §7). All
+/// expectations are hand-derived from the closed forms so a silent
+/// constant change fails loudly.
+
+#include <gtest/gtest.h>
+
+#include "sim/machine_model.h"
+
+namespace rmcrt::sim {
+namespace {
+
+TEST(MachineModelTest, TitanDefaultsMatchPaperFootnote) {
+  const MachineModel m = titan();
+  EXPECT_EQ(m.gpuMemoryBytes, 6ull << 30);         // K20X: 6 GB GDDR5
+  EXPECT_DOUBLE_EQ(m.netLatencySeconds, 1.4e-6);   // Gemini
+  EXPECT_EQ(m.commThreads, 16);                    // 16 cores/node
+  // Sustained injection bandwidth must stay below the quoted 20 GB/s
+  // peak — the model encodes achievable, not datasheet, bandwidth.
+  EXPECT_LE(m.netBandwidth, 20.0e9);
+  EXPECT_GT(m.netBandwidth, 0.0);
+}
+
+TEST(MachineModelTest, OccupancyGoldenValues) {
+  const MachineModel m = titan();
+  // eff = n / (n + 20e3), hand-evaluated at the paper's patch sizes:
+  //   16^3 = 4096   -> 4096/24096   = 0.16999...
+  //   32^3 = 32768  -> 32768/52768  = 0.62098...
+  //   64^3 = 262144 -> 262144/282144 = 0.92911...
+  EXPECT_DOUBLE_EQ(m.occupancy(4096.0), 4096.0 / 24096.0);
+  EXPECT_DOUBLE_EQ(m.occupancy(32768.0), 32768.0 / 52768.0);
+  EXPECT_DOUBLE_EQ(m.occupancy(262144.0), 262144.0 / 282144.0);
+  // The header's documented rounded values.
+  EXPECT_NEAR(m.occupancy(4096.0), 0.17, 5e-3);
+  EXPECT_NEAR(m.occupancy(32768.0), 0.62, 5e-3);
+  EXPECT_NEAR(m.occupancy(262144.0), 0.93, 5e-3);
+  // Exactly half occupancy at halfOccupancyCells, saturating toward 1.
+  EXPECT_DOUBLE_EQ(m.occupancy(m.halfOccupancyCells), 0.5);
+  EXPECT_LT(m.occupancy(1.0e9), 1.0);
+  EXPECT_GT(m.occupancy(1.0e9), 0.99);
+}
+
+TEST(MachineModelTest, OccupancyMonotoneInPatchSize) {
+  const MachineModel m = titan();
+  double prev = 0.0;
+  for (int edge : {8, 16, 32, 64, 128}) {
+    const double cells = static_cast<double>(edge) * edge * edge;
+    const double occ = m.occupancy(cells);
+    EXPECT_GT(occ, prev) << edge;
+    EXPECT_GT(occ, 0.0);
+    EXPECT_LT(occ, 1.0);
+    prev = occ;
+  }
+}
+
+TEST(MachineModelTest, TorusContentionGoldenValues) {
+  const MachineModel m = titan();
+  // bw_eff = netBandwidth / (1 + P/16384), hand-evaluated:
+  EXPECT_DOUBLE_EQ(m.effectiveNetBandwidth(0), m.netBandwidth);
+  EXPECT_DOUBLE_EQ(m.effectiveNetBandwidth(4096), m.netBandwidth / 1.25);
+  EXPECT_DOUBLE_EQ(m.effectiveNetBandwidth(8192), m.netBandwidth / 1.5);
+  // At the full 16,384-node sweep endpoint contention exactly halves
+  // the per-node bandwidth — the knob behind the large-sweep rolloff.
+  EXPECT_DOUBLE_EQ(m.effectiveNetBandwidth(16384), m.netBandwidth / 2.0);
+}
+
+TEST(MachineModelTest, TorusContentionMonotoneDecreasing) {
+  const MachineModel m = titan();
+  double prev = m.effectiveNetBandwidth(1);
+  for (int nodes = 2; nodes <= 16384; nodes *= 2) {
+    const double bw = m.effectiveNetBandwidth(nodes);
+    EXPECT_LT(bw, prev) << nodes;
+    EXPECT_GT(bw, 0.0);
+    prev = bw;
+  }
+}
+
+TEST(MachineModelTest, ContentionScaleIsTunable) {
+  // A machine with a stiffer interconnect (larger contention scale)
+  // must never see less bandwidth at the same node count.
+  MachineModel soft = titan();
+  MachineModel stiff = titan();
+  stiff.torusContentionScale = 2.0 * soft.torusContentionScale;
+  for (int nodes : {512, 4096, 16384})
+    EXPECT_GT(stiff.effectiveNetBandwidth(nodes),
+              soft.effectiveNetBandwidth(nodes))
+        << nodes;
+}
+
+}  // namespace
+}  // namespace rmcrt::sim

@@ -150,5 +150,37 @@ TEST(PerfModel, EfficiencyDefinitionMatchesEq3) {
   EXPECT_DOUBLE_EQ(parallelEfficiency(a, b), 0.8);
 }
 
+TEST(PerfModel, Eq3GoldenValuesFromPaperHeadlines) {
+  // Hand-derived inversions of Eq. 3, E = (t_a * n_a) / (t_b * n_b):
+  // fix t_4096 = 1 s and construct the t_b that makes E land exactly on
+  // the paper's headline numbers.
+  ScalingPoint a{4096, {}};
+  a.breakdown.total = 1.0;
+  ScalingPoint b{8192, {}};
+  b.breakdown.total = 4096.0 / (8192.0 * 0.96);  // = 0.5208333... s
+  EXPECT_NEAR(parallelEfficiency(a, b), 0.96, 1e-12);
+  ScalingPoint c{16384, {}};
+  c.breakdown.total = 4096.0 / (16384.0 * 0.89);  // = 0.2808988... s
+  EXPECT_NEAR(parallelEfficiency(a, c), 0.89, 1e-12);
+  // Non-power-of-two counts: (100 GPUs, 3 s) -> (300 GPUs, 1.5 s) is
+  // 300/450 = 2/3 efficient.
+  ScalingPoint d{100, {}}, e{300, {}};
+  d.breakdown.total = 3.0;
+  e.breakdown.total = 1.5;
+  EXPECT_NEAR(parallelEfficiency(d, e), 2.0 / 3.0, 1e-12);
+}
+
+TEST(PerfModel, Eq3IsComposableAcrossDoublings) {
+  // E(a->c) = E(a->b) * E(b->c): the whole-sweep efficiency is the
+  // product of the per-doubling efficiencies, so gating the doublings
+  // gates the sweep.
+  const MachineModel m = titan();
+  const auto pts = strongScalingSeries(m, largeProblem(16),
+                                       {4096, 8192, 16384});
+  const double composed = parallelEfficiency(pts[0], pts[1]) *
+                          parallelEfficiency(pts[1], pts[2]);
+  EXPECT_NEAR(parallelEfficiency(pts[0], pts[2]), composed, 1e-12);
+}
+
 }  // namespace
 }  // namespace rmcrt::sim

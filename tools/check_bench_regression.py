@@ -1,10 +1,24 @@
 #!/usr/bin/env python3
-"""Perf-regression gate for bench_rmcrt_kernel JSON baselines.
+"""Perf-regression gate for the committed bench JSON baselines.
 
-Compares a freshly measured sweep (e.g. the CI --smoke run) against the
-committed baseline and fails on a throughput collapse:
+Two modes, selected by --mode (default: kernel):
+
+kernel — compares a freshly measured bench_rmcrt_kernel sweep (e.g. the
+CI --smoke run) against the committed baseline and fails on a
+throughput collapse:
 
     check_bench_regression.py --current ci.json --baseline BENCH_rmcrt_kernel.json
+
+scaling — compares a freshly collected bench_scaling_{medium,large}
+study against the committed BENCH_scaling.json and fails when the
+paper's reproduced shape drifts: a patch-size crossover flips, a series
+stops decreasing, the Titan-default Eq. 3 efficiencies leave the
+paper's regime, or the Table I speedups leave 2x-5x. The study is
+deterministic model arithmetic, so current-vs-baseline values must also
+agree closely (they only differ by libm ulps across hosts):
+
+    check_bench_regression.py --mode scaling --current scaling-smoke.json \\
+        --baseline BENCH_scaling.json
 
 Checks, in order:
   1. Every bitwise_match flag in the current run is true (thread sweep,
@@ -128,15 +142,139 @@ def check_simd(current, baseline, cur_path, base_path):
     return failures
 
 
+# --- scaling mode -----------------------------------------------------------
+
+# Paper Section V headline efficiencies, gated on the Titan-default model
+# only (the kernel-calibrated variant is slower per GPU, hence flatter;
+# it gets shape checks, not absolute bounds). Slightly looser than the
+# C++ shape gate's +-0.06 so this script is never the flakier of the two.
+PAPER_EFF = {"eff_4096_to_8192": 0.96, "eff_4096_to_16384": 0.89}
+PAPER_EFF_TOL = 0.08
+COMM_SPEEDUP_RANGE = (2.0, 5.0)
+# Current vs baseline: identical deterministic arithmetic modulo libm.
+SCALING_VALUE_RTOL = 0.05
+
+
+def scaling_model(doc, name, path):
+    models = doc.get("models")
+    if not isinstance(models, dict) or not isinstance(models.get(name), dict):
+        raise UnusableInput(
+            f"{path}: missing scaling key 'models.{name}' — not a "
+            "bench_scaling JSON? Regenerate with "
+            "bench_scaling_large --smoke --json=...")
+    return models[name]
+
+
+def scaling_series(model, study, path):
+    where = f"{path} {study}"
+    entry = model.get(study)
+    if not isinstance(entry, dict) or not isinstance(
+            entry.get("series"), list) or not entry["series"]:
+        raise UnusableInput(
+            f"{where}: missing scaling key '{study}.series'")
+    out = {}
+    for se in entry["series"]:
+        patch = int(require_number(se, "patch_size", where))
+        pts = se.get("points")
+        if not isinstance(pts, list) or not pts:
+            raise UnusableInput(f"{where}: patch {patch} has no points")
+        out[patch] = [(int(require_number(p, "gpus", where)),
+                       require_number(p, "seconds", where)) for p in pts]
+    return out
+
+
+def check_scaling_model(current, baseline, name, cur_path, base_path):
+    failures = []
+    cur = scaling_model(current, name, cur_path)
+    base = scaling_model(baseline, name, base_path)
+    for study in ("medium", "large"):
+        cur_series = scaling_series(cur, study, cur_path)
+        base_series = scaling_series(base, study, base_path)
+        if set(cur_series) != set(base_series):
+            failures.append(
+                f"{name} {study}: patch sizes {sorted(cur_series)} != "
+                f"baseline {sorted(base_series)}")
+            continue
+        # Monotone decrease while over-decomposed, and agreement with
+        # the baseline values point by point.
+        for patch, pts in cur_series.items():
+            for (ga, ta), (gb, tb) in zip(pts, pts[1:]):
+                if tb >= ta:
+                    failures.append(
+                        f"{name} {study} {patch}^3: time stopped falling "
+                        f"at {gb} GPUs ({tb:.4f} >= {ta:.4f} s)")
+            for (g, t), (bg, bt) in zip(pts, base_series[patch]):
+                if g != bg:
+                    failures.append(
+                        f"{name} {study} {patch}^3: GPU grid {g} != "
+                        f"baseline {bg}")
+                elif abs(t - bt) > SCALING_VALUE_RTOL * bt:
+                    failures.append(
+                        f"{name} {study} {patch}^3 @{g}: {t:.4f} s drifted "
+                        f"from baseline {bt:.4f} s (> {SCALING_VALUE_RTOL:.0%})")
+        # The paper's crossover: the largest feasible patch wins at every
+        # GPU count, and the winner must match the baseline's.
+        by_gpus = {}
+        for patch, pts in cur_series.items():
+            for g, t in pts:
+                by_gpus.setdefault(g, {})[patch] = t
+        for g, entries in sorted(by_gpus.items()):
+            winner = min(entries, key=entries.get)
+            if winner != max(entries):
+                failures.append(
+                    f"{name} {study} @{g} GPUs: {winner}^3 beats the "
+                    f"largest feasible patch {max(entries)}^3 — crossover "
+                    "flipped")
+    eff = cur.get("efficiency_large_p16")
+    if not isinstance(eff, dict):
+        raise UnusableInput(
+            f"{cur_path}: missing scaling key "
+            f"'models.{name}.efficiency_large_p16'")
+    for key in ("eff_4096_to_8192", "eff_4096_to_16384"):
+        e = require_number(eff, key, f"{cur_path} {name}")
+        if name == "titan_default":
+            ref = PAPER_EFF[key]
+            verdict = "OK" if abs(e - ref) <= PAPER_EFF_TOL else "FAIL"
+            print(f"{name} {key}: {e:.4f} vs paper {ref:.2f} "
+                  f"(+-{PAPER_EFF_TOL}) [{verdict}]")
+            if abs(e - ref) > PAPER_EFF_TOL:
+                failures.append(
+                    f"{name} {key} = {e:.4f} left the paper regime "
+                    f"{ref:.2f}+-{PAPER_EFF_TOL}")
+        if e > 1.0 + 1e-9:
+            failures.append(f"{name} {key} = {e:.4f} exceeds 1.0")
+    lo, hi = COMM_SPEEDUP_RANGE
+    for row in cur.get("comm_study", []):
+        s = require_number(row, "speedup", f"{cur_path} {name} comm_study")
+        if not lo <= s <= hi:
+            failures.append(
+                f"{name} comm_study @{row.get('nodes')} nodes: speedup "
+                f"{s:.2f}x outside [{lo}, {hi}] (paper Table I: 2.27-4.40x)")
+    return failures
+
+
+def check_scaling(current, baseline, cur_path, base_path):
+    failures = []
+    for name in ("titan_default", "calibrated"):
+        failures.extend(
+            check_scaling_model(current, baseline, name, cur_path,
+                                base_path))
+    return failures
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--mode", choices=("kernel", "scaling"),
+                    default="kernel",
+                    help="kernel: bench_rmcrt_kernel throughput gate; "
+                         "scaling: bench_scaling_* shape gate")
     ap.add_argument("--current", required=True,
-                    help="JSON written by this run's bench_rmcrt_kernel")
+                    help="JSON written by this run's bench binary")
     ap.add_argument("--baseline", required=True,
                     help="committed baseline JSON to compare against")
     ap.add_argument("--tolerance", type=float, default=0.5,
-                    help="minimum fraction of baseline single-thread "
-                         "Mseg/s that passes (default 0.5)")
+                    help="kernel mode: minimum fraction of baseline "
+                         "single-thread Mseg/s that passes (default 0.5)")
     args = ap.parse_args()
 
     try:
@@ -147,6 +285,20 @@ def main():
     except (OSError, json.JSONDecodeError) as e:
         print(f"error: cannot load bench JSON: {e}", file=sys.stderr)
         return 2
+
+    if args.mode == "scaling":
+        try:
+            failures = check_scaling(current, baseline, args.current,
+                                     args.baseline)
+        except UnusableInput as e:
+            print(f"error: {e}", file=sys.stderr)
+            return 2
+        if failures:
+            for f in failures:
+                print(f"REGRESSION: {f}", file=sys.stderr)
+            return 1
+        print("scaling shape gate passed")
+        return 0
 
     failures = []
 

@@ -6,6 +6,12 @@
 /// cost-weighted load balancer (runtime/snapshot.h, DESIGN.md §13).
 ///
 ///   ./examples/recovery_demo [ranks=3] [steps=8] [killStep=3]
+///       [--trace-out <path>] [--metrics-out <path>]
+///
+/// The observability flags (util/observability_cli.h) capture the run:
+/// --trace-out writes a Chrome trace-event JSON of the schedule around
+/// the rank loss (open in Perfetto to watch the restore), --metrics-out
+/// dumps the MetricsRegistry snapshot (JSON, or CSV for a .csv path).
 
 #include <cstdlib>
 #include <filesystem>
@@ -18,6 +24,7 @@
 #include "core/rmcrt_component.h"
 #include "grid/load_balancer.h"
 #include "runtime/snapshot.h"
+#include "util/observability_cli.h"
 
 int main(int argc, char** argv) {
   using namespace rmcrt;
@@ -25,6 +32,8 @@ int main(int argc, char** argv) {
   using runtime::HarnessResult;
   using runtime::WorldHarness;
 
+  // Consumes --trace-out/--metrics-out before the positional parse.
+  const ObservabilityOptions obs = parseObservabilityFlags(argc, argv);
   const int ranks = argc > 1 ? std::atoi(argv[1]) : 3;
   const int steps = argc > 2 ? std::atoi(argv[2]) : 8;
   const int killStep = argc > 3 ? std::atoi(argv[3]) : 3;
@@ -93,5 +102,6 @@ int main(int argc, char** argv) {
         r, harness.grid(), harness.grid().numLevels() - 1);
     std::cout << "    rank " << r << ": " << pids.size() << " patches\n";
   }
+  if (obs.any()) writeObservabilityOutputs(obs);
   return result.completed ? 0 : 1;
 }

@@ -496,10 +496,25 @@ void Tracer::computeDivQ(const CellRange& cells,
   // than parallelFor wants chunks (~4 per worker), leaving workers idle.
   const std::vector<CellRange> tiles = tileCells(
       cells, adaptiveTileSize(cells, m_cfg.tileSize, pool->size()));
-  pool->parallelFor(0, static_cast<std::int64_t>(tiles.size()),
-                    [&](std::int64_t t) {
-                      computeDivQTile(tiles[static_cast<std::size_t>(t)],
-                                      divQ);
+  std::vector<DivQTileJob> jobs;
+  jobs.reserve(tiles.size());
+  for (const CellRange& tile : tiles)
+    jobs.push_back(DivQTileJob{this, tile, divQ});
+  computeDivQBatch(jobs, pool);
+}
+
+void Tracer::computeDivQBatch(const std::vector<DivQTileJob>& jobs,
+                              ThreadPool* pool) {
+  RMCRT_TRACE_SPAN("tracer", "computeDivQBatch");
+  if (pool == nullptr || pool->size() <= 1) {
+    for (const DivQTileJob& j : jobs) j.tracer->computeDivQTile(j.tile, j.sink);
+    return;
+  }
+  pool->parallelFor(0, static_cast<std::int64_t>(jobs.size()),
+                    [&](std::int64_t i) {
+                      const DivQTileJob& j =
+                          jobs[static_cast<std::size_t>(i)];
+                      j.tracer->computeDivQTile(j.tile, j.sink);
                     });
 }
 

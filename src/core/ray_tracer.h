@@ -221,6 +221,35 @@ class Tracer {
   void computeDivQ(const CellRange& cells, MutableFieldView<double> divQ,
                    ThreadPool* pool = nullptr) const;
 
+  /// One cross-request batch work unit: a tile of cells traced by \p
+  /// tracer with results scattered into the request-scoped \p sink (the
+  /// originating query's output buffer, whose window must contain the
+  /// tile). Jobs in one batch may reference *different* Tracers — the
+  /// radiation service coalesces tiles from many concurrent queries,
+  /// each with its own region of interest, into a single drain over the
+  /// shared pool (DESIGN.md §16).
+  struct DivQTileJob {
+    const Tracer* tracer = nullptr;
+    CellRange tile;
+    MutableFieldView<double> sink;
+  };
+
+  /// Serial divQ over one tile — the batch work-unit entry point. Every
+  /// cell's rays are fixed by (seed, cell, ray), so any partition of a
+  /// region into tile calls produces results bitwise identical to one
+  /// computeDivQ over the whole region. Flushes the tile's segment count
+  /// with a single atomic add.
+  void computeDivQTile(const CellRange& tile,
+                       MutableFieldView<double> divQ) const;
+
+  /// Drain a batch of tile jobs — potentially from many requests and many
+  /// Tracers — across \p pool (serially in job order when null). Each
+  /// job's cells land only in its own sink, so results are bitwise
+  /// identical to running every job's tile through computeDivQTile
+  /// serially, for any thread count.
+  static void computeDivQBatch(const std::vector<DivQTileJob>& jobs,
+                               ThreadPool* pool);
+
   /// Incident radiative flux [W/m^2] through the domain-boundary face of
   /// \p cell whose outward normal is \p face (unit axis vector): traces
   /// nRays over the inward hemisphere — the boiler wall heat-flux QoI.
@@ -318,11 +347,6 @@ class Tracer {
                                    std::vector<Vector>& dirs,
                                    std::vector<double>& intensities,
                                    std::uint64_t& segments) const;
-
-  /// Serial divQ over one tile; flushes the tile's segment count with a
-  /// single atomic add.
-  void computeDivQTile(const CellRange& tile,
-                       MutableFieldView<double> divQ) const;
 
   std::vector<TraceLevel> m_levels;
   WallProperties m_walls;

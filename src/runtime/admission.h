@@ -1,0 +1,125 @@
+#pragma once
+
+/// \file admission.h
+/// Scheduler-side admission control for the radiation service (DESIGN.md
+/// §16): a bounded in-flight budget with per-tenant fairness caps and
+/// typed overload shedding. The controller only *counts* — it never
+/// blocks and takes no locks beyond its own mutex — so callers can shed
+/// load deterministically without deadlock risk: a request is either
+/// admitted (and must later be released exactly once) or rejected with a
+/// typed verdict the client can act on (back off vs. fix the request).
+///
+/// Fairness model: a global depth cap bounds total queued work (memory
+/// and tail latency), and a per-tenant cap bounds how much of that budget
+/// one tenant can hold, so a flooding tenant is shed with TenantBacklog
+/// while others still admit. This is the service-side analogue of the
+/// scheduler's bounded task queues.
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace rmcrt::runtime {
+
+/// Admission limits. Defaults suit the test/bench scale; production
+/// servers size maxQueueDepth to memory and SLO headroom.
+struct AdmissionConfig {
+  std::size_t maxQueueDepth = 256;  ///< global in-flight request cap
+  std::size_t maxPerTenant = 64;    ///< one tenant's share of the budget
+};
+
+/// Typed admission verdicts. Everything except Admit is a shed decision
+/// the caller must surface to the client as a typed rejection.
+enum class AdmissionVerdict : std::uint8_t {
+  Admit,
+  QueueFull,       ///< global depth cap reached — back off and retry
+  TenantBacklog,   ///< this tenant's fairness cap reached — tenant backs off
+};
+
+inline const char* toString(AdmissionVerdict v) {
+  switch (v) {
+    case AdmissionVerdict::Admit: return "admit";
+    case AdmissionVerdict::QueueFull: return "queue_full";
+    case AdmissionVerdict::TenantBacklog: return "tenant_backlog";
+  }
+  return "unknown";
+}
+
+/// Counters for reconciliation: admitted == released + inFlight at any
+/// quiescent instant, and admitted + shedQueueFull + shedTenant equals
+/// the number of tryAdmit calls.
+struct AdmissionStats {
+  std::uint64_t admitted = 0;
+  std::uint64_t released = 0;
+  std::uint64_t shedQueueFull = 0;
+  std::uint64_t shedTenant = 0;
+  std::size_t inFlight = 0;
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(const AdmissionConfig& cfg = {})
+      : m_cfg(cfg) {}
+
+  const AdmissionConfig& config() const { return m_cfg; }
+
+  /// Try to admit one request for \p tenant. Never blocks. On Admit the
+  /// caller owns one in-flight slot and must release(tenant) exactly once
+  /// when the request completes or is rejected downstream.
+  AdmissionVerdict tryAdmit(const std::string& tenant) {
+    std::lock_guard<std::mutex> lk(m_mutex);
+    if (m_inFlight >= m_cfg.maxQueueDepth) {
+      ++m_shedQueueFull;
+      return AdmissionVerdict::QueueFull;
+    }
+    std::size_t& t = m_perTenant[tenant];
+    if (t >= m_cfg.maxPerTenant) {
+      ++m_shedTenant;
+      return AdmissionVerdict::TenantBacklog;
+    }
+    ++t;
+    ++m_inFlight;
+    ++m_admitted;
+    return AdmissionVerdict::Admit;
+  }
+
+  /// Return an admitted request's slot. Must pair 1:1 with Admit verdicts.
+  void release(const std::string& tenant) {
+    std::lock_guard<std::mutex> lk(m_mutex);
+    auto it = m_perTenant.find(tenant);
+    if (it == m_perTenant.end() || it->second == 0 || m_inFlight == 0)
+      return;  // unbalanced release: ignore rather than underflow
+    if (--it->second == 0) m_perTenant.erase(it);
+    --m_inFlight;
+    ++m_released;
+  }
+
+  AdmissionStats stats() const {
+    std::lock_guard<std::mutex> lk(m_mutex);
+    return AdmissionStats{m_admitted, m_released, m_shedQueueFull,
+                          m_shedTenant, m_inFlight};
+  }
+
+  std::size_t inFlight() const {
+    std::lock_guard<std::mutex> lk(m_mutex);
+    return m_inFlight;
+  }
+  std::size_t inFlightOf(const std::string& tenant) const {
+    std::lock_guard<std::mutex> lk(m_mutex);
+    auto it = m_perTenant.find(tenant);
+    return it == m_perTenant.end() ? 0 : it->second;
+  }
+
+ private:
+  AdmissionConfig m_cfg;
+  mutable std::mutex m_mutex;
+  std::map<std::string, std::size_t> m_perTenant;
+  std::size_t m_inFlight = 0;
+  std::uint64_t m_admitted = 0;
+  std::uint64_t m_released = 0;
+  std::uint64_t m_shedQueueFull = 0;
+  std::uint64_t m_shedTenant = 0;
+};
+
+}  // namespace rmcrt::runtime

@@ -61,6 +61,8 @@ class MetricsGauge {
   std::atomic<double> m_v{0.0};
 };
 
+class MetricsView;
+
 class MetricsRegistry {
  public:
   static MetricsRegistry& global() {
@@ -105,6 +107,24 @@ class MetricsRegistry {
     counter(name).add(n);
   }
   void setGauge(const std::string& name, double v) { gauge(name).set(v); }
+
+  /// A prefixed view of this registry — the multi-tenant carve-out (see
+  /// MetricsView below). Defined after MetricsView.
+  MetricsView view(const std::string& prefix);
+
+  /// Snapshot restricted to metrics whose name starts with \p prefix —
+  /// one tenant's slice of the registry without copying everything.
+  Snapshot snapshotPrefixed(const std::string& prefix,
+                            std::int64_t timestep = -1) const {
+    std::lock_guard<std::mutex> lk(m_mutex);
+    Snapshot all = snapshotLocked(timestep);
+    Snapshot out;
+    out.timestep = timestep;
+    for (auto& e : all.entries)
+      if (e.name.compare(0, prefix.size(), prefix) == 0)
+        out.entries.push_back(std::move(e));
+    return out;
+  }
 
   /// Capture every registered metric. NaN gauges are omitted.
   Snapshot snapshot(std::int64_t timestep = -1) const {
@@ -206,5 +226,46 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<MetricsGauge>> m_gauges;
   std::vector<Snapshot> m_timeline;
 };
+
+/// A per-tenant (or per-component) carve-out of a MetricsRegistry: every
+/// counter/gauge resolved through the view lands under `<prefix>.` in the
+/// parent registry, so one emission path serves all tenants while each
+/// tenant's slice stays separable (snapshot() filters by the prefix).
+/// Views are cheap value objects; the parent registry must outlive them.
+/// The returned metric references follow the registry's stability
+/// contract (valid for the process lifetime, reset() keeps them valid).
+class MetricsView {
+ public:
+  MetricsView(MetricsRegistry& reg, std::string prefix)
+      : m_reg(&reg), m_prefix(std::move(prefix)) {
+    if (!m_prefix.empty() && m_prefix.back() != '.') m_prefix += '.';
+  }
+
+  const std::string& prefix() const { return m_prefix; }
+
+  MetricsCounter& counter(const std::string& name) {
+    return m_reg->counter(m_prefix + name);
+  }
+  MetricsGauge& gauge(const std::string& name) {
+    return m_reg->gauge(m_prefix + name);
+  }
+  void addCounter(const std::string& name, std::uint64_t n) {
+    counter(name).add(n);
+  }
+  void setGauge(const std::string& name, double v) { gauge(name).set(v); }
+
+  /// This view's slice of the parent registry.
+  MetricsRegistry::Snapshot snapshot(std::int64_t timestep = -1) const {
+    return m_reg->snapshotPrefixed(m_prefix, timestep);
+  }
+
+ private:
+  MetricsRegistry* m_reg;
+  std::string m_prefix;
+};
+
+inline MetricsView MetricsRegistry::view(const std::string& prefix) {
+  return MetricsView(*this, prefix);
+}
 
 }  // namespace rmcrt

@@ -1,0 +1,108 @@
+/// AdmissionController tests: typed shed verdicts (global depth vs
+/// per-tenant fairness), release/re-admit cycling, stats reconciliation,
+/// and admit/release races under concurrency (also run under TSan in CI
+/// as part of the service suite's dependency chain).
+
+#include "runtime/admission.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace rmcrt::runtime {
+namespace {
+
+TEST(Admission, AdmitsUpToGlobalDepthThenShedsQueueFull) {
+  AdmissionController ac({/*maxQueueDepth=*/3, /*maxPerTenant=*/8});
+  EXPECT_EQ(ac.tryAdmit("a"), AdmissionVerdict::Admit);
+  EXPECT_EQ(ac.tryAdmit("b"), AdmissionVerdict::Admit);
+  EXPECT_EQ(ac.tryAdmit("c"), AdmissionVerdict::Admit);
+  EXPECT_EQ(ac.tryAdmit("d"), AdmissionVerdict::QueueFull);
+  EXPECT_EQ(ac.inFlight(), 3u);
+
+  // Releasing any slot re-opens the global budget.
+  ac.release("b");
+  EXPECT_EQ(ac.tryAdmit("d"), AdmissionVerdict::Admit);
+}
+
+TEST(Admission, PerTenantCapShedsFloodingTenantOnly) {
+  AdmissionController ac({/*maxQueueDepth=*/16, /*maxPerTenant=*/2});
+  EXPECT_EQ(ac.tryAdmit("flood"), AdmissionVerdict::Admit);
+  EXPECT_EQ(ac.tryAdmit("flood"), AdmissionVerdict::Admit);
+  EXPECT_EQ(ac.tryAdmit("flood"), AdmissionVerdict::TenantBacklog)
+      << "tenant at cap must shed with the tenant-specific verdict";
+  EXPECT_EQ(ac.tryAdmit("polite"), AdmissionVerdict::Admit)
+      << "other tenants keep admitting while one floods";
+  EXPECT_EQ(ac.inFlightOf("flood"), 2u);
+  EXPECT_EQ(ac.inFlightOf("polite"), 1u);
+}
+
+TEST(Admission, ReleaseRestoresTenantBudget) {
+  AdmissionController ac({4, 1});
+  EXPECT_EQ(ac.tryAdmit("t"), AdmissionVerdict::Admit);
+  EXPECT_EQ(ac.tryAdmit("t"), AdmissionVerdict::TenantBacklog);
+  ac.release("t");
+  EXPECT_EQ(ac.tryAdmit("t"), AdmissionVerdict::Admit);
+  EXPECT_EQ(ac.inFlightOf("t"), 1u);
+}
+
+TEST(Admission, UnbalancedReleaseIsIgnoredNotUnderflowed) {
+  AdmissionController ac({4, 4});
+  ac.release("never-admitted");
+  EXPECT_EQ(ac.inFlight(), 0u);
+  EXPECT_EQ(ac.stats().released, 0u);
+  EXPECT_EQ(ac.tryAdmit("t"), AdmissionVerdict::Admit);
+  ac.release("t");
+  ac.release("t");  // second release of the same slot: no-op
+  EXPECT_EQ(ac.inFlight(), 0u);
+  EXPECT_EQ(ac.stats().released, 1u);
+}
+
+TEST(Admission, StatsReconcileExactly) {
+  AdmissionController ac({2, 1});
+  EXPECT_EQ(ac.tryAdmit("a"), AdmissionVerdict::Admit);
+  EXPECT_EQ(ac.tryAdmit("a"), AdmissionVerdict::TenantBacklog);
+  EXPECT_EQ(ac.tryAdmit("b"), AdmissionVerdict::Admit);
+  EXPECT_EQ(ac.tryAdmit("c"), AdmissionVerdict::QueueFull);
+  ac.release("a");
+
+  const AdmissionStats s = ac.stats();
+  EXPECT_EQ(s.admitted, 2u);
+  EXPECT_EQ(s.released, 1u);
+  EXPECT_EQ(s.shedTenant, 1u);
+  EXPECT_EQ(s.shedQueueFull, 1u);
+  EXPECT_EQ(s.admitted, s.released + s.inFlight)
+      << "every admitted request is either released or still in flight";
+}
+
+TEST(Admission, ConcurrentAdmitReleaseNeverExceedsCaps) {
+  const AdmissionConfig cfg{/*maxQueueDepth=*/8, /*maxPerTenant=*/3};
+  AdmissionController ac(cfg);
+  constexpr int kThreads = 6;
+  constexpr int kIters = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&ac, t] {
+      const std::string tenant = "tenant." + std::to_string(t % 3);
+      for (int i = 0; i < kIters; ++i) {
+        if (ac.tryAdmit(tenant) == AdmissionVerdict::Admit) {
+          // Invariants can be read mid-flight: caps are never exceeded.
+          EXPECT_LE(ac.inFlightOf(tenant), 3u);
+          ac.release(tenant);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  const AdmissionStats s = ac.stats();
+  EXPECT_EQ(s.inFlight, 0u);
+  EXPECT_EQ(s.admitted, s.released);
+  EXPECT_EQ(s.admitted + s.shedQueueFull + s.shedTenant,
+            static_cast<std::uint64_t>(kThreads) * kIters);
+}
+
+}  // namespace
+}  // namespace rmcrt::runtime

@@ -160,5 +160,44 @@ TEST(Metrics, GlobalRegistryIsAProcessSingleton) {
   EXPECT_EQ(&a, &b);
 }
 
+TEST(Metrics, ViewPrefixesNamesIntoParentRegistry) {
+  MetricsRegistry reg;
+  MetricsView tenantA = reg.view("service.tenant.a");
+  MetricsView tenantB = reg.view("service.tenant.b.");  // trailing dot ok
+  tenantA.counter("submitted").add(3);
+  tenantB.counter("submitted").add(5);
+  tenantA.setGauge("p99_ms", 12.5);
+
+  // Both land in the parent under their prefixes.
+  EXPECT_EQ(reg.counter("service.tenant.a.submitted").value(), 3u);
+  EXPECT_EQ(reg.counter("service.tenant.b.submitted").value(), 5u);
+  EXPECT_DOUBLE_EQ(reg.gauge("service.tenant.a.p99_ms").value(), 12.5);
+}
+
+TEST(Metrics, ViewSnapshotIsOnlyTheTenantSlice) {
+  MetricsRegistry reg;
+  reg.counter("other.counter").add(7);
+  MetricsView t = reg.view("service.tenant.x");
+  t.counter("completed").add(2);
+  t.counter("rejected").add(1);
+
+  const auto slice = t.snapshot();
+  ASSERT_EQ(slice.entries.size(), 2u);
+  EXPECT_EQ(slice.entries[0].name, "service.tenant.x.completed");
+  EXPECT_EQ(slice.entries[1].name, "service.tenant.x.rejected");
+  EXPECT_EQ(slice.find("other.counter"), nullptr);
+}
+
+TEST(Metrics, ViewReferencesSurviveRegistryReset) {
+  MetricsRegistry reg;
+  MetricsView t = reg.view("tenant");
+  MetricsCounter& c = t.counter("ops");
+  c.add(4);
+  reg.reset();
+  EXPECT_EQ(c.value(), 0u);
+  c.add(1);
+  EXPECT_EQ(reg.counter("tenant.ops").value(), 1u);
+}
+
 }  // namespace
 }  // namespace rmcrt

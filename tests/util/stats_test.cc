@@ -75,5 +75,111 @@ TEST(ErrorNorms, ZeroReferenceFallsBackToAbsolute) {
   EXPECT_DOUBLE_EQ(relativeL2Error(a, b), 5.0);
 }
 
+// --- streaming quantiles (P²) ----------------------------------------------
+
+/// Exact quantile of a sample by sort + linear interpolation — the
+/// reference the streaming estimator is held against.
+double exactQuantile(std::vector<double> v, double q) {
+  std::sort(v.begin(), v.end());
+  const double rank = q * static_cast<double>(v.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return v[lo] + frac * (v[hi] - v[lo]);
+}
+
+/// Deterministic xorshift so the test never depends on libstdc++'s
+/// distribution implementations.
+double nextUniform(std::uint64_t& s) {
+  s ^= s << 13;
+  s ^= s >> 7;
+  s ^= s << 17;
+  return static_cast<double>(s >> 11) * 0x1.0p-53;
+}
+
+TEST(P2Quantile, EmptyIsNaN) {
+  P2Quantile p(0.5);
+  EXPECT_TRUE(std::isnan(p.value()));
+  EXPECT_EQ(p.count(), 0);
+}
+
+TEST(P2Quantile, ExactUpToFiveSamples) {
+  P2Quantile median(0.5);
+  median.add(9.0);
+  EXPECT_DOUBLE_EQ(median.value(), 9.0);
+  median.add(1.0);
+  EXPECT_DOUBLE_EQ(median.value(), 5.0);  // interpolated midpoint
+  median.add(5.0);
+  EXPECT_DOUBLE_EQ(median.value(), 5.0);
+  median.add(3.0);
+  median.add(7.0);
+  EXPECT_DOUBLE_EQ(median.value(), 5.0);  // exact median of {1,3,5,7,9}
+}
+
+TEST(P2Quantile, MedianOfUniformStream) {
+  P2Quantile p(0.5);
+  std::vector<double> samples;
+  std::uint64_t seed = 0x5eedu;
+  for (int i = 0; i < 20000; ++i) {
+    const double x = nextUniform(seed);
+    samples.push_back(x);
+    p.add(x);
+  }
+  EXPECT_NEAR(p.value(), exactQuantile(samples, 0.5), 0.02);
+  EXPECT_EQ(p.count(), 20000);
+}
+
+TEST(P2Quantile, TailQuantileOfSkewedStream) {
+  // Heavy-tailed (exp-transformed uniform) — the latency-like shape the
+  // service's p99 SLO tracking sees. P² must land within a few percent
+  // of the exact tail, not collapse to the median.
+  P2Quantile p99(0.99);
+  std::vector<double> samples;
+  std::uint64_t seed = 0xabcdef12u;
+  for (int i = 0; i < 50000; ++i) {
+    const double u = nextUniform(seed);
+    const double x = -std::log(1.0 - u);  // Exp(1)
+    samples.push_back(x);
+    p99.add(x);
+  }
+  const double exact = exactQuantile(samples, 0.99);  // ~= ln(100) ~ 4.6
+  EXPECT_NEAR(p99.value(), exact, 0.15 * exact);
+}
+
+TEST(P2Quantile, EstimateStaysWithinObservedRange) {
+  P2Quantile p(0.9);
+  std::uint64_t seed = 77;
+  double lo = std::numeric_limits<double>::infinity(), hi = -lo;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = 100.0 * nextUniform(seed) - 50.0;
+    lo = std::min(lo, x);
+    hi = std::max(hi, x);
+    p.add(x);
+    EXPECT_GE(p.value(), lo);
+    EXPECT_LE(p.value(), hi);
+  }
+}
+
+TEST(RunningStats, QuantilesEmptyAreNaN) {
+  RunningStats s;
+  EXPECT_TRUE(std::isnan(s.p50()));
+  EXPECT_TRUE(std::isnan(s.p99()));
+}
+
+TEST(RunningStats, QuantilesTrackTheStream) {
+  RunningStats s;
+  std::vector<double> samples;
+  std::uint64_t seed = 0x1234u;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = 5.0 + 3.0 * nextUniform(seed);
+    samples.push_back(x);
+    s.add(x);
+  }
+  EXPECT_NEAR(s.p50(), exactQuantile(samples, 0.5), 0.05);
+  EXPECT_NEAR(s.p99(), exactQuantile(samples, 0.99), 0.05);
+  // Welford moments are untouched by the quantile addition.
+  EXPECT_NEAR(s.mean(), 6.5, 0.05);
+}
+
 }  // namespace
 }  // namespace rmcrt

@@ -1,7 +1,10 @@
 #!/usr/bin/env python3
 """Perf-regression gate for the committed bench JSON baselines.
 
-Two modes, selected by --mode (default: kernel):
+Three modes, selected by --mode (default: kernel). Every mode's key
+tables — which sections a JSON must carry, which floors apply, which
+paper regimes bound a value — live in the single declarative SCHEMA
+dict below; the check_* functions only interpret it.
 
 kernel — compares a freshly measured bench_rmcrt_kernel sweep (e.g. the
 CI --smoke run) against the committed baseline and fails on a
@@ -9,18 +12,6 @@ throughput collapse:
 
     check_bench_regression.py --current ci.json --baseline BENCH_rmcrt_kernel.json
 
-scaling — compares a freshly collected bench_scaling_{medium,large}
-study against the committed BENCH_scaling.json and fails when the
-paper's reproduced shape drifts: a patch-size crossover flips, a series
-stops decreasing, the Titan-default Eq. 3 efficiencies leave the
-paper's regime, or the Table I speedups leave 2x-5x. The study is
-deterministic model arithmetic, so current-vs-baseline values must also
-agree closely (they only differ by libm ulps across hosts):
-
-    check_bench_regression.py --mode scaling --current scaling-smoke.json \\
-        --baseline BENCH_scaling.json
-
-Checks, in order:
   1. Every bitwise_match flag in the current run is true (thread sweep,
      layout A/B, segment microbench) — a perf number from a wrong answer
      is meaningless.
@@ -35,14 +26,46 @@ Checks, in order:
      shares its timing with per-ray sampling overhead and inherits
      single-core runner jitter, so it only fails below 0.75.
   4. The SIMD packet march has not collapsed against the scalar golden
-     reference, with an ISA-dependent floor (the dual-packet AVX-512
-     kernel must hold well above parity; the AVX2 fallback is roughly at
-     parity, so only a collapse fails), and its worst per-ray deviation
-     stays inside the documented ULP envelope. Hosts where
+     reference, with an ISA-dependent floor, and its worst per-ray
+     deviation stays inside the documented ULP envelope. Hosts where
      Tracer::simdSupported() is false skip the perf floor but still must
-     carry the section — a run without simd_microbench keys (an older
-     bench binary, or a baseline predating the SIMD path) is unusable
-     input, not a pass.
+     carry the section.
+
+scaling — compares a freshly collected bench_scaling_{medium,large}
+study against the committed BENCH_scaling.json and fails when the
+paper's reproduced shape drifts: a patch-size crossover flips, a series
+stops decreasing, the Titan-default Eq. 3 efficiencies leave the
+paper's regime, or the Table I speedups leave 2x-5x. The study is
+deterministic model arithmetic, so current-vs-baseline values must also
+agree closely (they only differ by libm ulps across hosts):
+
+    check_bench_regression.py --mode scaling --current scaling-smoke.json \\
+        --baseline BENCH_scaling.json
+
+service — gates the radiation-as-a-service load generator
+(bench_service, DESIGN.md §16) against BENCH_service.json:
+
+    check_bench_regression.py --mode service --current svc-smoke.json \\
+        --baseline BENCH_service.json
+
+  1. bitwise_match is true in both runs: every batched response was
+     element-for-element identical to the naive one-solve-per-request
+     baseline — fixed accuracy is the premise of the headline.
+  2. Cross-request batching beats the per-request baseline
+     (speedup >= 1.0; it is the point of the subsystem).
+  3. Accounting reconciles in both sections: submitted ==
+     completed + rejected and the benchmark load runs shed-free
+     (rejected == 0 — admission caps are sized so the gate measures
+     throughput, not shedding).
+  4. The sharing contract held: the batched run staged exactly one
+     coarse upload for its single scene generation while the
+     per-request baseline paid one per request.
+  5. Batched queries/s >= tolerance * the baseline's (same 0.5-style
+     collapse floor as kernel mode; runners differ).
+
+--self-test runs the embedded fixture suite (pytest-style test_*
+functions over synthetic JSON docs) and exits 0/1; CI runs it before
+trusting any gate verdict.
 
 Exit code 0 = pass, 1 = regression, 2 = unusable input. Stdlib only.
 """
@@ -50,6 +73,52 @@ Exit code 0 = pass, 1 = regression, 2 = unusable input. Stdlib only.
 import argparse
 import json
 import sys
+
+# --------------------------------------------------------------------------
+# Declarative per-mode schema: every key table, floor, and regime bound
+# the gates consult. check_* functions read this; nothing else defines
+# thresholds.
+SCHEMA = {
+    "kernel": {
+        # Sections whose bitwise_match flag must be true when present.
+        "bitwise_sections": ("layout", "segment_microbench"),
+        # (section, floor, label): packed-vs-unpacked speedup floors.
+        "speedup_floors": (
+            ("segment_microbench", 1.0, "segment microbench"),
+            ("layout", 0.75, "divQ layout A/B"),
+        ),
+        # Within-run SIMD-vs-scalar floor per reported ISA. The AVX-512
+        # kernel marches two interleaved 8-lane packets and measures ~3x
+        # on the committed baseline host, so 1.5 only catches collapses;
+        # the AVX2 kernel is roughly at scalar parity on wide cores.
+        "simd_speedup_floor": {"avx512": 1.5, "avx2": 0.6},
+        # Loose ceiling on worst per-ray |simd-scalar|/|scalar|; the
+        # simd_march_test harness enforces the real 4096-ULP bound.
+        "simd_max_rel_err": 1e-9,
+    },
+    "scaling": {
+        "models": ("titan_default", "calibrated"),
+        "studies": ("medium", "large"),
+        # Paper Section V headline efficiencies, gated on the
+        # Titan-default model only. Slightly looser than the C++ shape
+        # gate's +-0.06 so this script is never the flakier of the two.
+        "paper_eff": {"eff_4096_to_8192": 0.96, "eff_4096_to_16384": 0.89},
+        "paper_eff_tol": 0.08,
+        "eff_keys": ("eff_4096_to_8192", "eff_4096_to_16384"),
+        "comm_speedup_range": (2.0, 5.0),  # paper Table I: 2.27-4.40x
+        # Current vs baseline: identical deterministic arithmetic
+        # modulo libm.
+        "value_rtol": 0.05,
+    },
+    "service": {
+        "sections": ("batched", "per_request"),
+        "required_numbers": ("queries_per_s", "p50_ms", "p99_ms",
+                             "submitted", "completed", "rejected",
+                             "coarse_uploads"),
+        # Batching must not lose to one-solve-per-request.
+        "speedup_floor": 1.0,
+    },
+}
 
 
 class UnusableInput(Exception):
@@ -71,6 +140,17 @@ def require_number(mapping, key, where):
     return float(value)
 
 
+def require_section(doc, key, path):
+    entry = doc.get(key)
+    if not isinstance(entry, dict):
+        raise UnusableInput(
+            f"{path}: missing section '{key}' — wrong or incomplete "
+            "bench JSON?")
+    return entry
+
+
+# --- kernel mode ------------------------------------------------------------
+
 def single_thread_mseg(doc, path):
     for sample in doc.get("sweep", []):
         if sample.get("threads") == 1:
@@ -80,33 +160,21 @@ def single_thread_mseg(doc, path):
                         "wrong or incomplete bench JSON?")
 
 
-def check_bitwise(doc, path):
+def check_kernel_bitwise(doc, path):
     bad = []
     for sample in doc.get("sweep", []):
         if sample.get("bitwise_match") is not True:
             bad.append(f"sweep threads={sample.get('threads')}")
-    for section in ("layout", "segment_microbench"):
+    for section in SCHEMA["kernel"]["bitwise_sections"]:
         entry = doc.get(section)
         if entry is not None and entry.get("bitwise_match") is not True:
             bad.append(section)
     return bad
 
 
-# Within-run SIMD-vs-scalar floor per reported ISA. The AVX-512 kernel
-# marches two interleaved 8-lane packets and measures ~3x on the
-# committed baseline host, so 1.5 only catches collapses; the AVX2
-# kernel is roughly at scalar parity on wide cores, so anything above a
-# collapse passes.
-SIMD_SPEEDUP_FLOOR = {"avx512": 1.5, "avx2": 0.6}
-
-# Loose ceiling on the microbench's worst per-ray |simd-scalar|/|scalar|.
-# The simd_march_test harness enforces the real 4096-ULP bound (~9e-13);
-# this only rejects a broken vector exp or masking bug at a glance.
-SIMD_MAX_REL_ERR = 1e-9
-
-
 def check_simd(current, baseline, cur_path, base_path):
     """Gate the simd_microbench section; raises UnusableInput if absent."""
+    schema = SCHEMA["kernel"]
     failures = []
     for doc, path in ((current, cur_path), (baseline, base_path)):
         if not isinstance(doc.get("simd_microbench"), dict):
@@ -120,7 +188,7 @@ def check_simd(current, baseline, cur_path, base_path):
         print("simd microbench: host unsupported, perf floor skipped")
         return failures
     isa = entry.get("isa")
-    floor = SIMD_SPEEDUP_FLOOR.get(isa)
+    floor = schema["simd_speedup_floor"].get(isa)
     if floor is None:
         raise UnusableInput(
             f"{where}: supported host reports unknown isa {isa!r}")
@@ -135,25 +203,53 @@ def check_simd(current, baseline, cur_path, base_path):
         failures.append(
             f"simd packet march collapsed ({speedup:.2f}x < {floor}x "
             f"on {isa})")
-    if rel_err > SIMD_MAX_REL_ERR:
+    if rel_err > schema["simd_max_rel_err"]:
         failures.append(
             f"simd microbench max_rel_err {rel_err:.3e} exceeds "
-            f"{SIMD_MAX_REL_ERR:.0e} — vector exp or lane masking broke")
+            f"{schema['simd_max_rel_err']:.0e} — vector exp or lane "
+            "masking broke")
+    return failures
+
+
+def check_kernel(current, baseline, cur_path, base_path, tolerance):
+    failures = []
+    bad_bitwise = check_kernel_bitwise(current, cur_path)
+    if bad_bitwise:
+        failures.append("bitwise mismatch in: " + ", ".join(bad_bitwise))
+
+    cur = single_thread_mseg(current, cur_path)
+    base = single_thread_mseg(baseline, base_path)
+    floor = tolerance * base
+    verdict = "OK" if cur >= floor else "FAIL"
+    print(f"single-thread: current {cur:.2f} Mseg/s vs baseline "
+          f"{base:.2f} Mseg/s (floor {floor:.2f}, x{tolerance}) "
+          f"[{verdict}]")
+    if cur < floor:
+        failures.append(
+            f"single-thread Mseg/s collapsed: {cur:.2f} < {floor:.2f}")
+
+    for key, spd_floor, label in SCHEMA["kernel"]["speedup_floors"]:
+        entry = current.get(key)
+        if entry is None:
+            continue
+        where = f"{cur_path} {key}"
+        speedup = require_number(entry, "speedup", where)
+        packed = require_number(entry, "packed_mseg_per_s", where)
+        unpacked = require_number(entry, "unpacked_mseg_per_s", where)
+        verdict = "OK" if speedup >= spd_floor else "FAIL"
+        print(f"{label}: packed {packed:.2f} "
+              f"vs unpacked {unpacked:.2f} Mseg/s "
+              f"({speedup:.2f}x, floor {spd_floor}) [{verdict}]")
+        if speedup < spd_floor:
+            failures.append(
+                f"{label}: packed vs unpacked collapsed ({speedup:.2f}x "
+                f"< {spd_floor}x)")
+
+    failures.extend(check_simd(current, baseline, cur_path, base_path))
     return failures
 
 
 # --- scaling mode -----------------------------------------------------------
-
-# Paper Section V headline efficiencies, gated on the Titan-default model
-# only (the kernel-calibrated variant is slower per GPU, hence flatter;
-# it gets shape checks, not absolute bounds). Slightly looser than the
-# C++ shape gate's +-0.06 so this script is never the flakier of the two.
-PAPER_EFF = {"eff_4096_to_8192": 0.96, "eff_4096_to_16384": 0.89}
-PAPER_EFF_TOL = 0.08
-COMM_SPEEDUP_RANGE = (2.0, 5.0)
-# Current vs baseline: identical deterministic arithmetic modulo libm.
-SCALING_VALUE_RTOL = 0.05
-
 
 def scaling_model(doc, name, path):
     models = doc.get("models")
@@ -184,10 +280,12 @@ def scaling_series(model, study, path):
 
 
 def check_scaling_model(current, baseline, name, cur_path, base_path):
+    schema = SCHEMA["scaling"]
+    rtol = schema["value_rtol"]
     failures = []
     cur = scaling_model(current, name, cur_path)
     base = scaling_model(baseline, name, base_path)
-    for study in ("medium", "large"):
+    for study in schema["studies"]:
         cur_series = scaling_series(cur, study, cur_path)
         base_series = scaling_series(base, study, base_path)
         if set(cur_series) != set(base_series):
@@ -208,10 +306,10 @@ def check_scaling_model(current, baseline, name, cur_path, base_path):
                     failures.append(
                         f"{name} {study} {patch}^3: GPU grid {g} != "
                         f"baseline {bg}")
-                elif abs(t - bt) > SCALING_VALUE_RTOL * bt:
+                elif abs(t - bt) > rtol * bt:
                     failures.append(
                         f"{name} {study} {patch}^3 @{g}: {t:.4f} s drifted "
-                        f"from baseline {bt:.4f} s (> {SCALING_VALUE_RTOL:.0%})")
+                        f"from baseline {bt:.4f} s (> {rtol:.0%})")
         # The paper's crossover: the largest feasible patch wins at every
         # GPU count, and the winner must match the baseline's.
         by_gpus = {}
@@ -230,20 +328,21 @@ def check_scaling_model(current, baseline, name, cur_path, base_path):
         raise UnusableInput(
             f"{cur_path}: missing scaling key "
             f"'models.{name}.efficiency_large_p16'")
-    for key in ("eff_4096_to_8192", "eff_4096_to_16384"):
+    for key in schema["eff_keys"]:
         e = require_number(eff, key, f"{cur_path} {name}")
         if name == "titan_default":
-            ref = PAPER_EFF[key]
-            verdict = "OK" if abs(e - ref) <= PAPER_EFF_TOL else "FAIL"
+            ref = schema["paper_eff"][key]
+            tol = schema["paper_eff_tol"]
+            verdict = "OK" if abs(e - ref) <= tol else "FAIL"
             print(f"{name} {key}: {e:.4f} vs paper {ref:.2f} "
-                  f"(+-{PAPER_EFF_TOL}) [{verdict}]")
-            if abs(e - ref) > PAPER_EFF_TOL:
+                  f"(+-{tol}) [{verdict}]")
+            if abs(e - ref) > tol:
                 failures.append(
                     f"{name} {key} = {e:.4f} left the paper regime "
-                    f"{ref:.2f}+-{PAPER_EFF_TOL}")
+                    f"{ref:.2f}+-{tol}")
         if e > 1.0 + 1e-9:
             failures.append(f"{name} {key} = {e:.4f} exceeds 1.0")
-    lo, hi = COMM_SPEEDUP_RANGE
+    lo, hi = schema["comm_speedup_range"]
     for row in cur.get("comm_study", []):
         s = require_number(row, "speedup", f"{cur_path} {name} comm_study")
         if not lo <= s <= hi:
@@ -253,29 +352,278 @@ def check_scaling_model(current, baseline, name, cur_path, base_path):
     return failures
 
 
-def check_scaling(current, baseline, cur_path, base_path):
+def check_scaling(current, baseline, cur_path, base_path, tolerance):
+    del tolerance  # deterministic arithmetic; SCHEMA carries its own rtol
     failures = []
-    for name in ("titan_default", "calibrated"):
+    for name in SCHEMA["scaling"]["models"]:
         failures.extend(
             check_scaling_model(current, baseline, name, cur_path,
                                 base_path))
     return failures
 
 
+# --- service mode -----------------------------------------------------------
+
+def check_service(current, baseline, cur_path, base_path, tolerance):
+    schema = SCHEMA["service"]
+    failures = []
+
+    # 1. Fixed accuracy: every batched response bitwise equal to the
+    # naive per-request baseline, in this run and in the committed one.
+    for doc, path in ((current, cur_path), (baseline, base_path)):
+        if "bitwise_match" not in doc:
+            raise UnusableInput(
+                f"{path}: missing 'bitwise_match' — not a bench_service "
+                "JSON? Regenerate with bench_service --smoke --json=...")
+        if doc["bitwise_match"] is not True:
+            failures.append(
+                f"{path}: batched responses diverged from the "
+                "per-request baseline (bitwise_match false)")
+
+    sections = {}
+    for name in schema["sections"]:
+        entry = require_section(current, name, cur_path)
+        where = f"{cur_path} {name}"
+        vals = {key: require_number(entry, key, where)
+                for key in schema["required_numbers"]}
+        sections[name] = vals
+        # 3. Accounting reconciles and the gate load ran shed-free.
+        if vals["submitted"] != vals["completed"] + vals["rejected"]:
+            failures.append(
+                f"{name}: submitted {vals['submitted']:.0f} != completed "
+                f"{vals['completed']:.0f} + rejected {vals['rejected']:.0f}")
+        if vals["rejected"] != 0:
+            failures.append(
+                f"{name}: {vals['rejected']:.0f} requests shed — the gate "
+                "load must run under its admission caps")
+        if not vals["p99_ms"] >= vals["p50_ms"] > 0.0:
+            failures.append(
+                f"{name}: implausible latency quantiles p50 "
+                f"{vals['p50_ms']:.3f} ms / p99 {vals['p99_ms']:.3f} ms")
+
+    # 2. Batching is the point: it must not lose to per-request.
+    speedup = require_number(current, "speedup", cur_path)
+    floor = schema["speedup_floor"]
+    verdict = "OK" if speedup >= floor else "FAIL"
+    print(f"service batching: batched {sections['batched']['queries_per_s']:.1f}"
+          f" vs per-request {sections['per_request']['queries_per_s']:.1f}"
+          f" queries/s ({speedup:.2f}x, floor {floor}) [{verdict}]")
+    if speedup < floor:
+        failures.append(
+            f"cross-request batching lost to one-solve-per-request "
+            f"({speedup:.2f}x < {floor}x)")
+
+    # 4. The sharing contract: one coarse upload per scene generation for
+    # the batched run; one per request for the naive baseline.
+    if sections["batched"]["coarse_uploads"] != 1:
+        failures.append(
+            f"batched run staged {sections['batched']['coarse_uploads']:.0f} "
+            "coarse uploads for its single scene generation (want exactly 1 "
+            "— the shared-upload contract broke)")
+    if (sections["per_request"]["coarse_uploads"]
+            != sections["per_request"]["completed"]):
+        failures.append(
+            f"per-request baseline staged "
+            f"{sections['per_request']['coarse_uploads']:.0f} uploads for "
+            f"{sections['per_request']['completed']:.0f} requests — it is "
+            "no longer the one-upload-per-request contrast")
+
+    # 5. Throughput collapse vs the committed baseline.
+    base_batched = require_section(baseline, "batched", base_path)
+    base_qps = require_number(base_batched, "queries_per_s",
+                              f"{base_path} batched")
+    cur_qps = sections["batched"]["queries_per_s"]
+    qps_floor = tolerance * base_qps
+    verdict = "OK" if cur_qps >= qps_floor else "FAIL"
+    print(f"service throughput: current {cur_qps:.1f} vs baseline "
+          f"{base_qps:.1f} queries/s (floor {qps_floor:.1f}, x{tolerance}) "
+          f"[{verdict}]")
+    if cur_qps < qps_floor:
+        failures.append(
+            f"batched queries/s collapsed: {cur_qps:.1f} < {qps_floor:.1f}")
+
+    return failures
+
+
+MODES = {
+    "kernel": (check_kernel, "perf gate passed"),
+    "scaling": (check_scaling, "scaling shape gate passed"),
+    "service": (check_service, "service gate passed"),
+}
+
+
+# --- self-test --------------------------------------------------------------
+# Pytest-style fixtures + test_* functions over synthetic docs, run by
+# --self-test (and by CI before any gate verdict is trusted). Stdlib
+# only, so no pytest dependency: tests assert, the runner collects.
+
+def kernel_fixture(mseg=10.0, bitwise=True):
+    return {
+        "sweep": [{"threads": 1, "mseg_per_s": mseg,
+                   "bitwise_match": bitwise}],
+        "simd_microbench": {"supported": False},
+    }
+
+
+def scaling_fixture(seconds=4.0):
+    def series():
+        return {"series": [{"patch_size": 32,
+                            "points": [{"gpus": 1, "seconds": seconds},
+                                       {"gpus": 2, "seconds": seconds / 2}]}]}
+    model = {
+        "medium": series(),
+        "large": series(),
+        "efficiency_large_p16": {"eff_4096_to_8192": 0.96,
+                                 "eff_4096_to_16384": 0.89},
+        "comm_study": [{"nodes": 4, "speedup": 3.0}],
+    }
+    return {"models": {"titan_default": model,
+                       "calibrated": json.loads(json.dumps(model))}}
+
+
+def service_fixture(qps=2000.0, naive_qps=1000.0, uploads=1, rejected=0,
+                    bitwise=True):
+    def section(q, up):
+        n = 96.0
+        return {"queries_per_s": q, "p50_ms": 3.0, "p99_ms": 8.0,
+                "submitted": n, "completed": n - rejected,
+                "rejected": rejected, "coarse_uploads": up}
+    return {
+        "bitwise_match": bitwise,
+        "speedup": qps / naive_qps,
+        "batched": section(qps, uploads),
+        "per_request": section(naive_qps, 96.0 - rejected),
+    }
+
+
+def test_kernel_pass():
+    assert check_kernel(kernel_fixture(), kernel_fixture(), "cur", "base",
+                        0.5) == []
+
+
+def test_kernel_single_thread_collapse():
+    fails = check_kernel(kernel_fixture(mseg=1.0), kernel_fixture(mseg=10.0),
+                         "cur", "base", 0.5)
+    assert any("collapsed" in f for f in fails), fails
+
+
+def test_kernel_bitwise_mismatch():
+    fails = check_kernel(kernel_fixture(bitwise=False), kernel_fixture(),
+                         "cur", "base", 0.5)
+    assert any("bitwise" in f for f in fails), fails
+
+
+def test_kernel_missing_sweep_is_unusable():
+    try:
+        check_kernel({"simd_microbench": {"supported": False}},
+                     kernel_fixture(), "cur", "base", 0.5)
+    except UnusableInput:
+        return
+    raise AssertionError("missing sweep must raise UnusableInput")
+
+
+def test_scaling_pass():
+    assert check_scaling(scaling_fixture(), scaling_fixture(), "cur",
+                         "base", 0.5) == []
+
+
+def test_scaling_value_drift_fails():
+    fails = check_scaling(scaling_fixture(seconds=6.0), scaling_fixture(),
+                          "cur", "base", 0.5)
+    assert any("drifted" in f for f in fails), fails
+
+
+def test_scaling_missing_models_is_unusable():
+    try:
+        check_scaling({}, scaling_fixture(), "cur", "base", 0.5)
+    except UnusableInput:
+        return
+    raise AssertionError("missing models must raise UnusableInput")
+
+
+def test_service_pass():
+    assert check_service(service_fixture(), service_fixture(), "cur",
+                         "base", 0.5) == []
+
+
+def test_service_batching_loses_fails():
+    fails = check_service(service_fixture(qps=800.0), service_fixture(),
+                          "cur", "base", 0.5)
+    assert any("lost to one-solve-per-request" in f for f in fails), fails
+
+
+def test_service_bitwise_false_fails():
+    fails = check_service(service_fixture(bitwise=False), service_fixture(),
+                          "cur", "base", 0.5)
+    assert any("bitwise_match" in f for f in fails), fails
+
+
+def test_service_shared_upload_contract():
+    fails = check_service(service_fixture(uploads=5), service_fixture(),
+                          "cur", "base", 0.5)
+    assert any("shared-upload contract" in f for f in fails), fails
+
+
+def test_service_shed_load_fails():
+    fails = check_service(service_fixture(rejected=3), service_fixture(),
+                          "cur", "base", 0.5)
+    assert any("shed" in f for f in fails), fails
+
+
+def test_service_throughput_collapse():
+    fails = check_service(service_fixture(qps=1200.0, naive_qps=1000.0),
+                          service_fixture(qps=5000.0, naive_qps=2500.0),
+                          "cur", "base", 0.5)
+    assert any("queries/s collapsed" in f for f in fails), fails
+
+
+def test_service_missing_section_is_unusable():
+    doc = service_fixture()
+    del doc["batched"]
+    try:
+        check_service(doc, service_fixture(), "cur", "base", 0.5)
+    except UnusableInput:
+        return
+    raise AssertionError("missing section must raise UnusableInput")
+
+
+def run_self_test():
+    tests = sorted((name, fn) for name, fn in globals().items()
+                   if name.startswith("test_") and callable(fn))
+    failed = 0
+    for name, fn in tests:
+        try:
+            fn()
+        except Exception as e:  # noqa: BLE001 — report, keep running
+            failed += 1
+            print(f"self-test {name}: FAIL ({e})", file=sys.stderr)
+        else:
+            print(f"self-test {name}: ok")
+    print(f"self-test: {len(tests) - failed}/{len(tests)} passed")
+    return 1 if failed else 0
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("--mode", choices=("kernel", "scaling"),
-                    default="kernel",
+    ap.add_argument("--mode", choices=sorted(MODES), default="kernel",
                     help="kernel: bench_rmcrt_kernel throughput gate; "
-                         "scaling: bench_scaling_* shape gate")
-    ap.add_argument("--current", required=True,
+                         "scaling: bench_scaling_* shape gate; "
+                         "service: bench_service batching gate")
+    ap.add_argument("--current",
                     help="JSON written by this run's bench binary")
-    ap.add_argument("--baseline", required=True,
+    ap.add_argument("--baseline",
                     help="committed baseline JSON to compare against")
     ap.add_argument("--tolerance", type=float, default=0.5,
-                    help="kernel mode: minimum fraction of baseline "
-                         "single-thread Mseg/s that passes (default 0.5)")
+                    help="kernel/service: minimum fraction of the "
+                         "baseline throughput that passes (default 0.5)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the embedded fixture suite and exit")
     args = ap.parse_args()
+
+    if args.self_test:
+        return run_self_test()
+    if not args.current or not args.baseline:
+        ap.error("--current and --baseline are required unless --self-test")
 
     try:
         with open(args.current) as f:
@@ -286,72 +634,18 @@ def main():
         print(f"error: cannot load bench JSON: {e}", file=sys.stderr)
         return 2
 
-    if args.mode == "scaling":
-        try:
-            failures = check_scaling(current, baseline, args.current,
-                                     args.baseline)
-        except UnusableInput as e:
-            print(f"error: {e}", file=sys.stderr)
-            return 2
-        if failures:
-            for f in failures:
-                print(f"REGRESSION: {f}", file=sys.stderr)
-            return 1
-        print("scaling shape gate passed")
-        return 0
-
-    failures = []
-
-    bad_bitwise = check_bitwise(current, args.current)
-    if bad_bitwise:
-        failures.append("bitwise mismatch in: " + ", ".join(bad_bitwise))
-
+    check, pass_message = MODES[args.mode]
     try:
-        cur = single_thread_mseg(current, args.current)
-        base = single_thread_mseg(baseline, args.baseline)
-        floor = args.tolerance * base
-        verdict = "OK" if cur >= floor else "FAIL"
-        print(f"single-thread: current {cur:.2f} Mseg/s vs baseline "
-              f"{base:.2f} Mseg/s (floor {floor:.2f}, x{args.tolerance}) "
-              f"[{verdict}]")
-        if cur < floor:
-            failures.append(
-                f"single-thread Mseg/s collapsed: {cur:.2f} < {floor:.2f}")
-
-        # (section key, floor, label): the microbench isolates the march
-        # loop and is stable enough for a hard >= 1.0 bound; the
-        # end-to-end divQ A/B jitters with the runner, so only a collapse
-        # below 0.75 fails.
-        for key, floor, label in (("segment_microbench", 1.0,
-                                   "segment microbench"),
-                                  ("layout", 0.75, "divQ layout A/B")):
-            entry = current.get(key)
-            if entry is None:
-                continue
-            where = f"{args.current} {key}"
-            speedup = require_number(entry, "speedup", where)
-            packed = require_number(entry, "packed_mseg_per_s", where)
-            unpacked = require_number(entry, "unpacked_mseg_per_s", where)
-            verdict = "OK" if speedup >= floor else "FAIL"
-            print(f"{label}: packed {packed:.2f} "
-                  f"vs unpacked {unpacked:.2f} Mseg/s "
-                  f"({speedup:.2f}x, floor {floor}) [{verdict}]")
-            if speedup < floor:
-                failures.append(
-                    f"{label}: packed vs unpacked collapsed ({speedup:.2f}x "
-                    f"< {floor}x)")
-
-        failures.extend(
-            check_simd(current, baseline, args.current, args.baseline))
+        failures = check(current, baseline, args.current, args.baseline,
+                         args.tolerance)
     except UnusableInput as e:
         print(f"error: {e}", file=sys.stderr)
         return 2
-
     if failures:
         for f in failures:
             print(f"REGRESSION: {f}", file=sys.stderr)
         return 1
-    print("perf gate passed")
+    print(pass_message)
     return 0
 
 

@@ -29,6 +29,7 @@
 #include "runtime/snapshot.h"
 #include "sim/calibration.h"
 #include "util/observability_cli.h"
+#include "util/stats.h"
 #include "util/thread_pool.h"
 #include "util/timers.h"
 
@@ -686,6 +687,213 @@ void runSnapshotBench(int snapshotEvery, const std::string& jsonPath) {
             << "  written to " << jsonPath << "\n";
 }
 
+/// Variance-adaptive sampling + spectral banding bench (--adaptive-rays):
+/// solves the Burns & Christon golden fixture (41^3, 64 rays/cell,
+/// seed 71 — the configuration the golden centerline test pins) with the
+/// fixed fan and with the variance-adaptive budget controller, and
+/// reports the segment reduction at measured accuracy plus the bitwise
+/// neutrality gates the CI regression checker enforces:
+///   - adaptiveRays=false with the knobs set is bitwise the fixed fan
+///   - adaptiveRays=true with pilot == cap == nDivQRays is bitwise too
+///     (the pilot is a prefix of the fixed fan, same RNG streams)
+///   - a single {weight=1, kappaScale=1} spectral band is bitwise gray
+/// The spectral section then runs the WSGG band model, fixed-fan and
+/// adaptive, with per-band throughput from the tracer.band<k> gauges.
+void runAdaptiveSamplingBench(bool smoke, const std::string& jsonPath,
+                              int pilotRays, double errorTarget,
+                              int bandCount) {
+  const int n = 41;
+  const int rays = 64;
+  const int repeats = smoke ? 1 : 3;
+  KernelFixture fx(n);
+  const CellRange cells = fx.grid->fineLevel().cells();
+  const WallProperties walls{0.0, 1.0};
+  const auto makeLevel = [&] {
+    return TraceLevel{LevelGeom::from(fx.grid->fineLevel()),
+                      RadiationFieldsView{
+                          FieldView<double>::fromHost(fx.abskg),
+                          FieldView<double>::fromHost(fx.sig),
+                          FieldView<grid::CellType>::fromHost(fx.ct)},
+                      cells};
+  };
+  TraceConfig fixedCfg;
+  fixedCfg.nDivQRays = rays;
+  fixedCfg.seed = 71;
+
+  struct Solve {
+    std::vector<double> divQ;
+    std::uint64_t segments = 0;
+    double msegPerS = 0.0;
+  };
+  const auto collect = [&](const grid::CCVariable<double>& f) {
+    std::vector<double> out;
+    out.reserve(static_cast<std::size_t>(cells.volume()));
+    for (const auto& c : cells) out.push_back(f[c]);
+    return out;
+  };
+  const auto solveGray = [&](const TraceConfig& cfg) {
+    Tracer tracer({makeLevel()}, walls, cfg);
+    grid::CCVariable<double> divQ(cells, 0.0);
+    Solve s;
+    double best = std::numeric_limits<double>::infinity();
+    for (int r = 0; r < repeats; ++r) {
+      tracer.resetSegmentCount();
+      Timer timer;
+      tracer.computeDivQ(cells, MutableFieldView<double>::fromHost(divQ));
+      best = std::min(best, timer.seconds());
+      s.segments = tracer.segmentCount();
+    }
+    s.msegPerS = static_cast<double>(s.segments) / best / 1e6;
+    s.divQ = collect(divQ);
+    return s;
+  };
+  const auto solveSpectral = [&](const TraceConfig& cfg,
+                                 const BandModel& bands) {
+    SpectralTracer tracer({makeLevel()}, walls, cfg, bands);
+    grid::CCVariable<double> divQ(cells, 0.0);
+    Solve s;
+    double best = std::numeric_limits<double>::infinity();
+    for (int r = 0; r < repeats; ++r) {
+      tracer.resetSegmentCount();
+      Timer timer;
+      tracer.computeDivQ(cells, MutableFieldView<double>::fromHost(divQ));
+      best = std::min(best, timer.seconds());
+      s.segments = tracer.segmentCount();
+    }
+    s.msegPerS = static_cast<double>(s.segments) / best / 1e6;
+    s.divQ = collect(divQ);
+    return s;
+  };
+  const auto bitwise = [](const Solve& a, const Solve& b) {
+    return a.divQ == b.divQ;
+  };
+  const auto centerline = [&](const Solve& s) {
+    std::vector<double> out;
+    out.reserve(static_cast<std::size_t>(n));
+    const int mid = n / 2;
+    grid::CCVariable<double> f(cells, 0.0);
+    std::size_t i = 0;
+    for (const auto& c : cells) f[c] = s.divQ[i++];
+    for (int x = 0; x < n; ++x)
+      out.push_back(f[IntVector(x, mid, mid)]);
+    return out;
+  };
+
+  // Fixed fan: the reference answer and the segment denominator.
+  const Solve fixed = solveGray(fixedCfg);
+
+  // Off-path neutrality: adaptive knobs set but adaptiveRays=false must
+  // leave the fixed fan untouched (guards against knob leakage into the
+  // always-on march, e.g. the kappaScale multiply).
+  TraceConfig offCfg = fixedCfg;
+  offCfg.adaptiveRays = false;
+  offCfg.nPilotRays = 8;
+  offCfg.errorTarget = 0.5;
+  offCfg.nMaxRays = 32;
+  const bool offIdentical = bitwise(solveGray(offCfg), fixed);
+
+  // Saturated controller: pilot == cap == nDivQRays traces exactly the
+  // fixed fan (pilot rays are a prefix of it, same counter-based RNG
+  // streams, same left-to-right sum order).
+  TraceConfig satCfg = fixedCfg;
+  satCfg.adaptiveRays = true;
+  satCfg.nPilotRays = rays;
+  satCfg.nMaxRays = rays;
+  const bool satIdentical = bitwise(solveGray(satCfg), fixed);
+
+  // The calibrated operating point.
+  TraceConfig adCfg = fixedCfg;
+  adCfg.adaptiveRays = true;
+  adCfg.nPilotRays = pilotRays;
+  adCfg.errorTarget = errorTarget;
+  adCfg.nMaxRays = 0;  // cap at nDivQRays
+  const Solve adaptive = solveGray(adCfg);
+  const double raysMean =
+      MetricsRegistry::global().gauge("tracer.rays_per_cell_mean").value();
+  const double raysMax =
+      MetricsRegistry::global().gauge("tracer.rays_per_cell_max").value();
+  const double reduction =
+      static_cast<double>(fixed.segments) /
+      static_cast<double>(std::max<std::uint64_t>(1, adaptive.segments));
+  const double relL2 = relativeL2Error(adaptive.divQ, fixed.divQ);
+  const double relL2Center =
+      relativeL2Error(centerline(adaptive), centerline(fixed));
+
+  // Spectral section: single gray band must be bitwise the gray solver;
+  // the multi-band model runs fixed-fan and adaptive.
+  const bool singleBandIdentical =
+      bitwise(solveSpectral(fixedCfg, grayBand()), fixed);
+  const BandModel bands = bandCount == 1 ? grayBand() : threeband();
+  const Solve spectralFixed = solveSpectral(fixedCfg, bands);
+  std::vector<double> bandRates;
+  for (std::size_t b = 0; b < bands.size(); ++b)
+    bandRates.push_back(MetricsRegistry::global()
+                            .gauge("tracer.band" + std::to_string(b) +
+                                   ".mseg_per_s")
+                            .value());
+  const Solve spectralAdaptive = solveSpectral(adCfg, bands);
+
+  std::ofstream out(jsonPath);
+  out << std::setprecision(6) << std::fixed;
+  out << "{\n"
+      << "  \"benchmark\": \"rmcrt_adaptive_sampling\",\n"
+      << "  \"problem\": \"burns_christon\",\n"
+      << "  \"grid_n\": " << n << ",\n"
+      << "  \"rays_per_cell\": " << rays << ",\n"
+      << "  \"seed\": " << fixedCfg.seed << ",\n"
+      << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+      << "  \"adaptive\": {\n"
+      << "    \"pilot_rays\": " << pilotRays << ",\n"
+      << "    \"error_target\": " << errorTarget << ",\n"
+      << "    \"max_rays\": " << rays << ",\n"
+      << "    \"fixed_segments\": " << fixed.segments << ",\n"
+      << "    \"adaptive_segments\": " << adaptive.segments << ",\n"
+      << "    \"segment_reduction\": " << reduction << ",\n"
+      << "    \"rel_l2_error\": " << std::scientific << relL2 << ",\n"
+      << "    \"rel_l2_centerline\": " << relL2Center << std::fixed << ",\n"
+      << "    \"rays_per_cell_mean\": " << raysMean << ",\n"
+      << "    \"rays_per_cell_max\": " << raysMax << ",\n"
+      << "    \"fixed_mseg_per_s\": " << fixed.msegPerS << ",\n"
+      << "    \"adaptive_mseg_per_s\": " << adaptive.msegPerS << ",\n"
+      << "    \"bitwise_off_identical\": "
+      << (offIdentical ? "true" : "false") << ",\n"
+      << "    \"bitwise_saturated_identical\": "
+      << (satIdentical ? "true" : "false") << "\n"
+      << "  },\n"
+      << "  \"spectral\": {\n"
+      << "    \"bands\": " << bands.size() << ",\n"
+      << "    \"planck_mean_scale\": " << planckMeanScale(bands) << ",\n"
+      << "    \"bitwise_single_band\": "
+      << (singleBandIdentical ? "true" : "false") << ",\n"
+      << "    \"gray_segments\": " << fixed.segments << ",\n"
+      << "    \"band_segments\": " << spectralFixed.segments << ",\n"
+      << "    \"adaptive_band_segments\": " << spectralAdaptive.segments
+      << ",\n"
+      << "    \"band_mseg_per_s\": [";
+  for (std::size_t b = 0; b < bandRates.size(); ++b)
+    out << (b ? ", " : "") << bandRates[b];
+  out << "]\n"
+      << "  }\n"
+      << "}\n";
+
+  std::cout << std::fixed << std::setprecision(2);
+  std::cout << "adaptive sampling bench (" << n << "^3, " << rays
+            << " rays/cell, seed " << fixedCfg.seed << ")\n"
+            << "  fixed " << fixed.segments << " segments, adaptive "
+            << adaptive.segments << " (" << reduction << "x reduction)\n"
+            << "  rel L2 " << std::scientific << relL2 << " (centerline "
+            << relL2Center << ")" << std::fixed << ", rays/cell mean "
+            << raysMean << " max " << raysMax << "\n"
+            << "  bitwise: off=" << (offIdentical ? "ok" : "MISMATCH")
+            << " saturated=" << (satIdentical ? "ok" : "MISMATCH")
+            << " single-band=" << (singleBandIdentical ? "ok" : "MISMATCH")
+            << "\n"
+            << "  spectral " << bands.size() << "-band: fixed "
+            << spectralFixed.segments << " segments, adaptive "
+            << spectralAdaptive.segments << "\n"
+            << "  written to " << jsonPath << "\n";
+}
+
 void printCalibrationTable() {
   using namespace rmcrt::sim;
   std::cout << "\n=== Kernel throughput per patch size (model calibration "
@@ -717,6 +925,11 @@ int main(int argc, char** argv) {
   //   --regrid-threshold=X   refinement-flag threshold for that mode
   //   --snapshot-every=N     measure whole-cluster checkpoint overhead
   //       (MB and ms per checkpoint) into BENCH_snapshot.json
+  //   --adaptive-rays[=N]    variance-adaptive sampling + spectral banding
+  //       bench into BENCH_adaptive.json (N = pilot rays, default 16)
+  //   --error-target=X       adaptive relative-error target (default 0.015)
+  //   --bands=K              spectral section band count (1 = gray band,
+  //       anything else = the 3-band WSGG model)
   const rmcrt::ObservabilityOptions obs =
       rmcrt::parseObservabilityFlags(argc, argv);
   bool smoke = false;
@@ -725,6 +938,9 @@ int main(int argc, char** argv) {
   int regridEvery = 0;
   double regridThreshold = 0.10;
   int snapshotEvery = 0;
+  int adaptivePilot = 0;  // >0 runs the adaptive sampling bench
+  double errorTarget = 0.015;
+  int bandCount = 3;
   int keep = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
@@ -742,12 +958,26 @@ int main(int argc, char** argv) {
       regridThreshold = std::atof(argv[i] + 19);
     } else if (std::strncmp(argv[i], "--snapshot-every=", 17) == 0) {
       snapshotEvery = std::atoi(argv[i] + 17);
+    } else if (std::strncmp(argv[i], "--adaptive-rays=", 16) == 0) {
+      adaptivePilot = std::atoi(argv[i] + 16);
+    } else if (std::strcmp(argv[i], "--adaptive-rays") == 0) {
+      adaptivePilot = 16;
+    } else if (std::strncmp(argv[i], "--error-target=", 15) == 0) {
+      errorTarget = std::atof(argv[i] + 15);
+    } else if (std::strncmp(argv[i], "--bands=", 8) == 0) {
+      bandCount = std::atoi(argv[i] + 8);
     } else {
       argv[keep++] = argv[i];
     }
   }
   argc = keep;
 
+  if (adaptivePilot > 0) {
+    runAdaptiveSamplingBench(smoke,
+                             jsonPathSet ? jsonPath : "BENCH_adaptive.json",
+                             adaptivePilot, errorTarget, bandCount);
+    return 0;
+  }
   if (snapshotEvery > 0) {
     // Own output file so a combined CI invocation never clobbers the
     // kernel-sweep baseline.

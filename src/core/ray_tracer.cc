@@ -5,7 +5,9 @@
 #include <cstdlib>
 #include <stdexcept>
 
+#include "core/spectral.h"
 #include "util/metrics.h"
+#include "util/stats.h"
 #include "util/thread_pool.h"
 #include "util/trace_recorder.h"
 
@@ -27,6 +29,15 @@ MetricsCounter& tracerSegmentsCounter() {
 }
 MetricsCounter& tracerRaysCounter() {
   static MetricsCounter& c = MetricsRegistry::global().counter("tracer.rays");
+  return c;
+}
+/// Segments the adaptive controller avoided tracing versus the fixed
+/// nDivQRays fan, estimated per tile from that tile's own mean
+/// segments-per-ray (saved rays never marched, so their exact crossing
+/// count is unknowable).
+MetricsCounter& tracerSegmentsSavedCounter() {
+  static MetricsCounter& c =
+      MetricsRegistry::global().counter("tracer.segments_saved");
   return c;
 }
 
@@ -100,6 +111,28 @@ Tracer::Tracer(std::vector<TraceLevel> levels, const WallProperties& walls,
         "TraceConfig::nDivQRays must be positive (got " +
         std::to_string(m_cfg.nDivQRays) +
         "): meanIncomingIntensity divides by it, so divQ would be NaN");
+  if (m_cfg.nFluxRays <= 0)
+    throw std::invalid_argument(
+        "TraceConfig::nFluxRays must be positive (got " +
+        std::to_string(m_cfg.nFluxRays) +
+        "): boundaryFlux divides by it, so the flux would be NaN");
+  if (m_cfg.adaptiveRays) {
+    if (m_cfg.nPilotRays <= 0)
+      throw std::invalid_argument(
+          "TraceConfig::nPilotRays must be positive (got " +
+          std::to_string(m_cfg.nPilotRays) +
+          ") when adaptiveRays is set: the pilot mean divides by it");
+    if (!(m_cfg.errorTarget > 0.0))
+      throw std::invalid_argument(
+          "TraceConfig::errorTarget must be positive (got " +
+          std::to_string(m_cfg.errorTarget) +
+          ") when adaptiveRays is set: the budget rule divides by it");
+    if (m_cfg.nMaxRays < 0)
+      throw std::invalid_argument(
+          "TraceConfig::nMaxRays must be >= 0 (got " +
+          std::to_string(m_cfg.nMaxRays) +
+          "): 0 means cap budgets at nDivQRays");
+  }
   if (!m_cfg.usePackedFields) {
     // Legacy layout requested: drop packed views wherever the separate
     // property views can serve instead. Packed-only levels (the GPU
@@ -173,6 +206,9 @@ bool Tracer::marchLevelPacked(std::size_t li, Vector& pos, const Vector& dir,
 
   double tCur = 0.0;
   const double threshold = m_cfg.threshold;
+  // Band scale on kappa (1.0 in gray mode — bitwise neutral, IEEE
+  // x*1.0 == x), hoisted so the march loop never reloads the config.
+  const double kappaScale = m_cfg.kappaScale;
 
   for (;;) {
     const PackedCell& rec = *cell;
@@ -203,7 +239,7 @@ bool Tracer::marchLevelPacked(std::size_t li, Vector& pos, const Vector& dir,
     // Absorb + emit along the segment (paper Eq. 2 without scattering):
     // one cache-line-local record load instead of three strided array
     // reads; the FP sequence matches the legacy path exactly.
-    const double expSeg = std::exp(-rec.abskg * segLen);
+    const double expSeg = std::exp(-(rec.abskg * kappaScale) * segLen);
     sumI += rec.sigmaT4OverPi * (1.0 - expSeg) * transmissivity;
     transmissivity *= expSeg;
     // Zero-length crossings (the float-slop tMax clamp puts the first
@@ -271,6 +307,7 @@ bool Tracer::marchLevelLegacy(std::size_t li, Vector& pos, const Vector& dir,
 
   double tCur = 0.0;
   const double threshold = m_cfg.threshold;
+  const double kappaScale = m_cfg.kappaScale;
 
   for (;;) {
     // A wall cell absorbs the ray: add its emission seen through the
@@ -291,7 +328,7 @@ bool Tracer::marchLevelLegacy(std::size_t li, Vector& pos, const Vector& dir,
     // Absorb + emit along the segment (paper Eq. 2 without scattering):
     // contribution = sigmaT4/pi * (1 - e^{-kappa ds}) attenuated by the
     // transmissivity accumulated so far.
-    const double kappa = L.fields.abskg[cur];
+    const double kappa = L.fields.abskg[cur] * kappaScale;
     const double expSeg = std::exp(-kappa * segLen);
     sumI += L.fields.sigmaT4OverPi[cur] * (1.0 - expSeg) * transmissivity;
     transmissivity *= expSeg;
@@ -451,7 +488,12 @@ double Tracer::meanIncomingIntensity(const IntVector& cell) const {
 void Tracer::computeDivQTile(const CellRange& tile,
                              MutableFieldView<double> divQ) const {
   RMCRT_TRACE_SPAN("tracer", "divQ_tile");
+  if (m_cfg.adaptiveRays) {
+    computeDivQTileAdaptive(tile, divQ);
+    return;
+  }
   const TraceLevel& L0 = m_levels.front();
+  const double kappaScale = m_cfg.kappaScale;
   std::uint64_t segments = 0;
   if (simdActive()) {
     // Packet path: per-cell ray bundles through marchPacket8. Scratch is
@@ -463,24 +505,204 @@ void Tracer::computeDivQTile(const CellRange& tile,
       const double meanI = meanIncomingIntensitySimd(c, origins, dirs,
                                                      intensities, segments);
       const PackedCell& rec = L0.packed[c];
-      divQ[c] = 4.0 * M_PI * rec.abskg * (rec.sigmaT4OverPi - meanI);
+      divQ[c] = 4.0 * M_PI * (rec.abskg * kappaScale) *
+                (rec.sigmaT4OverPi - meanI);
     }
   } else if (L0.packed.valid()) {
     for (const IntVector& c : tile) {
       const double meanI = meanIncomingIntensity(c, segments);
       const PackedCell& rec = L0.packed[c];
-      divQ[c] = 4.0 * M_PI * rec.abskg * (rec.sigmaT4OverPi - meanI);
+      divQ[c] = 4.0 * M_PI * (rec.abskg * kappaScale) *
+                (rec.sigmaT4OverPi - meanI);
     }
   } else {
     const RadiationFieldsView& f = L0.fields;
     for (const IntVector& c : tile) {
       const double meanI = meanIncomingIntensity(c, segments);
-      divQ[c] = 4.0 * M_PI * f.abskg[c] * (f.sigmaT4OverPi[c] - meanI);
+      divQ[c] = 4.0 * M_PI * (f.abskg[c] * kappaScale) *
+                (f.sigmaT4OverPi[c] - meanI);
     }
   }
   flushSegments(segments);
-  tracerRaysCounter().add(static_cast<std::uint64_t>(tile.volume()) *
-                          static_cast<std::uint64_t>(m_cfg.nDivQRays));
+  const std::uint64_t nCells = static_cast<std::uint64_t>(tile.volume());
+  const std::uint64_t rays =
+      nCells * static_cast<std::uint64_t>(m_cfg.nDivQRays);
+  tracerRaysCounter().add(rays);
+  m_raysTraced.fetch_add(rays, std::memory_order_relaxed);
+  m_cellsTraced.fetch_add(nCells, std::memory_order_relaxed);
+  const std::uint64_t fan = static_cast<std::uint64_t>(m_cfg.nDivQRays);
+  std::uint64_t prev = m_maxBudget.load(std::memory_order_relaxed);
+  while (fan > prev && !m_maxBudget.compare_exchange_weak(
+                           prev, fan, std::memory_order_relaxed)) {
+  }
+}
+
+int Tracer::adaptiveBudget(double pilotMean, double pilotStddev,
+                           double sigmaT4OverPi) const {
+  const int cap = m_cfg.nMaxRays > 0 ? m_cfg.nMaxRays : m_cfg.nDivQRays;
+  const int pilot = std::min(m_cfg.nPilotRays, cap);
+  if (pilotStddev <= 0.0) return pilot;  // uniform pilot: nothing to refine
+  // n rays shrink the standard error to s/sqrt(n); require it below
+  // errorTarget * |difference| where the difference is exactly the
+  // (source - meanI) factor divQ multiplies — a cell in near-equilibrium
+  // saturates at the cap rather than divide by ~0.
+  const double denom =
+      m_cfg.errorTarget * std::abs(sigmaT4OverPi - pilotMean);
+  if (denom <= 0.0) return cap;
+  const double ratio = pilotStddev / denom;
+  const double need = std::ceil(ratio * ratio);
+  if (!(need < static_cast<double>(cap))) return cap;  // also inf/NaN
+  return std::max(pilot, static_cast<int>(need));
+}
+
+void Tracer::traceCellRays(const IntVector& cell, int rBegin, int rEnd,
+                           double& sum, std::vector<Vector>& origins,
+                           std::vector<Vector>& dirs,
+                           std::vector<double>& intensities,
+                           std::uint64_t& segments) const {
+  const int n = rEnd - rBegin;
+  if (n <= 0) {
+    intensities.clear();
+    return;
+  }
+  const LevelGeom& g = m_levels.front().geom;
+  origins.resize(static_cast<std::size_t>(n));
+  dirs.resize(static_cast<std::size_t>(n));
+  intensities.resize(static_cast<std::size_t>(n));
+  // Ray r of ANY pass draws from Rng(seed, cell, r) — the same stream
+  // the fixed fan consumes for its ray r, so the pilot is a prefix of
+  // the fixed fan and the top-up continues it exactly.
+  for (int r = rBegin; r < rEnd; ++r) {
+    Rng rng(m_cfg.seed, cell, static_cast<std::uint32_t>(r));
+    Vector origin;
+    if (m_cfg.jitterRayOrigin) {
+      const Vector lo = g.cellLowCorner(cell);
+      origin = lo + Vector(rng.nextDouble(), rng.nextDouble(),
+                           rng.nextDouble()) *
+                        g.dx;
+    } else {
+      origin = g.cellCenter(cell);
+    }
+    const std::size_t i = static_cast<std::size_t>(r - rBegin);
+    origins[i] = origin;
+    dirs[i] = isotropicDirection(rng);
+  }
+  if (simdActive()) {
+    // Variable-size bundles feed the same SetupQueue lane-refill path as
+    // the fixed fan; each lane's intensity depends only on its own ray,
+    // so bundle composition never changes per-ray values.
+    traceRaysSimd(n, origins.data(), dirs.data(), intensities.data(),
+                  segments);
+  } else {
+    for (int i = 0; i < n; ++i)
+      intensities[static_cast<std::size_t>(i)] =
+          traceRay(origins[static_cast<std::size_t>(i)],
+                   dirs[static_cast<std::size_t>(i)], 0, segments);
+  }
+  // Reduce in ray order — concatenated with the pilot pass this is the
+  // fixed fan's exact left-to-right sum.
+  for (int i = 0; i < n; ++i) sum += intensities[static_cast<std::size_t>(i)];
+}
+
+void Tracer::computeDivQTileAdaptive(const CellRange& tile,
+                                     MutableFieldView<double> divQ) const {
+  const TraceLevel& L0 = m_levels.front();
+  const int cap = m_cfg.nMaxRays > 0 ? m_cfg.nMaxRays : m_cfg.nDivQRays;
+  const int pilot = std::min(m_cfg.nPilotRays, cap);
+
+  struct CellState {
+    double sum = 0.0;  // intensity sum over the rays traced so far
+    int budget = 0;    // total rays granted to this cell
+    double abskg = 0.0;
+    double sigmaT4OverPi = 0.0;
+  };
+  std::vector<CellState> states;
+  states.reserve(static_cast<std::size_t>(tile.volume()));
+
+  std::uint64_t segments = 0;
+  std::vector<Vector> origins, dirs;
+  std::vector<double> intensities;
+
+  {
+    // Pass 1: pilot fan + streaming variance -> deterministic budget.
+    // The budget is a function of (seed, cell) alone, so any tiling or
+    // thread schedule grants identical budgets.
+    RMCRT_TRACE_SPAN("tracer", "adaptive_pilot");
+    for (const IntVector& c : tile) {
+      CellState cs;
+      if (L0.packed.valid()) {
+        const PackedCell& rec = L0.packed[c];
+        cs.abskg = rec.abskg;
+        cs.sigmaT4OverPi = rec.sigmaT4OverPi;
+      } else {
+        cs.abskg = L0.fields.abskg[c];
+        cs.sigmaT4OverPi = L0.fields.sigmaT4OverPi[c];
+      }
+      traceCellRays(c, 0, pilot, cs.sum, origins, dirs, intensities,
+                    segments);
+      RunningStats stats;
+      for (const double I : intensities) stats.add(I);
+      cs.budget = adaptiveBudget(stats.mean(), stats.stddev(),
+                                 cs.sigmaT4OverPi);
+      states.push_back(cs);
+    }
+  }
+
+  std::uint64_t raysTraced = 0;
+  std::uint64_t tileMaxBudget = 0;
+  {
+    // Pass 2: top up only where the pilot missed the error target,
+    // appending to the same running sum so a cell whose budget reaches
+    // nDivQRays reproduces the fixed fan's reduction bitwise.
+    RMCRT_TRACE_SPAN("tracer", "adaptive_topup");
+    std::size_t i = 0;
+    for (const IntVector& c : tile) {
+      CellState& cs = states[i++];
+      if (cs.budget > pilot)
+        traceCellRays(c, pilot, cs.budget, cs.sum, origins, dirs,
+                      intensities, segments);
+      const double meanI = cs.sum / static_cast<double>(cs.budget);
+      divQ[c] = 4.0 * M_PI * (cs.abskg * m_cfg.kappaScale) *
+                (cs.sigmaT4OverPi - meanI);
+      raysTraced += static_cast<std::uint64_t>(cs.budget);
+      tileMaxBudget =
+          std::max(tileMaxBudget, static_cast<std::uint64_t>(cs.budget));
+    }
+  }
+
+  flushSegments(segments);
+  tracerRaysCounter().add(raysTraced);
+  const std::uint64_t nCells = static_cast<std::uint64_t>(tile.volume());
+  m_raysTraced.fetch_add(raysTraced, std::memory_order_relaxed);
+  m_cellsTraced.fetch_add(nCells, std::memory_order_relaxed);
+  std::uint64_t prev = m_maxBudget.load(std::memory_order_relaxed);
+  while (tileMaxBudget > prev &&
+         !m_maxBudget.compare_exchange_weak(prev, tileMaxBudget,
+                                            std::memory_order_relaxed)) {
+  }
+  // Work avoided vs the fixed fan, estimated from this tile's own mean
+  // segments-per-ray (untraced rays have no exact crossing count).
+  const std::uint64_t fixedRays =
+      nCells * static_cast<std::uint64_t>(m_cfg.nDivQRays);
+  if (raysTraced > 0 && fixedRays > raysTraced) {
+    const double perRay =
+        static_cast<double>(segments) / static_cast<double>(raysTraced);
+    tracerSegmentsSavedCounter().add(static_cast<std::uint64_t>(
+        static_cast<double>(fixedRays - raysTraced) * perRay));
+  }
+}
+
+void Tracer::publishRayGauges() const {
+  const std::uint64_t cells = m_cellsTraced.load(std::memory_order_relaxed);
+  if (cells == 0) return;
+  auto& reg = MetricsRegistry::global();
+  reg.setGauge("tracer.rays_per_cell_mean",
+               static_cast<double>(m_raysTraced.load(
+                   std::memory_order_relaxed)) /
+                   static_cast<double>(cells));
+  reg.setGauge("tracer.rays_per_cell_max",
+               static_cast<double>(
+                   m_maxBudget.load(std::memory_order_relaxed)));
 }
 
 void Tracer::computeDivQ(const CellRange& cells,
@@ -489,6 +711,7 @@ void Tracer::computeDivQ(const CellRange& cells,
   RMCRT_TRACE_SPAN("tracer", "computeDivQ");
   if (pool == nullptr || pool->size() <= 1) {
     computeDivQTile(cells, divQ);
+    publishRayGauges();
     return;
   }
   // Adapt the tile size to the pool so small sweeps don't undersubscribe
@@ -506,22 +729,42 @@ void Tracer::computeDivQ(const CellRange& cells,
 void Tracer::computeDivQBatch(const std::vector<DivQTileJob>& jobs,
                               ThreadPool* pool) {
   RMCRT_TRACE_SPAN("tracer", "computeDivQBatch");
+  // A job carrying a band pipeline runs through it; gray jobs keep the
+  // direct tracer path. Both are per-tile serial work units, so one
+  // drain can mix gray and spectral scenes.
+  const auto run = [](const DivQTileJob& j) {
+    if (j.spectral != nullptr)
+      j.spectral->computeDivQTile(j.tile, j.sink);
+    else
+      j.tracer->computeDivQTile(j.tile, j.sink);
+  };
   if (pool == nullptr || pool->size() <= 1) {
-    for (const DivQTileJob& j : jobs) j.tracer->computeDivQTile(j.tile, j.sink);
-    return;
+    for (const DivQTileJob& j : jobs) run(j);
+  } else {
+    pool->parallelFor(0, static_cast<std::int64_t>(jobs.size()),
+                      [&](std::int64_t i) {
+                        run(jobs[static_cast<std::size_t>(i)]);
+                      });
   }
-  pool->parallelFor(0, static_cast<std::int64_t>(jobs.size()),
-                    [&](std::int64_t i) {
-                      const DivQTileJob& j =
-                          jobs[static_cast<std::size_t>(i)];
-                      j.tracer->computeDivQTile(j.tile, j.sink);
-                    });
+  // Rays-per-cell gauges: publish once per drain for each distinct gray
+  // tracer (never per tile, so concurrent tiles cannot race the gauge).
+  std::vector<const Tracer*> seen;
+  for (const DivQTileJob& j : jobs) {
+    if (j.tracer == nullptr || j.spectral != nullptr) continue;
+    if (std::find(seen.begin(), seen.end(), j.tracer) == seen.end()) {
+      seen.push_back(j.tracer);
+      j.tracer->publishRayGauges();
+    }
+  }
 }
 
 double Tracer::boundaryFlux(const IntVector& cell, const IntVector& face,
                             int nRays, ThreadPool* pool) const {
   RMCRT_TRACE_SPAN("tracer", "boundaryFlux");
-  tracerRaysCounter().add(static_cast<std::uint64_t>(nRays > 0 ? nRays : 0));
+  // The flux fan has its own knob: 0 (the default argument) means
+  // TraceConfig::nFluxRays, validated positive at construction.
+  if (nRays <= 0) nRays = m_cfg.nFluxRays;
+  tracerRaysCounter().add(static_cast<std::uint64_t>(nRays));
   // Incident flux on the face = integral over the inward hemisphere of
   // I(s) |s . n| dOmega. Monte Carlo with directions sampled
   // cosine-weighted about the inward normal -> flux = pi * mean(I).

@@ -71,6 +71,8 @@ struct LevelGeom {
   }
 };
 
+class SpectralTracer;  // spectral.h — band pipeline batched via DivQTileJob
+
 /// Wall (domain boundary / intruding geometry) radiative properties.
 struct WallProperties {
   double sigmaT4OverPi = 0.0;  ///< wall emissive source (0: cold walls)
@@ -109,6 +111,46 @@ struct TraceConfig {
   /// only within a documented ULP tolerance, so bitwise-reproducibility
   /// consumers (golden tests, record/replay) keep the scalar path.
   bool useSimd = false;
+  /// Rays per boundaryFlux / radiometer query. Historically these fans
+  /// inherited nDivQRays; wall heat-flux QoIs usually want a different
+  /// (often larger) count than the volumetric estimator, so they now
+  /// have their own knob with the same positive-count ctor validation.
+  /// boundaryFlux(nRays = 0) resolves to this value.
+  int nFluxRays = 100;
+  /// Uniform scale applied to every absorption coefficient the march
+  /// sees — both the per-segment extinction and the kappa factor of the
+  /// divQ formula. 1.0 (default) is bitwise neutral (IEEE: x*1.0 == x).
+  /// The spectral band pipeline sets it to the band's s_b so every band
+  /// marches the SAME PackedCell records (one packing, one device
+  /// upload) instead of per-band scaled field copies.
+  double kappaScale = 1.0;
+  /// Variance-adaptive per-cell ray budgets (two-pass pilot/top-up
+  /// estimator, DESIGN.md §17). Off (default): every cell fires exactly
+  /// nDivQRays rays — the fixed fan, bitwise unchanged. On: each cell
+  /// traces nPilotRays pilot rays (a prefix of the fixed fan's
+  /// (seed, cell, ray) streams), sizes its budget from the streaming
+  /// pilot variance, and tops up only where the relative standard error
+  /// of divQ's (source - meanI) difference exceeds errorTarget. Budgets
+  /// depend only on (seed, cell), never on threads or tiles.
+  bool adaptiveRays = false;
+  /// Pilot fan size when adaptiveRays is set: rays 0..nPilotRays-1 are
+  /// always traced and double as the budget probe. Must be positive;
+  /// clamped to the effective budget cap.
+  int nPilotRays = 16;
+  /// Relative standard-error target for the adaptive controller: a cell
+  /// whose pilot-estimated stderr(meanI) exceeds errorTarget *
+  /// |sigmaT4/pi - pilotMean| tops up to ceil((s / (target * |D|))^2)
+  /// rays. Calibrated on the 41^3 Burns-Christon golden: 0.015 keeps
+  /// the centerline within 1% relative L2 error of the fixed 64-ray fan
+  /// while tracing ~1.7x fewer segments. Must be positive when
+  /// adaptiveRays is set.
+  double errorTarget = 0.015;
+  /// Per-cell budget cap when adaptiveRays is set. 0 (default) means
+  /// nDivQRays — pure truncation of the fixed fan, so a cell that tops
+  /// up to the cap reproduces its fixed-fan value bitwise. Values above
+  /// nDivQRays let high-variance cells exceed the fixed fan. Negative
+  /// values are rejected at construction.
+  int nMaxRays = 0;
 };
 
 /// Split \p cells into tiles of at most \p tileSize cells per axis
@@ -190,6 +232,10 @@ class Tracer {
            simdSupported();
   }
 
+  /// The trace levels this tracer marches (read-only; tests assert the
+  /// spectral band tracers alias one shared packed record set).
+  const std::vector<TraceLevel>& levels() const { return m_levels; }
+
   /// Trace one ray from physical position \p origin in direction \p dir
   /// starting on level \p startLevel; returns the incoming intensity.
   double traceRay(Vector origin, Vector dir, std::size_t startLevel = 0) const;
@@ -232,6 +278,12 @@ class Tracer {
     const Tracer* tracer = nullptr;
     CellRange tile;
     MutableFieldView<double> sink;
+    /// When set, the tile is traced by this band pipeline instead of
+    /// `tracer` (computeDivQBatch dispatches on it): the radiation
+    /// service drains spectral scenes through the same batch as gray
+    /// ones. Appended last so existing {tracer, tile, sink} aggregate
+    /// initializers stay valid.
+    const SpectralTracer* spectral = nullptr;
   };
 
   /// Serial divQ over one tile — the batch work-unit entry point. Every
@@ -253,13 +305,14 @@ class Tracer {
   /// Incident radiative flux [W/m^2] through the domain-boundary face of
   /// \p cell whose outward normal is \p face (unit axis vector): traces
   /// nRays over the inward hemisphere — the boiler wall heat-flux QoI.
-  /// Origins are jittered uniformly over the face when
-  /// TraceConfig::jitterRayOrigin is set (matching the divQ estimator).
-  /// With a \p pool, rays fan out in parallel; per-ray intensities are
-  /// reduced in ray order, so the flux is bitwise identical to the serial
-  /// path.
+  /// nRays == 0 (the default) resolves to TraceConfig::nFluxRays, the
+  /// flux fan's own knob. Origins are jittered uniformly over the face
+  /// when TraceConfig::jitterRayOrigin is set (matching the divQ
+  /// estimator). With a \p pool, rays fan out in parallel; per-ray
+  /// intensities are reduced in ray order, so the flux is bitwise
+  /// identical to the serial path.
   double boundaryFlux(const IntVector& cell, const IntVector& face,
-                      int nRays, ThreadPool* pool = nullptr) const;
+                      int nRays = 0, ThreadPool* pool = nullptr) const;
 
   /// Total cell crossings marched so far (thread-safe, relaxed) — the
   /// work metric the performance model is calibrated against.
@@ -268,6 +321,27 @@ class Tracer {
   }
   void resetSegmentCount() {
     m_segments.store(0, std::memory_order_relaxed);
+  }
+
+  /// Adaptive-sampling work statistics since construction / last reset
+  /// (relaxed atomics; exact once trace calls have returned). When
+  /// adaptiveRays is off, raysTraced tracks the fixed fan so the
+  /// rays-per-cell gauges stay meaningful either way.
+  std::uint64_t raysTraced() const {
+    return m_raysTraced.load(std::memory_order_relaxed);
+  }
+  std::uint64_t cellsTraced() const {
+    return m_cellsTraced.load(std::memory_order_relaxed);
+  }
+  /// Largest per-cell ray budget granted by the adaptive controller
+  /// (== nDivQRays when adaptivity is off).
+  std::uint64_t maxRayBudget() const {
+    return m_maxBudget.load(std::memory_order_relaxed);
+  }
+  void resetRayStats() {
+    m_raysTraced.store(0, std::memory_order_relaxed);
+    m_cellsTraced.store(0, std::memory_order_relaxed);
+    m_maxBudget.store(0, std::memory_order_relaxed);
   }
 
  private:
@@ -338,6 +412,39 @@ class Tracer {
   double meanIncomingIntensity(const IntVector& cell,
                                std::uint64_t& segments) const;
 
+  /// Deterministic per-cell ray budget from the pilot statistics alone —
+  /// a pure function of (seed, cell), never of threads or tiles:
+  /// clamp(ceil((s / (errorTarget * |sigmaT4OverPi - pilotMean|))^2),
+  ///       nPilotRays, effective cap). Zero pilot variance keeps the
+  /// pilot fan; a vanishing denominator saturates at the cap.
+  int adaptiveBudget(double pilotMean, double pilotStddev,
+                     double sigmaT4OverPi) const;
+
+  /// Trace rays [rBegin, rEnd) of \p cell's (seed, cell, ray) streams —
+  /// identical RNG consumption to the fixed fan's prefix — appending
+  /// per-ray intensities to \p sum in ray order. Dispatches to the
+  /// packet march (via the reusable bundle scratch) when simdActive(),
+  /// else the scalar loop; intensities[] holds the per-ray values of
+  /// this range on return (pilot pass reads them for the variance).
+  void traceCellRays(const IntVector& cell, int rBegin, int rEnd,
+                     double& sum, std::vector<Vector>& origins,
+                     std::vector<Vector>& dirs,
+                     std::vector<double>& intensities,
+                     std::uint64_t& segments) const;
+
+  /// The two-pass adaptive tile: pilot fan + variance-sized top-up per
+  /// cell, both passes consuming the same (seed, cell, ray) streams as
+  /// the fixed fan (pilot = rays 0..nPilot-1; the top-up continues the
+  /// prefix) and summed in ray order, so a cell whose budget reaches
+  /// nDivQRays reproduces its fixed-fan divQ bitwise.
+  void computeDivQTileAdaptive(const CellRange& tile,
+                               MutableFieldView<double> divQ) const;
+
+  /// Publish tracer.rays_per_cell_{mean,max} from the ray statistics —
+  /// called at the end of computeDivQ / computeDivQBatch (not per tile,
+  /// so concurrent tiles never race on the gauges).
+  void publishRayGauges() const;
+
   /// Packet-path meanIncomingIntensity: generates the exact same
   /// (origin, dir) bundle as the scalar loop (identical RNG consumption),
   /// traces it through traceRaysSimd into \p scratch, and sums per-ray
@@ -363,6 +470,13 @@ class Tracer {
   /// depend on this.
   bool m_level0HasWalls = true;
   mutable std::atomic<std::uint64_t> m_segments{0};
+  /// Ray-budget accounting behind the rays-per-cell gauges: rays
+  /// actually traced by divQ sweeps, cells processed, and the largest
+  /// per-cell budget granted. Bumped once per tile (relaxed), like
+  /// m_segments.
+  mutable std::atomic<std::uint64_t> m_raysTraced{0};
+  mutable std::atomic<std::uint64_t> m_cellsTraced{0};
+  mutable std::atomic<std::uint64_t> m_maxBudget{0};
 };
 
 /// Sample an isotropic direction on the unit sphere.

@@ -478,6 +478,9 @@ void Tracer::traceRaysAvx2(int n, const Vector* origins, const Vector* dirs,
   const __m256d vOne = _mm256_set1_pd(1.0);
   const __m256d vZero = _mm256_setzero_pd();
   const __m256d vSign = _mm256_set1_pd(-0.0);
+  // Band scale on gathered kappa (spectral pipeline); 1.0 in gray mode,
+  // where the extra mul is bitwise neutral. Sources are never scaled.
+  const __m256d vKappaScale = _mm256_set1_pd(m_cfg.kappaScale);
   const __m128i vWallType =
       _mm_set1_epi32(static_cast<int>(PackedCell::kWall));
 
@@ -538,7 +541,8 @@ void Tracer::traceRaysAvx2(int n, const Vector* origins, const Vector* dirs,
             if (_mm_movemask_epi8(_mm_cmpeq_epi32(ct, vWallType)) != 0)
               break;
           }
-          const __m256d abskg = _mm256_i64gather_pd(abskgBase, bytes, 1);
+          const __m256d abskg = _mm256_mul_pd(
+              _mm256_i64gather_pd(abskgBase, bytes, 1), vKappaScale);
           const __m256d sig = _mm256_i64gather_pd(sigmaBase, bytes, 1);
 
           const __m256d yBeforeX = _mm256_cmp_pd(t1, t0, _CMP_LT_OQ);
@@ -630,8 +634,9 @@ void Tracer::traceRaysAvx2(int n, const Vector* origins, const Vector* dirs,
       // Property gathers for all alive lanes (the record layout keeps
       // abskg and sigmaT4OverPi in one cache line per lane). Masked so
       // dead lanes never dereference their stale offsets.
-      const __m256d abskg =
-          _mm256_mask_i64gather_pd(vZero, abskgBase, byteOff, alive, 1);
+      const __m256d abskg = _mm256_mul_pd(
+          _mm256_mask_i64gather_pd(vZero, abskgBase, byteOff, alive, 1),
+          vKappaScale);
       const __m256d sig =
           _mm256_mask_i64gather_pd(vZero, sigmaBase, byteOff, alive, 1);
 
@@ -856,8 +861,9 @@ void Tracer::traceRaysAvx2(int n, const Vector* origins, const Vector* dirs,
           _mm256_setzero_si256(), PFX##alive, bytes, cellTypeBase, 1);         \
       wallM = _mm256_mask_cmpeq_epi32_mask(PFX##alive, ct, vWallType);         \
     }                                                                          \
-    const __m512d abskg =                                                      \
-        _mm512_mask_i64gather_pd(vZero, PFX##alive, bytes, abskgBase, 1);      \
+    const __m512d abskg = _mm512_mul_pd(                                       \
+        _mm512_mask_i64gather_pd(vZero, PFX##alive, bytes, abskgBase, 1),      \
+        vKappaScale);                                                          \
     const __m512d sig =                                                        \
         _mm512_mask_i64gather_pd(vZero, PFX##alive, bytes, sigmaBase, 1);      \
     PFX##sumI = _mm512_mask_add_pd(                                            \
@@ -1041,6 +1047,9 @@ void Tracer::traceRaysAvx512(int n, const Vector* origins, const Vector* dirs,
   const __m512d vOne = _mm512_set1_pd(1.0);
   const __m512d vZero = _mm512_setzero_pd();
   const __m512d vSign = _mm512_set1_pd(-0.0);
+  // Band scale on gathered kappa (spectral pipeline); 1.0 in gray mode,
+  // where the extra mul is bitwise neutral. Sources are never scaled.
+  const __m512d vKappaScale = _mm512_set1_pd(m_cfg.kappaScale);
   const __m256i vWallType =
       _mm256_set1_epi32(static_cast<int>(PackedCell::kWall));
   // Hoisted domain-wall emission factor for the single-level vectorized

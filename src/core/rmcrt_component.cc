@@ -31,12 +31,36 @@ struct PipelineState {
   /// null). Outlives the PipelineState that a re-registration replaces,
   /// so packed coarse records persist across radiation steps.
   std::shared_ptr<PackedLevelCache> packedCache;
+  /// Spectral bands (empty = gray). Every trace task below dispatches
+  /// through traceDivQ on this.
+  BandModel bands;
 };
 
 /// The pool a trace task should tile on: the scheduler-provided one when
 /// present (bounds node-wide parallelism), else the setup's.
 ThreadPool* tracePool(const TaskContext& ctx, const PipelineState& st) {
   return ctx.pool != nullptr ? ctx.pool : st.pool;
+}
+
+/// The one dispatch point between the gray tracer and the spectral band
+/// pipeline, shared by every trace task and the serial solvers. An
+/// empty band model takes the exact gray path; otherwise the
+/// SpectralTracer band loop runs over the SAME trace levels (one shared
+/// record set). \p segmentsOut, when non-null, receives the traced
+/// segment count (the measured-cost model's input).
+void traceDivQ(std::vector<TraceLevel> levels, const WallProperties& walls,
+               const PipelineState& st, const CellRange& cells,
+               MutableFieldView<double> divQ, ThreadPool* pool,
+               std::uint64_t* segmentsOut = nullptr) {
+  if (st.bands.empty()) {
+    Tracer tracer(std::move(levels), walls, st.trace);
+    tracer.computeDivQ(cells, divQ, pool);
+    if (segmentsOut != nullptr) *segmentsOut = tracer.segmentCount();
+  } else {
+    SpectralTracer tracer(levels, walls, st.trace, st.bands);
+    tracer.computeDivQ(cells, divQ, pool);
+    if (segmentsOut != nullptr) *segmentsOut = tracer.segmentCount();
+  }
 }
 
 Task makeInitTask(std::shared_ptr<PipelineState> st, int fineLevel) {
@@ -175,12 +199,10 @@ Task makeCpuTraceTask(std::shared_ptr<PipelineState> st, int fineLevel,
     auto levels = buildTraceLevels(ctx, fineLevel, st->roiHalo, twoLevel);
     const WallProperties walls{st->problem.wallSigmaT4OverPi,
                                st->problem.wallEmissivity};
-    Tracer tracer(std::move(levels), walls, st->trace);
     auto& divQ =
         ctx.newDW->getModifiable<double>(RmcrtLabels::divQ, ctx.patch->id());
-    tracer.computeDivQ(ctx.patch->cells(),
-                       MutableFieldView<double>::fromHost(divQ),
-                       tracePool(ctx, *st));
+    traceDivQ(std::move(levels), walls, *st, ctx.patch->cells(),
+              MutableFieldView<double>::fromHost(divQ), tracePool(ctx, *st));
   });
   t.addRequires(Requires{RmcrtLabels::abskg, VarType::Double, fineLevel,
                          st->roiHalo, false});
@@ -248,15 +270,14 @@ Task makeAdaptiveTraceTask(std::shared_ptr<PipelineState> st, int fineLevel,
            }
            const WallProperties walls{st->problem.wallSigmaT4OverPi,
                                       st->problem.wallEmissivity};
-           Tracer tracer(std::move(levels), walls, st->trace);
            auto& divQ = ctx.newDW->getModifiable<double>(
                RmcrtLabels::divQ, ctx.patch->id());
-           tracer.computeDivQ(ctx.patch->cells(),
-                              MutableFieldView<double>::fromHost(divQ),
-                              tracePool(ctx, *st));
+           std::uint64_t segments = 0;
+           traceDivQ(std::move(levels), walls, *st, ctx.patch->cells(),
+                     MutableFieldView<double>::fromHost(divQ),
+                     tracePool(ctx, *st), &segments);
            if (costs)
-             costs->record(ctx.patch->id(),
-                           static_cast<double>(tracer.segmentCount()));
+             costs->record(ctx.patch->id(), static_cast<double>(segments));
          });
   t.addRequires(Requires{RmcrtLabels::abskg, VarType::Double, fineLevel,
                          st->roiHalo, false});
@@ -294,12 +315,11 @@ Task makeSingleLevelTraceTask(std::shared_ptr<PipelineState> st,
            tl.allowed = fine.cells();
            const WallProperties walls{st->problem.wallSigmaT4OverPi,
                                       st->problem.wallEmissivity};
-           Tracer tracer({tl}, walls, st->trace);
            auto& divQ = ctx.newDW->getModifiable<double>(
                RmcrtLabels::divQ, ctx.patch->id());
-           tracer.computeDivQ(ctx.patch->cells(),
-                              MutableFieldView<double>::fromHost(divQ),
-                              tracePool(ctx, *st));
+           traceDivQ({tl}, walls, *st, ctx.patch->cells(),
+                     MutableFieldView<double>::fromHost(divQ),
+                     tracePool(ctx, *st));
          });
   t.addRequires(
       Requires{RmcrtLabels::abskg, VarType::Double, fineLevel, 0, true});
@@ -365,6 +385,7 @@ void runGpuTraceAttempt(const TaskContext& ctx, const PipelineState& st,
   const WallProperties walls{st.problem.wallSigmaT4OverPi,
                              st.problem.wallEmissivity};
   const TraceConfig cfg = st.trace;
+  const BandModel bands = st.bands;
   stream->enqueueKernel([=, &dPackedF, &dPackedC, &dDivQ] {
     // Packed-only levels: `fields` stays invalid, so the Tracer neither
     // re-packs nor falls back to the legacy march.
@@ -372,12 +393,21 @@ void runGpuTraceAttempt(const TaskContext& ctx, const PipelineState& st,
                       PackedFieldView::fromDevice(dPackedF)};
     TraceLevel coarseTL{coarseGeom, RadiationFieldsView{}, coarseGeom.cells,
                         PackedFieldView::fromDevice(dPackedC)};
-    Tracer tracer({fineTL, coarseTL}, walls, cfg);
     gpu::DeviceVar out = dDivQ;
     // Serial inside the simulated kernel: the device executor's SM
     // workers are the parallelism on this path.
-    tracer.computeDivQ(patchCells,
-                       MutableFieldView<double>::fromDevice(out));
+    if (bands.empty()) {
+      Tracer tracer({fineTL, coarseTL}, walls, cfg);
+      tracer.computeDivQ(patchCells,
+                         MutableFieldView<double>::fromDevice(out));
+    } else {
+      // The band loop marches the SAME device-resident records for every
+      // band (kappa scaling lives in the march), so the single H2D
+      // upload above serves the whole spectrum.
+      SpectralTracer tracer({fineTL, coarseTL}, walls, cfg, bands);
+      tracer.computeDivQ(patchCells,
+                         MutableFieldView<double>::fromDevice(out));
+    }
   });
 
   // D2H: the result.
@@ -436,12 +466,10 @@ Task makeGpuTraceTask(std::shared_ptr<PipelineState> st, int fineLevel,
                                    /*twoLevel=*/true);
     const WallProperties walls{st->problem.wallSigmaT4OverPi,
                                st->problem.wallEmissivity};
-    Tracer tracer(std::move(levels), walls, st->trace);
     auto& divQ =
         ctx.newDW->getModifiable<double>(RmcrtLabels::divQ, pid);
-    tracer.computeDivQ(ctx.patch->cells(),
-                       MutableFieldView<double>::fromHost(divQ),
-                       tracePool(ctx, *st));
+    traceDivQ(std::move(levels), walls, *st, ctx.patch->cells(),
+              MutableFieldView<double>::fromHost(divQ), tracePool(ctx, *st));
   });
   t.addRequires(Requires{RmcrtLabels::abskg, VarType::Double, fineLevel,
                          st->roiHalo, false});
@@ -463,7 +491,7 @@ void RmcrtComponent::registerTwoLevelPipeline(runtime::Scheduler& sched,
                                               const RmcrtSetup& setup) {
   auto st = std::make_shared<PipelineState>(
       PipelineState{setup.problem, setup.trace, setup.roiHalo, setup.pool,
-                    setup.packedCache});
+                    setup.packedCache, setup.bands});
   const int fineLevel = sched.grid().numLevels() - 1;
   sched.addTask(makeInitTask(st, fineLevel));
   sched.addTask(makeCoarsenTask(fineLevel));
@@ -475,7 +503,7 @@ void RmcrtComponent::registerAdaptivePipeline(runtime::Scheduler& sched,
                                               amr::CostModel* costs) {
   auto st = std::make_shared<PipelineState>(
       PipelineState{setup.problem, setup.trace, setup.roiHalo, setup.pool,
-                    setup.packedCache});
+                    setup.packedCache, setup.bands});
   const int fineLevel = sched.grid().numLevels() - 1;
   sched.addTask(makeInitTask(st, fineLevel));
   sched.addTask(makeUpdateCoarseTask(st, fineLevel));
@@ -496,7 +524,7 @@ void RmcrtComponent::registerSingleLevelPipeline(runtime::Scheduler& sched,
                                                  const RmcrtSetup& setup) {
   auto st = std::make_shared<PipelineState>(
       PipelineState{setup.problem, setup.trace, setup.roiHalo, setup.pool,
-                    setup.packedCache});
+                    setup.packedCache, setup.bands});
   const int fineLevel = sched.grid().numLevels() - 1;
   sched.addTask(makeInitTask(st, fineLevel));
   sched.addTask(makeSingleLevelTraceTask(st, fineLevel));
@@ -507,7 +535,7 @@ void RmcrtComponent::registerTwoLevelGpuPipeline(
     gpu::GpuDataWarehouse& gdw) {
   auto st = std::make_shared<PipelineState>(
       PipelineState{setup.problem, setup.trace, setup.roiHalo, setup.pool,
-                    setup.packedCache});
+                    setup.packedCache, setup.bands});
   const int fineLevel = sched.grid().numLevels() - 1;
   sched.addTask(makeInitTask(st, fineLevel));
   sched.addTask(makeCoarsenTask(fineLevel));
@@ -529,10 +557,11 @@ grid::CCVariable<double> RmcrtComponent::solveSerialSingleLevel(
                 fine.cells()};
   const WallProperties walls{setup.problem.wallSigmaT4OverPi,
                              setup.problem.wallEmissivity};
-  Tracer tracer({tl}, walls, setup.trace);
   grid::CCVariable<double> divQ(fine.cells(), 0.0);
-  tracer.computeDivQ(fine.cells(),
-                     MutableFieldView<double>::fromHost(divQ), setup.pool);
+  const PipelineState st{setup.problem, setup.trace, setup.roiHalo,
+                         setup.pool, setup.packedCache, setup.bands};
+  traceDivQ({tl}, walls, st, fine.cells(),
+            MutableFieldView<double>::fromHost(divQ), setup.pool);
   return divQ;
 }
 
@@ -556,6 +585,8 @@ grid::CCVariable<double> RmcrtComponent::solveSerialTwoLevel(
   const WallProperties walls{setup.problem.wallSigmaT4OverPi,
                              setup.problem.wallEmissivity};
   grid::CCVariable<double> divQ(fine.cells(), 0.0);
+  const PipelineState st{setup.problem, setup.trace, setup.roiHalo,
+                         setup.pool, setup.packedCache, setup.bands};
 
   // Trace per fine patch with its ROI, as the distributed pipeline would.
   for (const grid::Patch& p : fine.patches()) {
@@ -573,9 +604,8 @@ grid::CCVariable<double> RmcrtComponent::solveSerialTwoLevel(
                             FieldView<double>::fromHost(cSig),
                             FieldView<CellType>::fromHost(cCt)},
                         coarse.cells()};
-    Tracer tracer({fineTL, coarseTL}, walls, setup.trace);
-    tracer.computeDivQ(p.cells(), MutableFieldView<double>::fromHost(divQ),
-                       setup.pool);
+    traceDivQ({fineTL, coarseTL}, walls, st, p.cells(),
+              MutableFieldView<double>::fromHost(divQ), setup.pool);
   }
   return divQ;
 }

@@ -26,6 +26,7 @@
 #include "amr/amr_engine.h"
 #include "core/problems.h"
 #include "core/ray_tracer.h"
+#include "core/spectral.h"
 #include "gpu/gpu_data_warehouse.h"
 #include "runtime/scheduler.h"
 
@@ -65,6 +66,12 @@ struct RmcrtSetup {
   /// properties outside fine coverage are step-invariant (true for the
   /// analytic samplers; see PackedLevelCache). nullptr: pack per Tracer.
   std::shared_ptr<PackedLevelCache> packedCache;
+  /// Spectral band model. Empty (default): the gray solver, exactly as
+  /// before. Non-empty: every trace task runs the SpectralTracer band
+  /// loop — all bands sharing one PackedCell record set (and, on the
+  /// GPU path, one device upload) — accumulating per-band divQ. A
+  /// single {weight=1, kappaScale=1} band is bitwise the gray solver.
+  BandModel bands;
 };
 
 /// Task-registration entry points. Call the same function on every rank's

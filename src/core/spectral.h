@@ -21,6 +21,7 @@
 /// around the existing gray kernel. A single band with a=1, s=1
 /// reproduces the gray solver exactly (tested).
 
+#include <memory>
 #include <vector>
 
 #include "core/ray_tracer.h"
@@ -58,41 +59,68 @@ inline double planckMeanScale(const BandModel& bands) {
   return s;
 }
 
-/// Spectral RMCRT driver: wraps per-band Tracer instances over scaled
-/// copies of the gray property fields and accumulates band divQ.
+/// Spectral RMCRT driver — the band loop around the gray kernel, now a
+/// first-class pipeline mode rather than a boiler-example curiosity.
+///
+/// Every band marches the SAME property records: kappa scaling moved
+/// into the march itself (TraceConfig::kappaScale), so the constructor
+/// packs ONE shared PackedCell record set that all band Tracers alias —
+/// and on the simulated GPU all bands ride the same single device
+/// upload. Band b's tracer computes q_b = 4*pi*(kappa*s_b) *
+/// (sigmaT4/pi - meanI_b) against the UNSCALED source (intensity is
+/// linear in the source), and accumulation applies the Planck weight:
+/// divQ = sum_b a_b * q_b. A single band {a=1, s=1} is bitwise the gray
+/// solver (IEEE: x*1.0 == x; tested).
 class SpectralTracer {
  public:
   /// \param levels gray trace levels (fields are the gray-mean kappa and
-  ///               the TOTAL sigmaT4/pi); per-band scaled copies of kappa
-  ///               are built internally.
-  /// \param walls  gray wall properties; each band sees weight-scaled
-  ///               wall emission.
+  ///               the TOTAL sigmaT4/pi); levels that already carry
+  ///               packed records (PackedLevelCache, the GPU level DB)
+  ///               are shared as-is, others are packed once here.
+  /// \param cfg    per-band configs inherit everything (including the
+  ///               adaptive-ray knobs); band b multiplies kappaScale by
+  ///               s_b and offsets the seed so bands decorrelate. Band 0
+  ///               keeps cfg.seed exactly.
   SpectralTracer(const std::vector<TraceLevel>& levels,
                  const WallProperties& walls, const TraceConfig& cfg,
                  BandModel bands);
 
   std::size_t numBands() const { return m_bands.size(); }
+  const BandModel& bands() const { return m_bands; }
+
+  /// The band-b Tracer (flux/radiometer QoIs and tests reach through
+  /// here; band 0 of grayBand() IS the gray tracer).
+  const Tracer& bandTracer(std::size_t b) const { return *m_tracers[b]; }
 
   /// divQ accumulated over all bands for every cell of \p cells
-  /// (fine-level cells).
-  void computeDivQ(const CellRange& cells,
-                   MutableFieldView<double> divQ) const;
+  /// (fine-level cells), band-major: each band sweeps the whole range
+  /// (fanning tiles across \p pool like the gray path) into a scratch
+  /// field, then folds a_b * q_b into divQ. Publishes per-band
+  /// tracer.band<k>.mseg_per_s gauges.
+  void computeDivQ(const CellRange& cells, MutableFieldView<double> divQ,
+                   ThreadPool* pool = nullptr) const;
+
+  /// Serial band loop over one tile — the batch work unit behind
+  /// Tracer::DivQTileJob::spectral, so the radiation service drains
+  /// spectral scenes through the same computeDivQBatch as gray ones.
+  /// Any tiling of a range reproduces computeDivQ over it bitwise.
+  void computeDivQTile(const CellRange& tile,
+                       MutableFieldView<double> divQ) const;
 
   /// Band-resolved mean incoming intensity for one cell (diagnostics).
   std::vector<double> bandIntensities(const IntVector& cell) const;
 
- private:
-  struct BandData {
-    SpectralBand band;
-    // Owned scaled kappa fields per level (sigmaT4 and cellType are
-    // shared with the gray views).
-    std::vector<grid::CCVariable<double>> scaledKappa;
-    std::unique_ptr<Tracer> tracer;
-  };
+  /// Total cell crossings marched across all band tracers.
+  std::uint64_t segmentCount() const;
+  void resetSegmentCount();
 
-  std::vector<TraceLevel> m_grayLevels;
+ private:
   BandModel m_bands;
-  std::vector<BandData> m_bandData;
+  /// Trace levels shared by every band; `packed` views alias
+  /// m_sharedPacked for levels packed here (or the caller's records).
+  std::vector<TraceLevel> m_levels;
+  std::vector<PackedLevelField> m_sharedPacked;
+  std::vector<std::unique_ptr<Tracer>> m_tracers;
 };
 
 }  // namespace rmcrt::core

@@ -268,6 +268,12 @@ class Service {
   /// is the fine-level allowed box. Caller holds scene.mu.
   std::unique_ptr<core::Tracer> makeSharedTracer(const SceneState& s,
                                                  const CellRange& roi) const;
+  /// Per-request SpectralTracer for scenes registered with a non-empty
+  /// band model: every band aliases the scene's shared packed records and
+  /// the single coarse device upload (kappa scaling happens in the march,
+  /// so bands add zero pack/upload cost). Caller holds scene.mu.
+  std::unique_ptr<core::SpectralTracer> makeSharedSpectral(
+      const SceneState& s, const CellRange& roi) const;
 
   /// Admission + fault model + enqueue, shared by the three submit
   /// fronts. Shed requests are rejected (typed) before queueing.

@@ -16,10 +16,12 @@
 
 #include <array>
 #include <cmath>
+#include <vector>
 
 #include "core/problems.h"
 #include "core/ray_tracer.h"
 #include "grid/grid.h"
+#include "util/stats.h"
 
 namespace rmcrt::core {
 namespace {
@@ -71,6 +73,61 @@ TEST(BurnsChristonGolden, CenterlineDivQMatchesReference) {
     const double got = divQ[IntVector(x, mid, mid)];
     const double want = kGoldenCenterline[static_cast<std::size_t>(x)];
     EXPECT_NEAR(got, want, 0.01 * std::abs(want))
+        << "centerline cell x=" << x;
+  }
+}
+
+TEST(BurnsChristonGolden, AdaptiveCenterlineWithinOnePercentOfFixed) {
+  // The calibrated adaptive operating point (pilot 16, error target
+  // 0.015, cap at nDivQRays) must hold the benchmark centerline within
+  // the same 1% band the golden table enforces — measured as relative L2
+  // against the fixed-fan answer computed in-process, so the gate is
+  // libm-independent — while tracing measurably fewer segments.
+  auto grid = grid::Grid::makeSingleLevel(Vector(0.0), Vector(1.0),
+                                          IntVector(kN), IntVector(kN));
+  grid::CCVariable<double> abskg(grid->fineLevel().cells(), 0.0);
+  grid::CCVariable<double> sig(grid->fineLevel().cells(), 0.0);
+  grid::CCVariable<grid::CellType> ct(grid->fineLevel().cells(),
+                                      grid::CellType::Flow);
+  initializeProperties(grid->fineLevel(), burnsChriston(), abskg, sig, ct);
+  TraceLevel tl{LevelGeom::from(grid->fineLevel()),
+                RadiationFieldsView{FieldView<double>::fromHost(abskg),
+                                    FieldView<double>::fromHost(sig),
+                                    FieldView<grid::CellType>::fromHost(ct)},
+                grid->fineLevel().cells()};
+  TraceConfig fixedCfg;
+  fixedCfg.nDivQRays = kRays;
+  fixedCfg.seed = kSeed;
+  TraceConfig adaptiveCfg = fixedCfg;
+  adaptiveCfg.adaptiveRays = true;
+  adaptiveCfg.nPilotRays = 16;
+  adaptiveCfg.errorTarget = 0.015;
+  adaptiveCfg.nMaxRays = 0;  // cap at nDivQRays
+
+  const int mid = kN / 2;
+  const CellRange line(IntVector(0, mid, mid),
+                       IntVector(kN, mid + 1, mid + 1));
+  const auto solveLine = [&](const TraceConfig& cfg, std::uint64_t* segs) {
+    Tracer tracer({tl}, WallProperties{0.0, 1.0}, cfg);
+    grid::CCVariable<double> divQ(grid->fineLevel().cells(), 0.0);
+    tracer.computeDivQ(line, MutableFieldView<double>::fromHost(divQ));
+    *segs = tracer.segmentCount();
+    std::vector<double> out;
+    for (int x = 0; x < kN; ++x) out.push_back(divQ[IntVector(x, mid, mid)]);
+    return out;
+  };
+  std::uint64_t fixedSegs = 0, adaptiveSegs = 0;
+  const std::vector<double> fixed = solveLine(fixedCfg, &fixedSegs);
+  const std::vector<double> adaptive = solveLine(adaptiveCfg, &adaptiveSegs);
+
+  EXPECT_LT(adaptiveSegs, fixedSegs) << "controller saved nothing";
+  EXPECT_LT(relativeL2Error(adaptive, fixed), 0.01);
+  // And the adaptive answer still sits inside the golden table's band
+  // (the table tolerance plus the adaptive budget's own error).
+  for (int x = 0; x < kN; ++x) {
+    const double want = kGoldenCenterline[static_cast<std::size_t>(x)];
+    EXPECT_NEAR(adaptive[static_cast<std::size_t>(x)], want,
+                0.05 * std::abs(want))
         << "centerline cell x=" << x;
   }
 }

@@ -146,6 +146,28 @@ TEST(Determinism, DivQIndependentOfPatchDecomposition) {
   }
 }
 
+TEST(Determinism, AdaptiveDivQBitwiseAcrossThreadsAndTiles) {
+  // The variance-adaptive controller must inherit the full determinism
+  // contract: a cell's budget is a pure function of (seed, cell), so any
+  // thread count and tile shape reproduces the serial adaptive solve
+  // bitwise.
+  Harness h(burnsChriston(), 16);
+  TraceConfig cfg = smallCfg();
+  cfg.adaptiveRays = true;
+  cfg.nPilotRays = 3;
+  cfg.errorTarget = 0.05;
+  const CCVariable<double> serial = h.solve(cfg);
+  for (int threads : {2, 5}) {
+    ThreadPool pool(static_cast<std::size_t>(threads));
+    for (const IntVector& ts :
+         {IntVector(4, 4, 4), IntVector(1, 16, 16), IntVector(5, 3, 2)}) {
+      TraceConfig tiled = cfg;
+      tiled.tileSize = ts;
+      expectBitwiseEqual(serial, h.solve(tiled, &pool));
+    }
+  }
+}
+
 TEST(Determinism, SegmentCountIndependentOfThreadCount) {
   // Per-tile counters must aggregate to exactly the serial total — the
   // perf model is calibrated against this quantity.

@@ -3,9 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <vector>
 
 #include "core/problems.h"
 #include "grid/grid.h"
+#include "util/thread_pool.h"
 
 namespace rmcrt::core {
 namespace {
@@ -122,6 +124,77 @@ TEST(SpectralTracer, BandIntensitiesOrderedByOpacity) {
   ASSERT_EQ(I.size(), 3u);
   EXPECT_LT(I[0], I[1]);  // window < moderate
   EXPECT_LT(I[1], I[2]);  // moderate < strong
+}
+
+TEST(SpectralTracer, TiledBatchMatchesFullSolveBitwise) {
+  // The service drains spectral scenes as DivQTileJob work units; any
+  // tiling of a range through computeDivQBatch must reproduce the
+  // whole-range band loop bitwise.
+  SpectralHarness h(burnsChriston());
+  TraceConfig cfg;
+  cfg.nDivQRays = 8;
+  cfg.seed = 5;
+  SpectralTracer spectral(h.levels(), h.walls, cfg, threeband());
+  const CellRange cells = h.grid->fineLevel().cells();
+
+  CCVariable<double> whole(cells, 0.0);
+  spectral.computeDivQ(cells, MutableFieldView<double>::fromHost(whole));
+
+  CCVariable<double> tiled(cells, 0.0);
+  const MutableFieldView<double> sink =
+      MutableFieldView<double>::fromHost(tiled);
+  std::vector<Tracer::DivQTileJob> jobs;
+  for (const CellRange& tile : tileCells(cells, IntVector(5, 3, 7)))
+    jobs.push_back(Tracer::DivQTileJob{nullptr, tile, sink, &spectral});
+  ThreadPool pool(4);
+  Tracer::computeDivQBatch(jobs, &pool);
+
+  for (const auto& c : cells)
+    ASSERT_EQ(whole[c], tiled[c]) << "cell " << c;
+}
+
+TEST(SpectralTracer, AdaptiveBudgetsPropagateThroughBands) {
+  // Bands inherit the adaptive-ray knobs: the band loop traces fewer
+  // rays than the fixed fan, and stays bitwise deterministic across
+  // pool sizes.
+  SpectralHarness h(burnsChriston());
+  TraceConfig fixed;
+  fixed.nDivQRays = 16;
+  fixed.seed = 5;
+  TraceConfig adaptive = fixed;
+  adaptive.adaptiveRays = true;
+  adaptive.nPilotRays = 4;
+  adaptive.errorTarget = 0.05;
+  const CellRange cells = h.grid->fineLevel().cells();
+
+  SpectralTracer sf(h.levels(), h.walls, fixed, threeband());
+  SpectralTracer sa(h.levels(), h.walls, adaptive, threeband());
+  CCVariable<double> qf(cells, 0.0), qa(cells, 0.0);
+  sf.computeDivQ(cells, MutableFieldView<double>::fromHost(qf));
+  sa.computeDivQ(cells, MutableFieldView<double>::fromHost(qa));
+  EXPECT_LT(sa.segmentCount(), sf.segmentCount());
+
+  ThreadPool pool(3);
+  CCVariable<double> qa2(cells, 0.0);
+  sa.computeDivQ(cells, MutableFieldView<double>::fromHost(qa2), &pool);
+  for (const auto& c : cells) ASSERT_EQ(qa[c], qa2[c]) << "cell " << c;
+}
+
+TEST(SpectralTracer, SharedPackAcrossBands) {
+  // One record set serves every band: the three-band tracer's levels all
+  // alias the same packed view (kappa scaling lives in the march), so
+  // per-band memory is O(1), not O(bands).
+  SpectralHarness h(burnsChriston());
+  TraceConfig cfg;
+  cfg.nDivQRays = 4;
+  cfg.usePackedFields = true;
+  SpectralTracer spectral(h.levels(), h.walls, cfg, threeband());
+  const PackedCell* base =
+      spectral.bandTracer(0).levels()[0].packed.data();
+  ASSERT_NE(base, nullptr);
+  for (std::size_t b = 1; b < spectral.numBands(); ++b)
+    EXPECT_EQ(spectral.bandTracer(b).levels()[0].packed.data(), base)
+        << "band " << b << " packed its own copy";
 }
 
 TEST(SpectralTracer, BandCountScalesWork) {

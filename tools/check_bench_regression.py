@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Perf-regression gate for the committed bench JSON baselines.
 
-Three modes, selected by --mode (default: kernel). Every mode's key
+Four modes, selected by --mode (default: kernel). Every mode's key
 tables — which sections a JSON must carry, which floors apply, which
 paper regimes bound a value — live in the single declarative SCHEMA
 dict below; the check_* functions only interpret it.
@@ -63,6 +63,29 @@ service — gates the radiation-as-a-service load generator
   5. Batched queries/s >= tolerance * the baseline's (same 0.5-style
      collapse floor as kernel mode; runners differ).
 
+adaptive — gates the variance-adaptive ray-budget + spectral-banding
+bench (bench_rmcrt_kernel --adaptive-rays, DESIGN.md §17) against
+BENCH_adaptive.json:
+
+    check_bench_regression.py --mode adaptive --current adaptive-smoke.json \\
+        --baseline BENCH_adaptive.json
+
+  1. The bitwise neutrality contract held, in this run and the committed
+     one: adaptiveRays=false with the knobs set is the fixed fan,
+     pilot == cap saturates to the fixed fan, and a single
+     {weight=1, kappaScale=1} spectral band is the gray solver.
+  2. The headline: total traced segments dropped by at least the floor
+     (1.5x) against the fixed fan on the golden fixture...
+  3. ...at equal accuracy: the Burns & Christon centerline relative-L2
+     against the fixed-fan answer stays under the golden test's 1% band.
+     (Both are deterministic given the fixture, so current and baseline
+     must both pass; runs differ only in wall time.)
+  4. The spectral section is sane: band count matches the baseline, the
+     band loop traced more than the gray solve, and the adaptive band
+     loop traced less than the fixed-fan band loop.
+  5. Adaptive-solve Mseg/s >= tolerance * the baseline's (same 0.5-style
+     collapse floor as kernel mode; runners differ).
+
 --self-test runs the embedded fixture suite (pytest-style test_*
 functions over synthetic JSON docs) and exits 0/1; CI runs it before
 trusting any gate verdict.
@@ -117,6 +140,22 @@ SCHEMA = {
                              "coarse_uploads"),
         # Batching must not lose to one-solve-per-request.
         "speedup_floor": 1.0,
+    },
+    "adaptive": {
+        # The headline: segments traced by the adaptive controller vs the
+        # fixed fan on the golden fixture (the calibrated operating point
+        # measures ~1.7x; 1.5 is the acceptance floor, not a noise bound —
+        # budgets are deterministic, so this never flakes).
+        "segment_reduction_floor": 1.5,
+        # Burns & Christon centerline relative-L2 of the adaptive answer
+        # against the fixed-fan answer: the golden test's 1% band.
+        "rel_l2_centerline_max": 0.01,
+        # (section, flag): bitwise neutrality gates that must be true.
+        "bitwise_flags": (
+            ("adaptive", "bitwise_off_identical"),
+            ("adaptive", "bitwise_saturated_identical"),
+            ("spectral", "bitwise_single_band"),
+        ),
     },
 }
 
@@ -445,10 +484,96 @@ def check_service(current, baseline, cur_path, base_path, tolerance):
     return failures
 
 
+# --- adaptive mode ----------------------------------------------------------
+
+def check_adaptive(current, baseline, cur_path, base_path, tolerance):
+    schema = SCHEMA["adaptive"]
+    failures = []
+
+    # 1. Bitwise neutrality in both runs: a segment reduction measured by
+    # a controller that perturbs the off path is meaningless.
+    for doc, path in ((current, cur_path), (baseline, base_path)):
+        for section, flag in schema["bitwise_flags"]:
+            entry = require_section(doc, section, path)
+            if entry.get(flag) is not True:
+                failures.append(
+                    f"{path} {section}: {flag} is not true — the "
+                    "adaptive/spectral machinery perturbed a path that "
+                    "must be bitwise the gray fixed fan")
+
+    # 2+3. Segment reduction at equal accuracy, in both runs (the bench
+    # is deterministic given the fixture; only wall time varies).
+    floor = schema["segment_reduction_floor"]
+    err_max = schema["rel_l2_centerline_max"]
+    for doc, path in ((current, cur_path), (baseline, base_path)):
+        entry = require_section(doc, "adaptive", path)
+        where = f"{path} adaptive"
+        reduction = require_number(entry, "segment_reduction", where)
+        rel_l2 = require_number(entry, "rel_l2_centerline", where)
+        verdict = "OK" if reduction >= floor and rel_l2 <= err_max else "FAIL"
+        print(f"adaptive [{path}]: {reduction:.2f}x segment reduction "
+              f"(floor {floor}) at centerline rel L2 {rel_l2:.3e} "
+              f"(ceiling {err_max}) [{verdict}]")
+        if reduction < floor:
+            failures.append(
+                f"{where}: segment reduction {reduction:.2f}x below the "
+                f"{floor}x acceptance floor")
+        if rel_l2 > err_max:
+            failures.append(
+                f"{where}: centerline rel L2 {rel_l2:.3e} exceeds the "
+                f"golden {err_max} band — the budget controller is "
+                "trading away accuracy")
+
+    # 4. Spectral section shape.
+    cur_sp = require_section(current, "spectral", cur_path)
+    base_sp = require_section(baseline, "spectral", base_path)
+    where = f"{cur_path} spectral"
+    bands = require_number(cur_sp, "bands", where)
+    if bands != require_number(base_sp, "bands", f"{base_path} spectral"):
+        failures.append(
+            f"spectral band count {bands:.0f} != baseline — not comparable")
+    rates = cur_sp.get("band_mseg_per_s")
+    if not isinstance(rates, list) or len(rates) != int(bands):
+        raise UnusableInput(
+            f"{where}: 'band_mseg_per_s' must list one rate per band "
+            f"(got {rates!r})")
+    gray = require_number(cur_sp, "gray_segments", where)
+    band_seg = require_number(cur_sp, "band_segments", where)
+    ad_band_seg = require_number(cur_sp, "adaptive_band_segments", where)
+    if bands > 1 and not band_seg > gray:
+        failures.append(
+            f"{where}: {bands:.0f}-band loop traced {band_seg:.0f} segments "
+            f"vs gray {gray:.0f} — the band loop is not running")
+    if not ad_band_seg < band_seg:
+        failures.append(
+            f"{where}: adaptive band loop traced {ad_band_seg:.0f} segments "
+            f"vs fixed-fan {band_seg:.0f} — budgets are not propagating "
+            "through the spectral pipeline")
+
+    # 5. Throughput collapse vs the committed baseline.
+    cur_mseg = require_number(require_section(current, "adaptive", cur_path),
+                              "adaptive_mseg_per_s", f"{cur_path} adaptive")
+    base_mseg = require_number(
+        require_section(baseline, "adaptive", base_path),
+        "adaptive_mseg_per_s", f"{base_path} adaptive")
+    mseg_floor = tolerance * base_mseg
+    verdict = "OK" if cur_mseg >= mseg_floor else "FAIL"
+    print(f"adaptive throughput: current {cur_mseg:.2f} vs baseline "
+          f"{base_mseg:.2f} Mseg/s (floor {mseg_floor:.2f}, x{tolerance}) "
+          f"[{verdict}]")
+    if cur_mseg < mseg_floor:
+        failures.append(
+            f"adaptive-solve Mseg/s collapsed: {cur_mseg:.2f} < "
+            f"{mseg_floor:.2f}")
+
+    return failures
+
+
 MODES = {
     "kernel": (check_kernel, "perf gate passed"),
     "scaling": (check_scaling, "scaling shape gate passed"),
     "service": (check_service, "service gate passed"),
+    "adaptive": (check_adaptive, "adaptive sampling gate passed"),
 }
 
 
@@ -493,6 +618,28 @@ def service_fixture(qps=2000.0, naive_qps=1000.0, uploads=1, rejected=0,
         "speedup": qps / naive_qps,
         "batched": section(qps, uploads),
         "per_request": section(naive_qps, 96.0 - rejected),
+    }
+
+
+def adaptive_fixture(reduction=1.7, rel_l2=0.007, off=True, sat=True,
+                     single=True, mseg=10.0, band_seg=3.0e8,
+                     ad_band_seg=1.7e8):
+    return {
+        "adaptive": {
+            "segment_reduction": reduction,
+            "rel_l2_centerline": rel_l2,
+            "adaptive_mseg_per_s": mseg,
+            "bitwise_off_identical": off,
+            "bitwise_saturated_identical": sat,
+        },
+        "spectral": {
+            "bands": 3,
+            "bitwise_single_band": single,
+            "gray_segments": 1.2e8,
+            "band_segments": band_seg,
+            "adaptive_band_segments": ad_band_seg,
+            "band_mseg_per_s": [10.0, 10.0, 10.0],
+        },
     }
 
 
@@ -587,6 +734,57 @@ def test_service_missing_section_is_unusable():
     raise AssertionError("missing section must raise UnusableInput")
 
 
+def test_adaptive_pass():
+    assert check_adaptive(adaptive_fixture(), adaptive_fixture(), "cur",
+                          "base", 0.5) == []
+
+
+def test_adaptive_reduction_floor():
+    fails = check_adaptive(adaptive_fixture(reduction=1.2),
+                           adaptive_fixture(), "cur", "base", 0.5)
+    assert any("acceptance floor" in f for f in fails), fails
+
+
+def test_adaptive_error_ceiling():
+    fails = check_adaptive(adaptive_fixture(rel_l2=0.02),
+                           adaptive_fixture(), "cur", "base", 0.5)
+    assert any("trading away accuracy" in f for f in fails), fails
+
+
+def test_adaptive_bitwise_off_fails():
+    fails = check_adaptive(adaptive_fixture(off=False), adaptive_fixture(),
+                           "cur", "base", 0.5)
+    assert any("bitwise_off_identical" in f for f in fails), fails
+
+
+def test_adaptive_single_band_fails():
+    fails = check_adaptive(adaptive_fixture(single=False),
+                           adaptive_fixture(), "cur", "base", 0.5)
+    assert any("bitwise_single_band" in f for f in fails), fails
+
+
+def test_adaptive_spectral_budget_leak_fails():
+    fails = check_adaptive(adaptive_fixture(ad_band_seg=3.0e8),
+                           adaptive_fixture(), "cur", "base", 0.5)
+    assert any("not propagating" in f for f in fails), fails
+
+
+def test_adaptive_throughput_collapse():
+    fails = check_adaptive(adaptive_fixture(mseg=1.0),
+                           adaptive_fixture(mseg=10.0), "cur", "base", 0.5)
+    assert any("Mseg/s collapsed" in f for f in fails), fails
+
+
+def test_adaptive_missing_section_is_unusable():
+    doc = adaptive_fixture()
+    del doc["adaptive"]
+    try:
+        check_adaptive(doc, adaptive_fixture(), "cur", "base", 0.5)
+    except UnusableInput:
+        return
+    raise AssertionError("missing section must raise UnusableInput")
+
+
 def run_self_test():
     tests = sorted((name, fn) for name, fn in globals().items()
                    if name.startswith("test_") and callable(fn))
@@ -608,7 +806,8 @@ def main():
     ap.add_argument("--mode", choices=sorted(MODES), default="kernel",
                     help="kernel: bench_rmcrt_kernel throughput gate; "
                          "scaling: bench_scaling_* shape gate; "
-                         "service: bench_service batching gate")
+                         "service: bench_service batching gate; "
+                         "adaptive: adaptive ray-budget + banding gate")
     ap.add_argument("--current",
                     help="JSON written by this run's bench binary")
     ap.add_argument("--baseline",
